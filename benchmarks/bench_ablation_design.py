@@ -1,0 +1,212 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's Fig. 9 toggles, these sweep the individual design
+parameters: walk-query-cache size, subgraph-range size, Eq. 1's
+alpha/beta, and the topN/M scheduling amortization.  Each bench reports
+the sweep rows and asserts only weak sanity (everything completes;
+extreme settings do not break the engine) — the interesting output is
+the table in ``extra_info``.
+"""
+
+import numpy as np
+
+from repro.experiments.harness import format_table
+from repro.walks import WalkSpec
+
+from conftest import run_once
+
+
+def _run(ctx, name, **overrides):
+    cfg = ctx.flashwalker_config(name, **overrides)
+    return ctx.run_flashwalker(name, config=cfg)
+
+
+def test_ablation_query_cache_size(benchmark, ctx):
+    """Bigger walk query caches -> higher hit rate, fewer table searches."""
+
+    def sweep():
+        rows = []
+        for nbytes in (16, 64, 256, 1024):
+            res = _run(ctx, "FS", query_cache_bytes=nbytes)
+            hits = res.counters["query_cache_hits"]
+            misses = res.counters["query_cache_misses"]
+            rows.append(
+                {
+                    "cache_bytes": nbytes,
+                    "hit_rate": hits / max(1, hits + misses),
+                    "search_steps": res.counters["query_search_steps"],
+                    "ms": res.elapsed * 1e3,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    hit_rates = [r["hit_rate"] for r in rows]
+    assert hit_rates[-1] >= hit_rates[0]
+    steps = [r["search_steps"] for r in rows]
+    assert steps[-1] <= steps[0]
+
+
+def test_ablation_range_size(benchmark, ctx):
+    """Section III-C: larger ranges shrink the channel table but widen
+    the board's scoped search."""
+
+    def sweep():
+        rows = []
+        for rs in (16, 64, 256, 1024):
+            res = _run(ctx, "R2B", range_subgraphs=rs)
+            rows.append(
+                {
+                    "range_subgraphs": rs,
+                    "ms": res.elapsed * 1e3,
+                    "search_steps": res.counters["query_search_steps"],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    assert all(r["ms"] > 0 for r in rows)
+
+
+def test_ablation_alpha_beta(benchmark, ctx):
+    """Eq. 1 sensitivity: alpha weighs buffered walks, beta dense packing."""
+
+    def sweep():
+        rows = []
+        for alpha, beta in ((0.4, 1.5), (1.2, 1.5), (1.2, 1.0), (4.0, 4.0)):
+            res = _run(ctx, "R8B", alpha=alpha, beta=beta)
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "beta": beta,
+                    "ms": res.elapsed * 1e3,
+                    "spilled": res.counters["spilled_walks"],
+                    "writes_KB": res.flash_write_bytes / 1024,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    times = [r["ms"] for r in rows]
+    assert max(times) < 20 * min(times)  # no pathological setting
+
+
+def test_ablation_topn_m(benchmark, ctx):
+    """topN list length and update period M (Section III-D amortization)."""
+
+    def sweep():
+        rows = []
+        for top_n, m in ((1, 1), (8, 16), (32, 64)):
+            res = _run(ctx, "FS", top_n=top_n, score_update_period_m=m)
+            rows.append(
+                {"top_n": top_n, "M": m, "ms": res.elapsed * 1e3}
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    assert all(r["ms"] > 0 for r in rows)
+
+
+def test_ablation_biased_walks_overhead(benchmark, ctx):
+    """ITS biased walks cost extra binary-search cycles (Section III-B)."""
+
+    def sweep():
+        from repro.core import FlashWalker
+        from repro.graph import add_random_weights
+        from repro.common import RngRegistry
+
+        g = ctx.graph("R2B")
+        wg = add_random_weights(g, RngRegistry(5).fresh("w"))
+        n = ctx.default_walks("R2B") // 2
+        unb = FlashWalker(wg, ctx.flashwalker_config("R2B"), seed=4).run(
+            num_walks=n, spec=WalkSpec(length=6)
+        )
+        bia = FlashWalker(wg, ctx.flashwalker_config("R2B"), seed=4).run(
+            num_walks=n, spec=WalkSpec(length=6, biased=True)
+        )
+        return [
+            {"mode": "unbiased", "ms": unb.elapsed * 1e3, "hops": unb.hops},
+            {"mode": "biased(ITS)", "ms": bia.elapsed * 1e3, "hops": bia.hops},
+        ]
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    assert len(rows) == 2
+
+
+def test_ablation_subgraph_size(benchmark, ctx):
+    """Subgraph granularity: finer blocks read less per load but need
+    more loads — the I/O-efficiency tradeoff of Section IV-B."""
+
+    def sweep():
+        rows = []
+        for sb in (4096, 8192, 16384):
+            res = _run(ctx, "CW", subgraph_bytes=sb)
+            rows.append(
+                {
+                    "subgraph_bytes": sb,
+                    "ms": res.elapsed * 1e3,
+                    "loads": res.counters["subgraph_loads"],
+                    "read_MB": res.flash_read_bytes / 2**20,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    loads = [r["loads"] for r in rows]
+    assert loads[0] >= loads[-1]  # bigger blocks -> fewer loads
+
+
+def test_ablation_walk_length(benchmark, ctx):
+    """The paper fixes walk length 6; sweep it (longer walks amortize
+    loads worse because locality decays per hop)."""
+
+    def sweep():
+        rows = []
+        for length in (2, 6, 12):
+            res = ctx.run_flashwalker(
+                "FS",
+                num_walks=ctx.default_walks("FS") // 2,
+                spec=WalkSpec(length=length),
+            )
+            rows.append(
+                {
+                    "walk_length": length,
+                    "ms": res.elapsed * 1e3,
+                    "hops": res.hops,
+                    "ns_per_hop": res.elapsed / max(res.hops, 1) * 1e9,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    hops = [r["hops"] for r in rows]
+    assert hops == sorted(hops)  # more length -> more hops
+
+
+def test_ablation_collect_interval(benchmark, ctx):
+    """Roving-collection cadence: too slow adds latency, too fast wastes
+    bus transactions on tiny batches."""
+
+    def sweep():
+        rows = []
+        for interval_us in (2, 20, 200):
+            res = _run(ctx, "R2B", roving_collect_interval=interval_us * 1e-6)
+            rows.append(
+                {
+                    "interval_us": interval_us,
+                    "ms": res.elapsed * 1e3,
+                    "loads": res.counters["subgraph_loads"],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    benchmark.extra_info["table"] = format_table(rows)
+    assert all(r["ms"] > 0 for r in rows)

@@ -1,0 +1,20 @@
+"""Figure 1: GraphWalker time-cost breakdown on ClueWeb."""
+
+from repro.experiments import fig1
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_fig1_graphwalker_breakdown(benchmark, ctx):
+    rows = run_once(benchmark, fig1.run, ctx)
+    by_ds = {r["dataset"]: r for r in rows}
+    # Paper shape: loading graph structure dominates on ClueWeb...
+    assert by_ds["CW"]["load_graph_pct"] > 50
+    # ...but not on Twitter, which fits in GraphWalker's memory.
+    assert by_ds["TT"]["load_graph_pct"] < by_ds["CW"]["load_graph_pct"]
+    # Fractions are sane.
+    for r in rows:
+        total = r["load_graph_pct"] + r["update_walks_pct"] + r["other_pct"]
+        assert abs(total - 100.0) < 1e-6
+    benchmark.extra_info["table"] = format_table(rows)

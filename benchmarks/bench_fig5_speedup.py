@@ -1,0 +1,27 @@
+"""Figure 5: FlashWalker speedup over GraphWalker vs number of walks."""
+
+from repro.experiments import fig5
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_fig5_speedup_sweep(benchmark, ctx):
+    rows = run_once(benchmark, fig5.run, ctx)
+    s = fig5.summary(rows)
+    # Paper shape: FlashWalker wins at every point.
+    assert s["all_above_one"], f"speedups must exceed 1x everywhere: {rows}"
+    # Paper shape: at the default walk count, larger graphs gain at
+    # least as much as the small in-memory-friendly ones.
+    at_default = {
+        r["dataset"]: r["speedup"]
+        for r in rows
+        if r["walks"] == max(x["walks"] for x in rows if x["dataset"] == r["dataset"])
+    }
+    assert at_default["CW"] > 0.8 * at_default["TT"]
+    # Speedup generally grows (or saturates) with walk count per dataset.
+    for name in ctx.datasets:
+        sp = [r["speedup"] for r in rows if r["dataset"] == name]
+        assert sp[-1] > 0.5 * max(sp), f"{name}: default point collapsed: {sp}"
+    benchmark.extra_info["table"] = format_table(rows)
+    benchmark.extra_info["summary"] = str(s)

@@ -1,0 +1,32 @@
+"""Figure 6: flash read-traffic reduction and bandwidth improvement."""
+
+from repro.experiments import fig6
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_fig6_bandwidth_and_traffic(benchmark, ctx):
+    rows = run_once(benchmark, fig6.run, ctx)
+    s = fig6.summary(rows)
+    by_ds = {r["dataset"]: r for r in rows}
+    # Paper shape: achieved-bandwidth improvement >> 1 on every dataset
+    # (17.21x average at testbed scale).
+    for r in rows:
+        assert r["bw_improvement"] > 1.5, r
+    assert s["mean_bw_improvement"] > 3.0
+    # Paper shape: TT is the dataset where FlashWalker reads relatively
+    # the most (parallelism overload on a small graph): its traffic
+    # reduction is below CW's.
+    assert by_ds["TT"]["traffic_reduction"] <= by_ds["CW"]["traffic_reduction"] * 1.5
+    benchmark.extra_info["table"] = format_table(rows)
+    benchmark.extra_info["summary"] = str(s)
+
+
+def test_fig6_low_walk_counts_favor_flashwalker(benchmark, ctx):
+    """GraphWalker's coarse blocks amortize worse over few walks."""
+    few = run_once(benchmark, fig6.run, ctx, datasets=["CW"], walk_fraction=0.0625)
+    many = fig6.run(ctx, datasets=["CW"], walk_fraction=1.0)
+    assert few[0]["traffic_reduction"] >= many[0]["traffic_reduction"] * 0.8
+    benchmark.extra_info["few"] = str(few)
+    benchmark.extra_info["many"] = str(many)

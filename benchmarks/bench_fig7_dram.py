@@ -1,0 +1,25 @@
+"""Figure 7: speedup with varied GraphWalker DRAM capacities."""
+
+from repro.experiments import fig7
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_fig7_dram_projection(benchmark, ctx):
+    rows = run_once(benchmark, fig7.run, ctx)
+    benchmark.extra_info["table"] = format_table(rows)
+    for name in ctx.datasets:
+        sub = [r for r in rows if r["dataset"] == name]
+        speedups = [r["speedup"] for r in sub]
+        # Paper shape: FlashWalker stays ahead at every memory point...
+        assert min(speedups) > 1.0, f"{name}: {speedups}"
+        # ...and more GraphWalker memory never helps FlashWalker: the
+        # 4 GB (scaled 2 MB) point projects the largest advantage.
+        assert speedups[0] >= speedups[-1] * 0.85, f"{name}: {speedups}"
+
+    # Paper shape: "speedup does not drop significantly when memory is
+    # increased to 16 GB" — the 16 GB point keeps most of the advantage.
+    for name in ("CW",):
+        sub = [r["speedup"] for r in rows if r["dataset"] == name]
+        assert sub[-1] > 0.4 * sub[0], f"{name} collapsed at 16GB: {sub}"

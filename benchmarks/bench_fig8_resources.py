@@ -1,0 +1,34 @@
+"""Figure 8: resource-consumption behavior of FlashWalker."""
+
+from repro.experiments import fig8
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_fig8_resource_timelines(benchmark, ctx):
+    rows = run_once(benchmark, fig8.run, ctx)
+    benchmark.extra_info["table"] = format_table(rows)
+    for r in rows:
+        # Physics: peaks stay at/below the theoretical maxima (small
+        # slack for bucket-boundary attribution of spread transfers).
+        assert r["read_util_peak_pct"] <= 105.0, r
+        assert r["chan_util_peak_pct"] <= 105.0, r
+        # Paper shape: flash write traffic is tiny relative to reads.
+        assert r["write_share_pct"] < 30.0, r
+
+
+def test_fig8_progress_curve_monotone(benchmark, ctx):
+    curves = run_once(benchmark, fig8.series, ctx, "FS")
+    t, frac = curves["progress"]
+    assert (frac[1:] >= frac[:-1] - 1e-12).all()
+    assert frac[-1] > 0.999
+
+
+def test_fig8_cw_straggler_tail(benchmark, ctx):
+    """CW finishes most walks early, then grinds through stragglers."""
+    rows = run_once(benchmark, fig8.run, ctx, datasets=["CW"])
+    cw = rows[0]
+    # 90% completion lands well before the end of the run.
+    assert cw["t90_frac"] < 0.95
+    benchmark.extra_info["row"] = str(cw)

@@ -1,0 +1,23 @@
+"""Figure 9: speedup of the proposed optimizations (WQ, HS, SS)."""
+
+from repro.experiments import fig9
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_fig9_optimization_increments(benchmark, ctx):
+    rows = run_once(benchmark, fig9.run, ctx, datasets=["TT", "FS", "R2B"], n_seeds=2)
+    benchmark.extra_info["table"] = format_table(rows)
+    by = {(r["dataset"], r["config"]): r["speedup_vs_none"] for r in rows}
+    # Paper shape: the full optimization stack never loses to the
+    # baseline on these datasets.
+    for ds in ("TT", "FS", "R2B"):
+        assert by[(ds, "WQ+HS+SS")] > 0.95, by
+    # Paper shape: WQ helps the query-bound datasets (FS, R2B) clearly.
+    assert by[("FS", "WQ")] > 1.05
+    assert by[("R2B", "WQ")] > 1.05
+    # Paper shape: HS matters most for TT (skewed walk concentration).
+    tt_hs_gain = by[("TT", "WQ+HS")] - by[("TT", "WQ")]
+    fs_hs_gain = by[("FS", "WQ+HS")] - by[("FS", "WQ")]
+    assert tt_hs_gain > fs_hs_gain

@@ -1,0 +1,32 @@
+"""Motivation study + energy extension benches.
+
+Section II-B's progression (iteration-sync -> async -> in-storage) and
+the activity-based energy comparison (an extension; the paper claims low
+power overhead without quantifying it).
+"""
+
+from repro.experiments import motivation
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+
+def test_motivation_progression(benchmark, ctx):
+    rows = run_once(benchmark, motivation.run, ctx, datasets=["TT", "CW"])
+    benchmark.extra_info["table"] = format_table(rows)
+    for r in rows:
+        # Section II-B: async updating beats iteration-sync...
+        assert r["async_speedup"] > 1.0, r
+        # ...and in-storage beats the async host engine.
+        assert r["instorage_speedup"] > 1.0, r
+
+
+def test_energy_extension(benchmark, ctx):
+    rows = run_once(benchmark, motivation.run, ctx, datasets=["FS"])
+    r = rows[0]
+    benchmark.extra_info["row"] = str(r)
+    # All energy estimates positive and finite.
+    for key in ("fw_energy_mJ", "gw_energy_mJ", "dm_energy_mJ"):
+        assert r[key] > 0
+    # Iteration-sync re-reads the graph every iteration: highest energy.
+    assert r["dm_energy_mJ"] >= r["gw_energy_mJ"]

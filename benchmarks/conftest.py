@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures.
+Runs default to quick scale (graphs x0.5, walks x0.125) so the whole
+suite finishes in minutes; set ``REPRO_FULL=1`` for paper-scaled runs.
+
+pytest-benchmark is used in pedantic single-round mode: these are
+simulation *campaigns*, not microbenchmarks, and the quantity of
+interest is the produced rows (attached via ``benchmark.extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.quick(seed=3)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: run random walks on FlashWalker and compare to GraphWalker.
+
+Builds the scaled Twitter analog, runs the paper's default workload
+(unbiased walks of length 6) on both engines, and prints the headline
+numbers: execution time, speedup, flash traffic, achieved bandwidth.
+
+    python examples/quickstart.py [--dataset TT] [--walks 50000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import FlashWalker, GraphWalker, WalkSpec
+from repro.common import RngRegistry, fmt_bandwidth, fmt_bytes, fmt_time
+from repro.experiments.harness import ExperimentContext
+from repro.graph import compute_stats, dataset_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="TT", choices=dataset_names())
+    parser.add_argument("--walks", type=int, default=None,
+                        help="number of walks (default: dataset's scaled default)")
+    parser.add_argument("--length", type=int, default=6,
+                        help="walk length (paper default: 6)")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    ctx = ExperimentContext(seed=args.seed)
+    graph = ctx.graph(args.dataset)
+    n_walks = args.walks or ctx.default_walks(args.dataset)
+    spec = WalkSpec(length=args.length)
+
+    print(f"dataset {args.dataset}: {compute_stats(graph).row(args.dataset)}")
+    print(f"workload: {n_walks} unbiased walks of length {args.length}\n")
+
+    fw = FlashWalker(graph, ctx.flashwalker_config(args.dataset), seed=args.seed)
+    print(fw.describe())
+    fw_res = fw.run(num_walks=n_walks, spec=spec)
+    print(f"FlashWalker : {fw_res.summary()}")
+
+    gw = GraphWalker(graph, seed=args.seed)
+    print(gw.describe())
+    gw_res = gw.run(num_walks=n_walks, spec=spec)
+    print(f"GraphWalker : {gw_res.summary()}\n")
+
+    print(f"speedup               : {gw_res.elapsed / fw_res.elapsed:.2f}x")
+    print(
+        "flash read traffic    : "
+        f"FW {fmt_bytes(fw_res.flash_read_bytes)} vs "
+        f"GW {fmt_bytes(gw_res.disk_read_bytes)}"
+    )
+    print(
+        "achieved read BW      : "
+        f"FW {fmt_bandwidth(fw_res.flash_read_bandwidth)} vs "
+        f"GW {fmt_bandwidth(gw_res.disk_read_bandwidth)}"
+    )
+    print(f"FW walk-update rate   : {fw_res.hops_per_sec / 1e6:.1f}M hops/s")
+    print(f"GW time breakdown     : {gw_res.breakdown}")
+    print(f"simulated times       : FW {fmt_time(fw_res.elapsed)}, "
+          f"GW {fmt_time(gw_res.elapsed)}")
+
+
+if __name__ == "__main__":
+    main()

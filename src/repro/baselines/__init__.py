@@ -1,0 +1,6 @@
+"""Baseline systems: GraphWalker (ATC'20) and DrunkardMob (RecSys'13)."""
+
+from .drunkardmob import DrunkardMob
+from .graphwalker import GraphWalker, GraphWalkerResult
+
+__all__ = ["DrunkardMob", "GraphWalker", "GraphWalkerResult"]

@@ -1,0 +1,571 @@
+"""Configuration dataclasses mirroring the paper's Tables I-III.
+
+Three groups:
+
+* :class:`SSDConfig` / :class:`DRAMConfig` — Table I/III hardware
+  parameters of the simulated SSD and its on-board DRAM.
+* :class:`AcceleratorConfig` / :class:`AcceleratorLevels` — Table II
+  parameters of the chip-, channel- and board-level accelerators.
+* :class:`FlashWalkerConfig` — everything above plus the design
+  parameters from Section III (subgraph size, range size, Eq. 1's alpha /
+  beta, topN/M, optimization toggles) and the scaling knobs documented in
+  DESIGN.md Section 4.
+
+All capacities are bytes, all times seconds, all rates bytes/second.
+``validate()`` methods raise :class:`~repro.common.errors.ConfigError`
+on inconsistent values; ``derived`` helpers compute the aggregate
+bandwidth figures the paper quotes (Section II-C and Fig. 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import GB, GB_D, KB, MB, MB_D, MS, NS, US
+
+__all__ = [
+    "SSDConfig",
+    "DRAMConfig",
+    "AcceleratorConfig",
+    "AcceleratorLevels",
+    "GraphWalkerConfig",
+    "FlashWalkerConfig",
+    "PAPER_SCALE",
+]
+
+#: Uniform scale divisor between the paper's testbed and our laptop-scale
+#: runs (DESIGN.md Section 4): graph |V|/|E|, walk counts, DRAM capacity
+#: and GraphWalker block size all shrink by this factor; flash latencies,
+#: accelerator cycle times and buffer *slot counts* stay at paper values.
+PAPER_SCALE = 2048
+
+
+def _positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def _non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Table I / III: SSD
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SSDConfig:
+    """SSD architectural characteristics (paper Tables I and III)."""
+
+    channels: int = 32
+    chips_per_channel: int = 4
+    dies_per_chip: int = 2
+    planes_per_die: int = 4
+    blocks_per_plane: int = 2048
+    pages_per_block: int = 64
+    page_bytes: int = 4 * KB
+
+    #: ONFI 3.1 NV-DDR2, 8-bit bus at 333 MT/s => 333 decimal MB/s.
+    channel_bytes_per_sec: float = 333 * MB_D
+
+    read_latency: float = 35 * US
+    program_latency: float = 350 * US
+    erase_latency: float = 2 * MS
+
+    #: PCIe 3.0 x4: four lanes at 1 GB/s each.
+    pcie_lanes: int = 4
+    pcie_lane_bytes_per_sec: float = 1 * GB_D
+
+    #: How many plane operations a chip can service concurrently.  The
+    #: paper's quoted 55.8 GB/s aggregate read throughput corresponds to
+    #: 4 concurrent plane reads per chip (128 chips x 4 x 4 KB / 35 us).
+    max_concurrent_plane_ops_per_chip: int = 4
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def total_chips(self) -> int:
+        return self.channels * self.chips_per_channel
+
+    @property
+    def total_dies(self) -> int:
+        return self.total_chips * self.dies_per_chip
+
+    @property
+    def total_planes(self) -> int:
+        return self.total_dies * self.planes_per_die
+
+    @property
+    def planes_per_chip(self) -> int:
+        return self.dies_per_chip * self.planes_per_die
+
+    @property
+    def chip_capacity_bytes(self) -> int:
+        return (
+            self.planes_per_chip
+            * self.blocks_per_plane
+            * self.pages_per_block
+            * self.page_bytes
+        )
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.total_chips * self.chip_capacity_bytes
+
+    @property
+    def pcie_bytes_per_sec(self) -> float:
+        return self.pcie_lanes * self.pcie_lane_bytes_per_sec
+
+    @property
+    def aggregate_channel_bytes_per_sec(self) -> float:
+        """Max aggregated channel-bus bandwidth (paper: ~10.4 GB/s)."""
+        return self.channels * self.channel_bytes_per_sec
+
+    @property
+    def plane_read_bytes_per_sec(self) -> float:
+        """Sustained read rate of one plane (page / read latency)."""
+        return self.page_bytes / self.read_latency
+
+    @property
+    def aggregate_flash_read_bytes_per_sec(self) -> float:
+        """Max aggregated chip read throughput (paper: ~55.8 GB/s).
+
+        Limited by per-chip plane-op concurrency, not the raw plane count.
+        """
+        return (
+            self.total_chips
+            * self.max_concurrent_plane_ops_per_chip
+            * self.plane_read_bytes_per_sec
+        )
+
+    def validate(self) -> "SSDConfig":
+        for name in (
+            "channels",
+            "chips_per_channel",
+            "dies_per_chip",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_bytes",
+            "channel_bytes_per_sec",
+            "read_latency",
+            "program_latency",
+            "erase_latency",
+            "pcie_lanes",
+            "pcie_lane_bytes_per_sec",
+            "max_concurrent_plane_ops_per_chip",
+        ):
+            _positive(name, getattr(self, name))
+        if self.max_concurrent_plane_ops_per_chip > self.planes_per_chip:
+            raise ConfigError(
+                "max_concurrent_plane_ops_per_chip "
+                f"({self.max_concurrent_plane_ops_per_chip}) exceeds planes per "
+                f"chip ({self.planes_per_chip})"
+            )
+        return self
+
+
+@dataclass
+class DRAMConfig:
+    """On-board DRAM (paper Table III, right column).
+
+    We model DRAM as a shared bandwidth resource with a fixed access
+    latency rather than cycle-level DDR4 timing; the timing parameters
+    from the paper are kept to *derive* that bandwidth/latency so that
+    the config remains recognisably Table III.
+    """
+
+    capacity_bytes: int = 4 * GB
+    frequency_mhz: float = 1600.0
+    bus_width_bits: int = 64
+    burst_length: int = 8
+    tCL: int = 22
+    tRCD: int = 22
+    tRP: int = 22
+    tRAS: int = 52
+
+    @property
+    def peak_bytes_per_sec(self) -> float:
+        """Peak transfer rate: DDR moves data on both clock edges."""
+        return self.frequency_mhz * 1e6 * 2 * (self.bus_width_bits // 8)
+
+    @property
+    def access_latency(self) -> float:
+        """Closed-page random access latency (tRP + tRCD + tCL cycles)."""
+        cycle = 1.0 / (self.frequency_mhz * 1e6)
+        return (self.tRP + self.tRCD + self.tCL) * cycle
+
+    @property
+    def row_cycle_time(self) -> float:
+        """tRC = tRAS + tRP in seconds."""
+        cycle = 1.0 / (self.frequency_mhz * 1e6)
+        return (self.tRAS + self.tRP) * cycle
+
+    def validate(self) -> "DRAMConfig":
+        for name in (
+            "capacity_bytes",
+            "frequency_mhz",
+            "bus_width_bits",
+            "burst_length",
+            "tCL",
+            "tRCD",
+            "tRP",
+            "tRAS",
+        ):
+            _positive(name, getattr(self, name))
+        if self.bus_width_bits % 8:
+            raise ConfigError("bus_width_bits must be a multiple of 8")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Table II: accelerators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AcceleratorConfig:
+    """One accelerator level's parameters (one column of Table II)."""
+
+    name: str
+    frequency_mhz: float
+    n_updaters: int
+    updater_cycle: float
+    n_guiders: int
+    guider_cycle: float
+    subgraph_buffer_bytes: int
+    walk_queues_bytes: int
+    guide_buffer_bytes: int = 0
+    roving_buffer_bytes: int = 0
+    area_mm2: float = 0.0
+
+    #: "The walk updater performs 5 operations to process a walk if not
+    #: stalled" (Section IV-A) — cost of one unbiased hop in updater cycles.
+    updater_ops_per_hop: int = 5
+
+    def subgraph_slots(self, subgraph_bytes: int) -> int:
+        """How many subgraphs this level's buffer holds at once."""
+        _positive("subgraph_bytes", subgraph_bytes)
+        return max(1, self.subgraph_buffer_bytes // subgraph_bytes)
+
+    def walk_queue_capacity(self, walk_bytes: int) -> int:
+        """Total walks the walk queues hold across all entries."""
+        _positive("walk_bytes", walk_bytes)
+        return max(1, self.walk_queues_bytes // walk_bytes)
+
+    def hop_time(self) -> float:
+        """Wall time for one updater to advance a walk by one hop."""
+        return self.updater_ops_per_hop * self.updater_cycle
+
+    def validate(self) -> "AcceleratorConfig":
+        for name in (
+            "frequency_mhz",
+            "n_updaters",
+            "updater_cycle",
+            "n_guiders",
+            "guider_cycle",
+            "subgraph_buffer_bytes",
+            "walk_queues_bytes",
+            "updater_ops_per_hop",
+        ):
+            _positive(name, getattr(self, name))
+        for name in ("guide_buffer_bytes", "roving_buffer_bytes", "area_mm2"):
+            _non_negative(name, getattr(self, name))
+        return self
+
+
+def _chip_level() -> AcceleratorConfig:
+    return AcceleratorConfig(
+        name="chip",
+        frequency_mhz=500.0,
+        n_updaters=1,
+        updater_cycle=16 * NS,
+        n_guiders=1,
+        guider_cycle=16 * NS,
+        subgraph_buffer_bytes=1 * MB,
+        walk_queues_bytes=64 * KB,
+        guide_buffer_bytes=0,
+        roving_buffer_bytes=32 * KB,
+        area_mm2=1.30,
+    )
+
+
+def _channel_level() -> AcceleratorConfig:
+    return AcceleratorConfig(
+        name="channel",
+        frequency_mhz=500.0,
+        n_updaters=1,
+        updater_cycle=8 * NS,
+        n_guiders=4,
+        guider_cycle=8 * NS,
+        subgraph_buffer_bytes=2 * MB,
+        walk_queues_bytes=128 * KB,
+        guide_buffer_bytes=16 * KB,
+        roving_buffer_bytes=8 * KB,
+        area_mm2=1.84,
+    )
+
+
+def _board_level() -> AcceleratorConfig:
+    return AcceleratorConfig(
+        name="board",
+        frequency_mhz=1000.0,
+        n_updaters=4,
+        updater_cycle=4 * NS,
+        n_guiders=128,
+        guider_cycle=4 * NS,
+        subgraph_buffer_bytes=16 * MB,
+        walk_queues_bytes=1 * MB,
+        guide_buffer_bytes=128 * KB,
+        roving_buffer_bytes=0,
+        area_mm2=14.31,
+    )
+
+
+@dataclass
+class AcceleratorLevels:
+    """The three accelerator levels of Table II."""
+
+    chip: AcceleratorConfig = field(default_factory=_chip_level)
+    channel: AcceleratorConfig = field(default_factory=_channel_level)
+    board: AcceleratorConfig = field(default_factory=_board_level)
+
+    def validate(self) -> "AcceleratorLevels":
+        self.chip.validate()
+        self.channel.validate()
+        self.board.validate()
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Baseline: GraphWalker
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GraphWalkerConfig:
+    """Behavioral model of GraphWalker (ATC'20) on the paper's testbed.
+
+    The paper runs GraphWalker on a Ryzen 7 3700X with a 970 EVO Plus
+    (PCIe 3.0 x4) and artificially caps its memory at 8 GB by default
+    (Section IV-A); Fig. 7 sweeps 4/8/16 GB.  Capacities here are the
+    *scaled* defaults (paper value / PAPER_SCALE).
+    """
+
+    #: Memory available for caching graph blocks (scaled: 8 GB / 2048).
+    memory_bytes: int = 8 * GB // PAPER_SCALE
+    #: GraphWalker's coarse block size (paper quotes 1 GB blocks on CW).
+    block_bytes: int = 1 * GB // PAPER_SCALE
+    #: Sustained host-visible read bandwidth of the 970 EVO Plus.
+    disk_read_bytes_per_sec: float = 3.0 * GB_D
+    #: Fixed per-I/O software+device overhead (syscall, NVMe round trip).
+    io_request_overhead: float = 80 * US
+    #: Aggregate CPU walk-update rate: 8 cores doing random-access
+    #: neighbor sampling (~12 M hops/s/core, typical of GraphWalker-class engines).
+    cpu_hops_per_sec: float = 100e6
+    #: Walks flushed to disk when a block's in-memory walk pool exceeds
+    #: this many walks (GraphWalker's walk pool spill; scaled).
+    walk_pool_spill: int = (1 << 20) // PAPER_SCALE * 8
+
+    def validate(self) -> "GraphWalkerConfig":
+        for name in (
+            "memory_bytes",
+            "block_bytes",
+            "disk_read_bytes_per_sec",
+            "cpu_hops_per_sec",
+            "walk_pool_spill",
+        ):
+            _positive(name, getattr(self, name))
+        _non_negative("io_request_overhead", self.io_request_overhead)
+        if self.block_bytes > self.memory_bytes:
+            raise ConfigError(
+                f"block_bytes ({self.block_bytes}) exceeds memory_bytes "
+                f"({self.memory_bytes}); GraphWalker must hold >= 1 block"
+            )
+        return self
+
+
+# ---------------------------------------------------------------------------
+# FlashWalker top-level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlashWalkerConfig:
+    """Everything needed to instantiate a FlashWalker system.
+
+    Design parameters are from Section III/IV of the paper; see DESIGN.md
+    Section 4 for which values are scaled and why.
+    """
+
+    ssd: SSDConfig = field(default_factory=SSDConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    levels: AcceleratorLevels = field(default_factory=AcceleratorLevels)
+
+    #: Graph-block (= subgraph) size.  Paper: 256 KB (512 KB for ClueWeb);
+    #: scaled to one flash page so scaled graphs still span thousands of
+    #: subgraphs (DESIGN.md Section 4).
+    subgraph_bytes: int = 4 * KB
+
+    #: Bytes per vertex ID (4; the paper uses 8 for ClueWeb).
+    vid_bytes: int = 4
+
+    #: Bytes of one walk record (src + cur + hop, padded).
+    walk_bytes: int = 12
+
+    #: Subgraphs per subgraph *range* for the approximate walk search
+    #: (Section III-C: "If a subgraph range has 256 subgraphs, the table
+    #: can be reduced by 256x").
+    range_subgraphs: int = 256
+
+    #: Subgraphs per graph partition (Section III-D, partition walk buffer).
+    partition_subgraphs: int = 2048
+
+    #: Hot subgraphs kept resident: top-K by in-degree per channel-level
+    #: accelerator and in the board-level accelerator (Section III-C/D).
+    #: Scaled so hot blocks stay a small fraction of the scaled block
+    #: counts, as in the paper (DESIGN.md Section 4).
+    channel_hot_subgraphs: int = 2
+    board_hot_subgraphs: int = 16
+    #: Hot *dense vertices* whose full block list stays resident in the
+    #: board subgraph buffer, so their pre-walked hops resolve at the
+    #: board instead of round-tripping to a chip (hub vertices are the
+    #: most "popular subgraphs" of Section III-C on skewed graphs).
+    board_hot_dense_vertices: int = 2
+
+    #: Partition-walk-buffer entry capacity in walks; 0 = auto-size from
+    #: the workload (a few times the mean walks per subgraph), which
+    #: preserves the paper's regime where only hot entries overflow.
+    pwb_entry_walks: int = 0
+
+    #: Eq. 1 parameters (Section III-D / IV-E).
+    alpha: float = 1.2
+    beta: float = 1.5
+
+    #: topN list length per chip and access period M (Section III-D).
+    top_n: int = 8
+    score_update_period_m: int = 16
+
+    #: Walk query caches: 32 total, shared 1-per-4 board guiders (Section
+    #: IV-A).  The paper uses 4 KB caches against a 2 MB table; the byte
+    #: size here is scaled to keep the cache:table entry ratio (~6%)
+    #: against the scaled block counts.
+    n_query_caches: int = 32
+    query_cache_bytes: int = 128
+    #: Bytes of one subgraph-mapping entry (2 end vIDs + flash addr + sum
+    #: out-degree).
+    mapping_entry_bytes: int = 16
+
+    #: Concurrent binary searches the subgraph mapping table sustains
+    #: (SRAM ports).  Contention among guiders on this table is what the
+    #: walk query cache relieves (Section III-D).
+    table_ports: int = 8
+
+    #: Mapping-table capacities (Section IV-A).
+    subgraph_table_bytes: int = 2 * MB
+    walk_blocks_table_bytes: int = 128 * KB
+    dense_table_bytes: int = 128 * KB
+
+    #: Completed-walk and foreigner buffer capacities (board level).
+    completed_buffer_bytes: int = 64 * KB
+    foreigner_buffer_bytes: int = 64 * KB
+
+    #: Interval at which channel-level accelerators collect roving walks
+    #: from their chips ("in a fixed time interval", Section III-B).
+    roving_collect_interval: float = 20 * US
+
+    #: Optimization toggles (Fig. 9): approximate walk search + query
+    #: cache (WQ), hot subgraphs (HS), subgraph scheduling by Eq. 1 (SS).
+    opt_walk_query: bool = True
+    opt_hot_subgraphs: bool = True
+    opt_subgraph_scheduling: bool = True
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def edges_per_subgraph(self) -> int:
+        """Upper bound on edges a graph block holds (rest is offsets)."""
+        # Half the block budget is reserved for the offsets array in the
+        # worst (degree-1) case; typical blocks store far more edges.
+        return max(1, self.subgraph_bytes // (2 * self.vid_bytes))
+
+    @property
+    def query_cache_entries(self) -> int:
+        return max(1, self.query_cache_bytes // self.mapping_entry_bytes)
+
+    @property
+    def subgraph_table_entries(self) -> int:
+        return max(1, self.subgraph_table_bytes // self.mapping_entry_bytes)
+
+    def chip_subgraph_slots(self) -> int:
+        """Subgraph slots per chip accelerator.
+
+        The paper's ratio is 1 MB buffer / 256 KB subgraphs = 4 slots; we
+        preserve the *slot count* under scaling by deriving it from the
+        paper byte values, not the scaled subgraph size.
+        """
+        return max(1, self.levels.chip.subgraph_buffer_bytes // (256 * KB))
+
+    def channel_subgraph_slots(self) -> int:
+        return max(1, self.levels.channel.subgraph_buffer_bytes // (256 * KB))
+
+    def board_subgraph_slots(self) -> int:
+        return max(1, self.levels.board.subgraph_buffer_bytes // (256 * KB))
+
+    def subgraph_pages(self) -> int:
+        """Flash pages occupied by one subgraph."""
+        pages = -(-self.subgraph_bytes // self.ssd.page_bytes)
+        return max(1, pages)
+
+    def validate(self) -> "FlashWalkerConfig":
+        self.ssd.validate()
+        self.dram.validate()
+        self.levels.validate()
+        for name in (
+            "subgraph_bytes",
+            "vid_bytes",
+            "walk_bytes",
+            "range_subgraphs",
+            "partition_subgraphs",
+            "alpha",
+            "beta",
+            "top_n",
+            "score_update_period_m",
+            "table_ports",
+            "n_query_caches",
+            "query_cache_bytes",
+            "mapping_entry_bytes",
+            "subgraph_table_bytes",
+            "walk_blocks_table_bytes",
+            "dense_table_bytes",
+            "completed_buffer_bytes",
+            "foreigner_buffer_bytes",
+            "roving_collect_interval",
+        ):
+            _positive(name, getattr(self, name))
+        _non_negative("channel_hot_subgraphs", self.channel_hot_subgraphs)
+        _non_negative("board_hot_subgraphs", self.board_hot_subgraphs)
+        _non_negative("board_hot_dense_vertices", self.board_hot_dense_vertices)
+        _non_negative("pwb_entry_walks", self.pwb_entry_walks)
+        if self.walk_bytes < 2 * self.vid_bytes + 1:
+            raise ConfigError(
+                f"walk_bytes ({self.walk_bytes}) cannot hold src+cur+hop with "
+                f"vid_bytes={self.vid_bytes}"
+            )
+        return self
+
+    def replace(self, **kwargs) -> "FlashWalkerConfig":
+        """Return a copy with some top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_optimizations(
+        self, wq: bool, hs: bool, ss: bool
+    ) -> "FlashWalkerConfig":
+        """Copy with the Fig. 9 optimization toggles set."""
+        return self.replace(
+            opt_walk_query=wq, opt_hot_subgraphs=hs, opt_subgraph_scheduling=ss
+        )

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the FlashWalker reproduction.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so applications can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation on it is invalid."""
+
+
+class PartitionError(GraphError):
+    """Graph partitioning failed or produced inconsistent blocks."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class FlashError(ReproError):
+    """An SSD-model operation was invalid (bad address, bad state...)."""
+
+
+class FlashAddressError(FlashError):
+    """A physical or logical flash address is out of range."""
+
+
+class BufferOverflowError(ReproError):
+    """A hardware buffer exceeded capacity where overflow is not allowed.
+
+    Note most FlashWalker buffers handle overflow by *flushing to flash*
+    (modeled explicitly); this error only fires when a model invariant is
+    violated, i.e. a bug, not a workload condition.
+    """
+
+
+class WalkError(ReproError):
+    """A walk record or walk specification is invalid."""
+
+
+class SchedulingError(ReproError):
+    """The subgraph scheduler reached an inconsistent state."""

@@ -1,0 +1,177 @@
+"""Vectorized walk advancement within a set of loaded subgraphs.
+
+The inner loop of every accelerator level (Section III-B steps 2-7):
+fetch a walk, sample its next stop, decrement hops, then guide it — into
+another loaded subgraph's queue (keep advancing), the completed buffer,
+or the roving buffer.  We advance the *whole batch* per iteration with
+NumPy and count hops / guide operations / ITS search steps so the caller
+can charge accurate updater and guider time (DESIGN.md Section 4:
+behaviorally exact trajectories, request-accurate timing).
+
+Dense-vertex rules (Section III-D): a walk *landing on* a dense vertex
+always exits as roving — it needs board-level pre-walking.  A walk
+*arriving with* a pre-walked edge index resolves that edge directly when
+its dense block is loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..graph.csr import CSRGraph
+from ..graph.partition import GraphPartitioning
+from ..walks.sampling import its_search_steps
+from ..walks.spec import WalkSpec
+from ..walks.state import WalkSet
+from .buffers import WalkBatch
+
+__all__ = ["AdvanceContext", "AdvanceResult", "advance_batch"]
+
+
+@dataclass
+class AdvanceContext:
+    """Static inputs of the advancement kernel, shared by all levels."""
+
+    graph: CSRGraph
+    partitioning: GraphPartitioning
+    spec: WalkSpec
+    sampler: object  # (cur, rng) -> next vertices, -1 at dead ends
+    is_dense_vertex: np.ndarray  # bool per vertex
+
+    @classmethod
+    def build(cls, graph, partitioning, spec, sampler) -> "AdvanceContext":
+        dense = np.zeros(graph.num_vertices, dtype=bool)
+        if partitioning.dense_meta:
+            dense[np.fromiter(partitioning.dense_meta, dtype=np.int64)] = True
+        return cls(graph, partitioning, spec, sampler, dense)
+
+
+@dataclass
+class AdvanceResult:
+    """Outcome of draining one batch against a loaded subgraph set."""
+
+    completed: WalkSet
+    roving: WalkSet
+    hops: int
+    guide_ops: int
+    bias_steps: int
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed)
+
+
+def advance_batch(
+    ctx: AdvanceContext,
+    batch: WalkBatch,
+    loaded_blocks: list[int] | np.ndarray,
+    rng: np.random.Generator,
+) -> AdvanceResult:
+    """Advance walks until each terminates or leaves ``loaded_blocks``.
+
+    ``batch.pre_edge`` entries >= 0 are resolved on the first iteration
+    (their dense block must be in ``loaded_blocks``).  Returns completed
+    and roving walk sets plus the operation counts for timing.
+    """
+    loaded = np.asarray(sorted(set(int(b) for b in loaded_blocks)), dtype=np.int64)
+    walks = batch.walks
+    n = len(walks)
+    if n == 0:
+        return AdvanceResult(WalkSet.empty(), WalkSet.empty(), 0, 0, 0)
+
+    graph = ctx.graph
+    part = ctx.partitioning
+    offsets = graph.offsets
+    edges = graph.edges
+
+    src = walks.src.copy()
+    cur = walks.cur.copy()
+    hop = walks.hop.copy()
+    pre = (
+        batch.pre_edge.copy()
+        if batch.pre_edge is not None
+        else np.full(n, -1, dtype=np.int64)
+    )
+
+    completed_parts: list[WalkSet] = []
+    roving_parts: list[WalkSet] = []
+    hops = 0
+    guide_ops = 0
+    bias_steps = 0
+    n_cmp = max(1, loaded.size)  # guider compares against each loaded range
+
+    active = np.arange(n, dtype=np.int64)
+    first_iteration = True
+    while active.size:
+        acur = cur[active]
+        if first_iteration:
+            # Resolve pre-walked dense hops; sample the rest normally.
+            has_pre = pre[active] >= 0
+        else:
+            has_pre = np.zeros(active.size, dtype=bool)
+        nxt = np.empty(active.size, dtype=np.int64)
+        if has_pre.any():
+            pa = active[has_pre]
+            eidx = offsets[cur[pa]] + pre[pa]
+            if (pre[pa] >= (offsets[cur[pa] + 1] - offsets[cur[pa]])).any():
+                raise ReproError("pre-walked edge index beyond vertex degree")
+            nxt[has_pre] = edges[eidx]
+        plain = ~has_pre
+        if plain.any():
+            pcur = acur[plain]
+            nxt[plain] = ctx.sampler(pcur, rng)
+            if ctx.spec.biased:
+                degs = offsets[pcur + 1] - offsets[pcur]
+                bias_steps += int(np.sum(its_search_steps(np.maximum(degs, 1))))
+        first_iteration = False
+
+        dead = nxt < 0
+        moved = ~dead
+        hops += int(moved.sum())
+        guide_ops += active.size * n_cmp
+
+        # Apply the move.
+        midx = active[moved]
+        cur[midx] = nxt[moved]
+        hop[midx] -= 1
+        pre[midx] = -1
+
+        done = dead.copy()
+        done[moved] = hop[midx] == 0
+        if ctx.spec.stop_probability > 0:
+            still = moved & ~done
+            if still.any():
+                stop = ctx.spec.apply_stop_probability(
+                    hop[active[still]], rng
+                )
+                tmp = np.zeros(active.size, dtype=bool)
+                tmp[np.flatnonzero(still)[stop]] = True
+                done |= tmp
+        done_idx = active[done]
+        if done_idx.size:
+            completed_parts.append(
+                WalkSet(src[done_idx], cur[done_idx], hop[done_idx])
+            )
+        cont = active[~done]
+        if cont.size == 0:
+            break
+        # Guiding: stay if the new vertex's block is loaded here and the
+        # vertex is not dense (dense landings need board pre-walking).
+        v = cur[cont]
+        blocks = part.block_of_vertex(v)
+        stays = np.isin(blocks, loaded) & ~ctx.is_dense_vertex[v]
+        rove_idx = cont[~stays]
+        if rove_idx.size:
+            roving_parts.append(WalkSet(src[rove_idx], cur[rove_idx], hop[rove_idx]))
+        active = cont[stays]
+
+    return AdvanceResult(
+        completed=WalkSet.concat(completed_parts),
+        roving=WalkSet.concat(roving_parts),
+        hops=hops,
+        guide_ops=guide_ops,
+        bias_steps=bias_steps,
+    )

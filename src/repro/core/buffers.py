@@ -1,0 +1,225 @@
+"""Walk buffering: partition walk buffer, spill pools, sinks.
+
+The board-level accelerator organizes waiting walks by destination
+subgraph: one *partition walk buffer* entry per subgraph of the current
+partition, in on-board DRAM (Section III-D).  An entry that fills up is
+moved to the chip's walk-overflow buffer and flushed to flash; those
+walks come back from flash when the subgraph is scheduled.  Dense-walk
+entries pack more walks per byte because ``cur`` is implicit in the
+block (the beta asymmetry of Eq. 1).
+
+Semantically, walks are never lost: this module tracks exactly which
+walks wait where (DRAM vs flash) per block, while the engine charges the
+corresponding traffic and latencies.  Pre-walked dense walks carry their
+chosen edge index (``pre_edge``), resolved when the block loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import BufferOverflowError, ReproError
+from ..walks.state import WalkSet
+
+__all__ = ["WalkBatch", "BlockEntry", "PartitionWalkBuffer", "ForeignerStore"]
+
+
+class WalkBatch:
+    """A WalkSet plus optional parallel pre-walked edge indices."""
+
+    __slots__ = ("walks", "pre_edge")
+
+    def __init__(self, walks: WalkSet, pre_edge: np.ndarray | None = None):
+        if pre_edge is not None:
+            pre_edge = np.asarray(pre_edge, dtype=np.int64)
+            if pre_edge.shape != walks.src.shape:
+                raise ReproError("pre_edge must align with the walk set")
+        self.walks = walks
+        self.pre_edge = pre_edge
+
+    def __len__(self) -> int:
+        return len(self.walks)
+
+    @staticmethod
+    def merge(batches: list["WalkBatch"]) -> "WalkBatch":
+        """Concatenate; pre_edge becomes -1 where a batch had none."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return WalkBatch(WalkSet.empty(), np.zeros(0, dtype=np.int64))
+        walks = WalkSet.concat([b.walks for b in batches])
+        if all(b.pre_edge is None for b in batches):
+            return WalkBatch(walks, None)
+        parts = [
+            b.pre_edge
+            if b.pre_edge is not None
+            else np.full(len(b), -1, dtype=np.int64)
+            for b in batches
+        ]
+        return WalkBatch(walks, np.concatenate(parts))
+
+
+class BlockEntry:
+    """One partition-walk-buffer entry: buffered (DRAM) + spilled (flash)."""
+
+    __slots__ = ("buffered", "spilled", "buffered_count", "spilled_count")
+
+    def __init__(self):
+        self.buffered: list[WalkBatch] = []
+        self.spilled: list[WalkBatch] = []
+        self.buffered_count = 0
+        self.spilled_count = 0
+
+    @property
+    def total(self) -> int:
+        return self.buffered_count + self.spilled_count
+
+    def push(self, batch: WalkBatch) -> None:
+        self.buffered.append(batch)
+        self.buffered_count += len(batch)
+
+    def spill_overflow(self, capacity: int) -> int:
+        """Move buffered walks beyond ``capacity`` to the spilled side.
+
+        Returns the number of walks spilled.  Spills whole batches from
+        the oldest end (FIFO), matching "this entry is moved to the
+        walk-overflow buffer ... then flushed to the flash memory".
+        """
+        if capacity < 0:
+            raise BufferOverflowError(f"negative entry capacity {capacity}")
+        spilled = 0
+        while self.buffered_count > capacity and self.buffered:
+            batch = self.buffered.pop(0)
+            self.buffered_count -= len(batch)
+            self.spilled.append(batch)
+            self.spilled_count += len(batch)
+            spilled += len(batch)
+        return spilled
+
+    def drain(self) -> tuple[WalkBatch, int, int]:
+        """Take everything; returns (merged batch, n_buffered, n_spilled)."""
+        nb, ns = self.buffered_count, self.spilled_count
+        merged = WalkBatch.merge(self.buffered + self.spilled)
+        self.buffered = []
+        self.spilled = []
+        self.buffered_count = 0
+        self.spilled_count = 0
+        return merged, nb, ns
+
+
+class PartitionWalkBuffer:
+    """All walk-buffer entries of the current partition."""
+
+    def __init__(self, first_block: int, last_block: int, entry_capacity: int,
+                 dense_entry_capacity: int, is_dense_block: np.ndarray):
+        if not 0 <= first_block <= last_block:
+            raise ReproError(f"bad block range [{first_block}, {last_block}]")
+        if entry_capacity < 1 or dense_entry_capacity < 1:
+            raise ReproError("entry capacities must be >= 1")
+        self.first_block = first_block
+        self.last_block = last_block
+        self.entry_capacity = entry_capacity
+        self.dense_entry_capacity = dense_entry_capacity
+        self._is_dense = is_dense_block
+        self._entries: dict[int, BlockEntry] = {}
+        self.spill_events = 0
+        self.walks_spilled = 0
+
+    def _entry(self, block_id: int) -> BlockEntry:
+        if not self.first_block <= block_id <= self.last_block:
+            raise ReproError(
+                f"block {block_id} outside partition "
+                f"[{self.first_block}, {self.last_block}]"
+            )
+        e = self._entries.get(block_id)
+        if e is None:
+            e = BlockEntry()
+            self._entries[block_id] = e
+        return e
+
+    def capacity_of(self, block_id: int) -> int:
+        return (
+            self.dense_entry_capacity
+            if self._is_dense[block_id]
+            else self.entry_capacity
+        )
+
+    def push(self, block_id: int, batch: WalkBatch) -> int:
+        """Insert walks; returns how many spilled due to entry overflow."""
+        e = self._entry(block_id)
+        e.push(batch)
+        spilled = e.spill_overflow(self.capacity_of(block_id))
+        if spilled:
+            self.spill_events += 1
+            self.walks_spilled += spilled
+        return spilled
+
+    def drain(self, block_id: int) -> tuple[WalkBatch, int, int]:
+        """Take all walks waiting for ``block_id``."""
+        e = self._entries.pop(block_id, None)
+        if e is None:
+            return WalkBatch(WalkSet.empty()), 0, 0
+        return e.drain()
+
+    def counts(self, block_id: int) -> tuple[int, int]:
+        e = self._entries.get(block_id)
+        if e is None:
+            return 0, 0
+        return e.buffered_count, e.spilled_count
+
+    @property
+    def total_walks(self) -> int:
+        return sum(e.total for e in self._entries.values())
+
+    def blocks_with_walks(self) -> list[int]:
+        return [b for b, e in self._entries.items() if e.total > 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionWalkBuffer([{self.first_block},{self.last_block}], "
+            f"walks={self.total_walks}, spills={self.spill_events})"
+        )
+
+
+class ForeignerStore:
+    """Per-partition pools of foreigner walks flushed to flash.
+
+    Walks whose destination lies beyond the current partition cannot be
+    resolved by the resident mapping table; they are buffered and
+    flushed, then re-read when their partition becomes current.
+    """
+
+    def __init__(self, n_partitions: int):
+        if n_partitions < 1:
+            raise ReproError(f"need >= 1 partition, got {n_partitions}")
+        self.n_partitions = n_partitions
+        self._pools: list[list[WalkSet]] = [[] for _ in range(n_partitions)]
+        self._counts = np.zeros(n_partitions, dtype=np.int64)
+
+    def push(self, partition_id: int, walks: WalkSet) -> None:
+        if not 0 <= partition_id < self.n_partitions:
+            raise ReproError(
+                f"partition {partition_id} out of range [0, {self.n_partitions})"
+            )
+        if len(walks):
+            self._pools[partition_id].append(walks)
+            self._counts[partition_id] += len(walks)
+
+    def drain(self, partition_id: int) -> WalkSet:
+        if not 0 <= partition_id < self.n_partitions:
+            raise ReproError(
+                f"partition {partition_id} out of range [0, {self.n_partitions})"
+            )
+        walks = WalkSet.concat(self._pools[partition_id])
+        self._pools[partition_id] = []
+        self._counts[partition_id] = 0
+        return walks
+
+    def count(self, partition_id: int) -> int:
+        return int(self._counts[partition_id])
+
+    @property
+    def total(self) -> int:
+        return int(self._counts.sum())
+
+    def partitions_with_walks(self) -> np.ndarray:
+        return np.flatnonzero(self._counts > 0)

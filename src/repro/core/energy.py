@@ -1,0 +1,175 @@
+"""Energy model for FlashWalker runs.
+
+The paper reports circuit area (Table II) and argues the accelerator's
+"low area/power overhead" (Section III-A); it does not publish an energy
+evaluation.  This module provides the natural extension: an activity-
+based energy estimate from the operation counts a run already collects,
+using standard per-operation energy figures for NAND flash, ONFI I/O,
+DDR4, and synthesized logic at 45 nm.
+
+All constants are per-operation or per-byte energies (Joules); they can
+be overridden to study different technology points.  The estimate is a
+first-order activity model — leakage/idle power is charged for the run
+duration against the synthesized area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ReproError
+from .metrics import RunResult
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass
+class EnergyModel:
+    """Per-operation energy constants (defaults: typical 45 nm-era parts).
+
+    Sources of magnitude: NAND page read ~50 uJ / program ~200 uJ per
+    16 KB page class scaled to 4 KB; ONFI/DDR I/O ~10 pJ/bit; DDR4
+    ~20 pJ/bit access energy; simple RISC-ish datapath op ~10 pJ at
+    45 nm; SRAM access ~1 pJ/byte.  The *relative* composition is what
+    the model is for.
+    """
+
+    flash_read_per_page: float = 15e-6
+    flash_program_per_page: float = 60e-6
+    channel_per_byte: float = 10e-12 * 8
+    dram_per_byte: float = 20e-12 * 8
+    pcie_per_byte: float = 15e-12 * 8
+    accel_op: float = 10e-12
+    table_search_step: float = 2e-12
+    #: Static (leakage) power per mm^2 of synthesized logic at 45 nm.
+    leakage_per_mm2_watt: float = 0.02
+    page_bytes: int = 4096
+
+    def validate(self) -> "EnergyModel":
+        for name in (
+            "flash_read_per_page",
+            "flash_program_per_page",
+            "channel_per_byte",
+            "dram_per_byte",
+            "pcie_per_byte",
+            "accel_op",
+            "table_search_step",
+            "leakage_per_mm2_watt",
+            "page_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ReproError(f"energy constant {name} must be positive")
+        return self
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate(
+        self, result: RunResult, accel_area_mm2: float = 0.0
+    ) -> "EnergyBreakdown":
+        """Activity-based energy estimate for one FlashWalker run."""
+        self.validate()
+        if accel_area_mm2 < 0:
+            raise ReproError("negative accelerator area")
+        c = result.counters
+        read_pages = result.flash_read_bytes / self.page_bytes
+        prog_pages = result.flash_write_bytes / self.page_bytes
+        flash = (
+            read_pages * self.flash_read_per_page
+            + prog_pages * self.flash_program_per_page
+        )
+        channel = result.channel_bytes * self.channel_per_byte
+        dram = result.dram_bytes * self.dram_per_byte
+        # Accelerator dynamic energy: 5 updater ops per hop + guider and
+        # table-search activity.
+        hops = c.get("hops", result.hops)
+        queries = c.get("walk_queries", 0.0)
+        steps = c.get("query_search_steps", 0.0)
+        accel = (
+            hops * 5 * self.accel_op
+            + queries * self.accel_op
+            + steps * self.table_search_step
+        )
+        leakage = accel_area_mm2 * self.leakage_per_mm2_watt * result.elapsed
+        return EnergyBreakdown(
+            flash=flash,
+            channel=channel,
+            dram=dram,
+            accelerator=accel,
+            leakage=leakage,
+            elapsed=result.elapsed,
+            hops=int(hops),
+        )
+
+    def estimate_graphwalker(self, result) -> "EnergyBreakdown":
+        """Host-side energy for a GraphWalker run (disk I/O + CPU).
+
+        CPU energy uses a ~0.5 nJ/hop figure (a few hundred instructions
+        per hop on a desktop core); disk I/O pays flash reads plus PCIe.
+        """
+        read_pages = result.disk_read_bytes / self.page_bytes
+        prog_pages = result.disk_write_bytes / self.page_bytes
+        flash = (
+            read_pages * self.flash_read_per_page
+            + prog_pages * self.flash_program_per_page
+        )
+        pcie = (
+            (result.disk_read_bytes + result.disk_write_bytes)
+            * self.pcie_per_byte
+        )
+        cpu = result.hops * 0.5e-9
+        return EnergyBreakdown(
+            flash=flash,
+            channel=pcie,
+            dram=0.0,
+            accelerator=cpu,
+            leakage=0.0,
+            elapsed=result.elapsed,
+            hops=result.hops,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (Joules) by component, plus per-walk-step figures."""
+
+    flash: float
+    channel: float
+    dram: float
+    accelerator: float
+    leakage: float
+    elapsed: float
+    hops: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.flash + self.channel + self.dram + self.accelerator + self.leakage
+
+    @property
+    def mean_power_watt(self) -> float:
+        return self.total / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def energy_per_hop(self) -> float:
+        return self.total / self.hops if self.hops > 0 else 0.0
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of total energy per component."""
+        t = max(self.total, 1e-30)
+        return {
+            "flash": self.flash / t,
+            "channel": self.channel / t,
+            "dram": self.dram / t,
+            "accelerator": self.accelerator / t,
+            "leakage": self.leakage / t,
+        }
+
+    def summary(self) -> str:
+        s = self.shares()
+        return (
+            f"E={self.total * 1e3:.3f}mJ P={self.mean_power_watt:.2f}W "
+            f"({self.energy_per_hop * 1e9:.1f}nJ/hop) "
+            f"[flash {s['flash']:.0%}, bus {s['channel']:.0%}, "
+            f"dram {s['dram']:.0%}, accel {s['accelerator']:.0%}, "
+            f"leak {s['leakage']:.0%}]"
+        )

@@ -1,0 +1,845 @@
+"""FlashWalker: the in-storage random-walk accelerator (Sections III-IV).
+
+Orchestrates the three accelerator levels over the SSD substrate with a
+discrete-event simulation:
+
+* **Chip level** — loads subgraphs from its own planes (no channel bus),
+  drains their walk queues in vectorized batches, stages roving walks.
+* **Channel level** — collects roving walks every
+  ``roving_collect_interval``, updates walks landing in its hot
+  subgraphs, runs the approximate range query, forwards to the board.
+* **Board level** — updates walks in board-hot subgraphs, pre-walks
+  dense walks, resolves destination subgraphs via the mapping table +
+  query caches, maintains the partition walk buffer and foreigner /
+  completed sinks, and schedules subgraphs to chips by Eq. 1.
+
+Walk trajectories are simulated exactly; timing is request-accurate
+(page reads, bus transfers, accelerator cycle budgets).  See DESIGN.md
+Section 4 for the hybrid event/batch model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.config import FlashWalkerConfig
+from ..common.errors import SimulationError
+from ..common.rng import RngRegistry
+from ..flash.channel import ONFI_COMMAND_BYTES
+from ..flash.ssd import SSD
+from ..graph.csr import CSRGraph
+from ..graph.partition import GraphPartitioning, partition_graph
+from ..sim.engine import Simulator
+from ..sim.resources import FcfsResource
+from ..walks.sampling import make_sampler
+from ..walks.spec import WalkSpec, start_vertices
+from ..walks.state import WalkSet
+from .advance import AdvanceContext, advance_batch
+from .board_accel import BoardAccelerator
+from .buffers import ForeignerStore, PartitionWalkBuffer, WalkBatch
+from .channel_accel import ChannelAccelerator
+from .chip_accel import ChipAccelerator
+from .dense import DenseVertexTable
+from .mapping import RangeTable, SubgraphMappingTable, binary_search_steps
+from .metrics import RunMetrics, RunResult
+from .scheduler import SubgraphScheduler
+
+__all__ = ["FlashWalker"]
+
+
+class FlashWalker:
+    """One FlashWalker system bound to a graph.
+
+    Parameters
+    ----------
+    graph:
+        the input graph (weighted iff biased walks are wanted).
+    config:
+        hardware + design parameters; defaults are the paper's.
+    seed:
+        root seed for all stochastic components.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: FlashWalkerConfig | None = None,
+        seed: int = 0,
+    ):
+        self.cfg = (config or FlashWalkerConfig()).validate()
+        self.graph = graph
+        self.rngs = RngRegistry(seed)
+        self.part: GraphPartitioning = partition_graph(
+            graph, self.cfg.subgraph_bytes, self.cfg.vid_bytes
+        )
+        self.ssd = SSD(self.cfg.ssd, self.cfg.dram)
+        # Place every graph block wholly inside one chip, striped.
+        placement = self.ssd.ftl.place_striped(
+            self.part.num_blocks, self.cfg.subgraph_pages()
+        )
+        cpc = self.cfg.ssd.chips_per_channel
+        self.block_chip = placement[:, 0] * cpc + placement[:, 1]  # flat chip id
+        # Accelerators.
+        slots = self.cfg.chip_subgraph_slots()
+        self.chips = [
+            ChipAccelerator(
+                i, i // cpc, i % cpc, self.cfg.levels.chip, slots, self.cfg.walk_bytes
+            )
+            for i in range(self.cfg.ssd.total_chips)
+        ]
+        self.channels = [
+            ChannelAccelerator(c, self.cfg.levels.channel, self.cfg.walk_bytes)
+            for c in range(self.cfg.ssd.channels)
+        ]
+        self.dense_table = DenseVertexTable(self.part)
+        self.board = BoardAccelerator(self.cfg, self.dense_table)
+        self._assign_hot_blocks()
+        self.n_partitions = self.part.num_partitions(self.cfg.partition_subgraphs)
+        # Partition-walk-buffer entry capacities are sized per run (they
+        # depend on the walk count); see run().
+        self.entry_capacity = 0
+        self.dense_entry_capacity = 0
+        # Run state (reset per run()).
+        self.sim: Simulator | None = None
+        self.metrics: RunMetrics | None = None
+        self._reset_run_state()
+
+    # ------------------------------------------------------------------ setup
+
+    def _assign_hot_blocks(self) -> None:
+        """Pick top in-degree blocks for board/channel residency."""
+        in_deg = self.graph.in_degrees()
+        cs = np.concatenate([[0], np.cumsum(in_deg)])
+        blk_indeg = cs[self.part.block_hi + 1] - cs[self.part.block_lo]
+        blk_indeg = blk_indeg.astype(np.float64)
+        # Dense-vertex slices are handled via hot dense vertices instead.
+        blk_indeg[self.part.is_dense_block] = -1.0
+        # Top dense vertices by in-degree get their whole block list
+        # resident at the board; their pre-walked hops resolve there.
+        # This is part of the *pre-walking* machinery (the board owns the
+        # dense-vertices table regardless), so it is independent of the
+        # Fig. 9 hot-subgraph toggle.
+        dense_vs = np.fromiter(
+            self.part.dense_meta, dtype=np.int64, count=len(self.part.dense_meta)
+        )
+        if dense_vs.size and self.cfg.board_hot_dense_vertices > 0:
+            order_d = np.argsort(in_deg[dense_vs], kind="stable")[::-1]
+            self._hot_dense_verts = np.sort(
+                dense_vs[order_d[: self.cfg.board_hot_dense_vertices]]
+            )
+        else:
+            self._hot_dense_verts = np.zeros(0, dtype=np.int64)
+        if not self.cfg.opt_hot_subgraphs:
+            self.board.set_hot_blocks([])
+            for ch in self.channels:
+                ch.set_hot_blocks([])
+            self._board_hot = np.zeros(0, dtype=np.int64)
+            return
+        k_board = min(self.cfg.board_hot_subgraphs, self.part.num_blocks)
+        order = np.argsort(blk_indeg, kind="stable")[::-1]
+        board_hot = [int(b) for b in order[:k_board] if blk_indeg[b] > 0]
+        self.board.set_hot_blocks(board_hot)
+        self._board_hot = np.asarray(board_hot, dtype=np.int64)
+        cpc = self.cfg.ssd.chips_per_channel
+        block_channel = self.block_chip // cpc
+        taken = set(board_hot)
+        for ch in self.channels:
+            mine = np.flatnonzero(block_channel == ch.channel_id)
+            if mine.size == 0:
+                ch.set_hot_blocks([])
+                continue
+            sub = mine[np.argsort(blk_indeg[mine], kind="stable")[::-1]]
+            hot = [
+                int(b)
+                for b in sub
+                if blk_indeg[b] > 0 and int(b) not in taken
+            ][: self.cfg.channel_hot_subgraphs]
+            ch.set_hot_blocks(hot)
+
+    def _reset_run_state(self) -> None:
+        self.sim = Simulator()
+        self.metrics = RunMetrics()
+        self.scheduler: SubgraphScheduler | None = None
+        self.pwb: PartitionWalkBuffer | None = None
+        self.mapping: SubgraphMappingTable | None = None
+        self.foreign = ForeignerStore(max(1, self.n_partitions))
+        self.current_partition = -1
+        self.total_walks = 0
+        self.completed_walks = 0
+        self.in_transit = 0
+        self._board_pipe = FcfsResource("board.direct", 1)
+        self._flush_cursor = 0
+        self._finals: list[WalkSet] | None = None
+        self._done = False
+        for chip in self.chips:
+            chip.loaded = []
+            chip.busy = False
+            chip.pending_rove = []
+            chip.pending_rove_count = 0
+            chip.pending_completed = 0
+        for ch in self.channels:
+            ch.collect_scheduled = False
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        num_walks: int | None = None,
+        spec: WalkSpec | None = None,
+        starts: np.ndarray | None = None,
+        max_events: int | None = None,
+        record_finals: bool = False,
+    ) -> RunResult:
+        """Execute a random-walk workload to completion.
+
+        Either ``num_walks`` (uniform random starts) or an explicit
+        ``starts`` array must be given.  With ``record_finals`` the
+        result carries every completed walk's (src, final vertex) pair —
+        the raw material of PPR and endpoint-sampling applications.
+        Returns a :class:`RunResult`.
+        """
+        self.spec = (spec or WalkSpec()).validate(self.graph)
+        self._reset_run_state()
+        if record_finals:
+            self._finals = []
+        if starts is None:
+            if num_walks is None or num_walks < 1:
+                raise SimulationError("need num_walks >= 1 or explicit starts")
+            starts = start_vertices(
+                self.graph, num_walks, self.rngs.fresh("starts")
+            )
+        else:
+            starts = np.asarray(starts, dtype=np.int64)
+            if starts.size == 0:
+                raise SimulationError("empty starts array")
+        self.total_walks = int(starts.size)
+        self.in_transit = self.total_walks
+        sampler = make_sampler(self.graph)
+        self.ctx = AdvanceContext.build(self.graph, self.part, self.spec, sampler)
+        # Size partition-walk-buffer entries: a few times the mean walks
+        # per subgraph, so only hot entries overflow (paper regime).
+        if self.cfg.pwb_entry_walks > 0:
+            self.entry_capacity = self.cfg.pwb_entry_walks
+        else:
+            # The paper's DRAM budget gives each entry several times the
+            # mean walks per subgraph of headroom; 16x keeps overflow an
+            # event of the hottest entries only, matching Fig. 8's
+            # near-zero write curve.
+            mean = self.total_walks / max(1, self.part.num_blocks)
+            self.entry_capacity = max(16, math.ceil(16 * mean))
+        self.dense_entry_capacity = max(
+            self.entry_capacity + 1, math.ceil(self.entry_capacity * self.cfg.beta)
+        )
+
+        # Preload hot subgraphs (flash reads + channel transfers).
+        t0 = self._preload_hot_blocks(0.0)
+        self._install_partition(0, t0)
+        walks = WalkSet.start(starts, self.spec.length)
+        self.sim.at(t0, lambda: self._board_direct(walks, scoped=False))
+        self.sim.run(max_events=max_events)
+        if self.completed_walks != self.total_walks:
+            raise SimulationError(
+                f"run ended with {self.completed_walks}/{self.total_walks} "
+                "walks completed (event starvation?)"
+            )
+        # Final sink flush.
+        tail = self.board.drain_sinks()
+        end = self.sim.now
+        if tail:
+            end = self._flush_to_flash(self.sim.now, tail)
+        result = self.metrics.finalize(end, self.total_walks)
+        if self._finals is not None:
+            finals = WalkSet.concat(self._finals)
+            result.counters["finals_recorded"] = float(len(finals))
+            result.finals = finals
+        return result
+
+    # --------------------------------------------------------- partition setup
+
+    def _preload_hot_blocks(self, t: float) -> float:
+        """Read board/channel hot subgraphs from flash at run start."""
+        done = t
+        pages = self.cfg.subgraph_pages()
+        all_hot = list(self.board.hot_blocks)
+        for ch in self.channels:
+            all_hot.extend(ch.hot_blocks)
+        for v in self._hot_dense_verts:
+            meta = self.part.dense_meta[int(v)]
+            all_hot.extend(range(meta.first_block, meta.first_block + meta.n_blocks))
+        for block in all_hot:
+            chip_flat = int(self.block_chip[block])
+            chip_hw = self.ssd.chip_flat(chip_flat)
+            t_read = chip_hw.read_pages_striped(t, pages)
+            nbytes = pages * self.cfg.ssd.page_bytes
+            self.metrics.record_flash_read(t, nbytes, t_read)
+            ch_hw = self.ssd.channel(chip_flat // self.cfg.ssd.chips_per_channel)
+            t_bus = ch_hw.transfer_data(t, nbytes)
+            self._record_bus(ch_hw.bus, t, nbytes, t_bus)
+            done = max(done, t_read, t_bus)
+        return done
+
+    def _install_partition(self, pid: int, t: float) -> None:
+        if not 0 <= pid < self.n_partitions:
+            raise SimulationError(f"partition {pid} out of range")
+        self.current_partition = pid
+        first, last = self.part.partition_block_range(
+            pid, self.cfg.partition_subgraphs
+        )
+        self.mapping = SubgraphMappingTable(self.part, first, last)
+        self.board.set_mapping(self.mapping)
+        if self.cfg.opt_walk_query:
+            table = RangeTable(self.part, first, last, self.cfg.range_subgraphs)
+            for ch in self.channels:
+                ch.set_range_table(table)
+        else:
+            for ch in self.channels:
+                ch.set_range_table(None)
+        self.scheduler = SubgraphScheduler(
+            block_chip=self.block_chip,
+            is_dense_block=self.part.is_dense_block,
+            first_block=first,
+            last_block=last,
+            n_chips=len(self.chips),
+            alpha=self.cfg.alpha,
+            beta=self.cfg.beta,
+            top_n=self.cfg.top_n,
+            update_period_m=self.cfg.score_update_period_m,
+            use_scores=self.cfg.opt_subgraph_scheduling,
+        )
+        self.pwb = PartitionWalkBuffer(
+            first,
+            last,
+            self.entry_capacity,
+            self.dense_entry_capacity,
+            self.part.is_dense_block,
+        )
+        # Mapping entries stream from DRAM into the board SRAM.
+        entry_bytes = self.mapping.n_entries * self.cfg.mapping_entry_bytes
+        self.ssd.dram.read(t, entry_bytes)
+        self.metrics.record_dram(t, entry_bytes)
+
+    def _switch_partition(self, t: float) -> None:
+        """Move to the next partition holding foreigner walks."""
+        pending = self.foreign.partitions_with_walks()
+        if pending.size == 0:
+            raise SimulationError("partition switch with no pending walks")
+        # Next partition in cyclic order after the current one.
+        later = pending[pending > self.current_partition]
+        pid = int(later[0]) if later.size else int(pending[0])
+        self.metrics.partition_switches.add()
+        self._install_partition(pid, t)
+        walks = self.foreign.drain(pid)
+        self.in_transit += len(walks)
+        # Foreigner walks come back from flash (scattered pages).
+        nbytes = len(walks) * self.cfg.walk_bytes
+        t_ready = self._read_scattered(t, nbytes)
+        self.sim.at(t_ready, lambda: self._board_direct(walks, scoped=False))
+
+
+    def _record_bus(self, bus, t_issue: float, nbytes: int, t_end: float) -> None:
+        """Attribute channel-bus bytes over the transfer's *occupancy*
+        window (its tail of duration nbytes/rate ending at t_end), not
+        from issue time: queued transfers would otherwise overlap in the
+        timeline and exceed the physical bus rate."""
+        duration = nbytes / bus.bytes_per_sec
+        start = max(t_issue, t_end - duration)
+        self.metrics.record_channel(start, nbytes, t_end)
+
+    # ------------------------------------------------------------ board level
+
+    def _board_direct(self, walks: WalkSet, scoped: bool) -> None:
+        """Direct a batch of roving/new walks at the board level."""
+        t = self.sim.now
+        if len(walks) == 0:
+            self._maybe_finish_partition(t)
+            return
+        busy = 0.0
+        m = self.metrics
+        normal_parts: list[WalkSet] = []
+        # Walks may loop through the board pipeline: a hot-subgraph update
+        # or a hot-dense-vertex resolution moves them to a new vertex that
+        # needs re-classification.  Each pass consumes >= 1 hop, so the
+        # loop is bounded by the walk length.
+        for _ in range(self.spec.length + 2):
+            if len(walks) == 0:
+                break
+            # 1. Update walks landing in board-resident hot subgraphs.
+            if self.cfg.opt_hot_subgraphs and self._board_hot.size:
+                in_hot = np.isin(
+                    self.part.block_of_vertex(walks.cur), self._board_hot
+                ) & ~self.ctx.is_dense_vertex[walks.cur]
+                if in_hot.any():
+                    hot_walks, walks = walks.split(in_hot)
+                    res = advance_batch(
+                        self.ctx,
+                        WalkBatch(hot_walks),
+                        self.board.hot_blocks,
+                        self.rngs.stream("board"),
+                    )
+                    busy += self.board.batch_time(res)
+                    m.hops.add(res.hops)
+                    m.hot_hits_board.add(len(hot_walks))
+                    if res.n_completed:
+                        self._complete_walks(
+                            t, res.n_completed, sink="board", walks=res.completed
+                        )
+                    walks = WalkSet.concat([walks, res.roving])
+            if len(walks) == 0:
+                break
+            # 2. Dense-vertex classification (bloom + hash).
+            probes_before = self.dense_table.hash_probes
+            dense_mask = self.dense_table.classify(walks.cur)
+            busy += self.board.dense_check_time(
+                len(walks), self.dense_table.hash_probes - probes_before
+            )
+            dense_walks, normal = walks.split(dense_mask)
+            normal_parts.append(normal)
+            walks = WalkSet.empty()
+            # 3. Pre-walk dense walks to a specific graph block.
+            if len(dense_walks):
+                pw = self.dense_table.pre_walk(
+                    dense_walks.cur, self.rngs.stream("prewalk")
+                )
+                m.pre_walks.add(len(dense_walks))
+                # 3a. Hot dense vertices: every slice is board-resident,
+                # so the pre-walked hop resolves right here.
+                if self._hot_dense_verts.size:
+                    at_hot = np.isin(dense_walks.cur, self._hot_dense_verts)
+                else:
+                    at_hot = np.zeros(len(dense_walks), dtype=bool)
+                if at_hot.any():
+                    hw = dense_walks.select(at_hot)
+                    edge_idx = (
+                        self.graph.offsets[hw.cur]
+                        + pw.edge_offset[at_hot]
+                        + self.part.block_edge_lo[pw.block[at_hot]]
+                    )
+                    nxt = self.graph.edges[edge_idx]
+                    hop = hw.hop - 1
+                    acc = self.cfg.levels.board
+                    busy += (
+                        len(hw) * acc.updater_ops_per_hop * acc.updater_cycle
+                        / acc.n_updaters
+                    )
+                    m.hops.add(len(hw))
+                    m.hot_hits_board.add(len(hw))
+                    done = hop == 0
+                    if self.spec.stop_probability > 0:
+                        stop = self.spec.apply_stop_probability(
+                            hop, self.rngs.stream("board")
+                        )
+                        done |= stop
+                    n_done = int(done.sum())
+                    if n_done:
+                        self._complete_walks(
+                            t,
+                            n_done,
+                            sink="board",
+                            walks=WalkSet(hw.src[done], nxt[done], hop[done]),
+                        )
+                    survivors = WalkSet(hw.src[~done], nxt[~done], hop[~done])
+                    walks = WalkSet.concat([walks, survivors])
+                    dense_walks = dense_walks.select(~at_hot)
+                    pw_block = pw.block[~at_hot]
+                    pw_edge = pw.edge_offset[~at_hot]
+                else:
+                    pw_block = pw.block
+                    pw_edge = pw.edge_offset
+                in_part = (pw_block >= self.mapping.first_block) & (
+                    pw_block <= self.mapping.last_block
+                )
+                if in_part.any():
+                    self._insert_pwb(
+                        t,
+                        dense_walks.select(in_part),
+                        pw_block[in_part],
+                        pre_edge=pw_edge[in_part]
+                        + self.part.block_edge_lo[pw_block[in_part]],
+                    )
+                if (~in_part).any():
+                    # Dense walk bound for another partition: store as a
+                    # plain foreigner (re-pre-walked there — an identical
+                    # uniform redraw).
+                    self._store_foreigners(
+                        t,
+                        dense_walks.select(~in_part),
+                        target_blocks=pw_block[~in_part],
+                    )
+        normal = WalkSet.concat(normal_parts)
+        # 4. Foreigner detection for normal walks.
+        inside = self.mapping.contains_vertices(normal.cur)
+        if (~inside).any():
+            foreign_walks = normal.select(~inside)
+            # Locating the destination partition costs a global range
+            # search (the coarse table spans the whole graph).
+            steps = binary_search_steps(
+                max(1, -(-self.part.num_blocks // self.cfg.range_subgraphs))
+            )
+            busy += (
+                len(foreign_walks)
+                * steps
+                * self.cfg.levels.board.guider_cycle
+                / self.cfg.levels.board.n_guiders
+            )
+            self._store_foreigners(t, foreign_walks, target_blocks=None)
+            normal = normal.select(inside)
+        # 5. Walk query for the rest + insert into the partition buffer.
+        if len(normal):
+            blocks, _ = self.mapping.lookup(
+                normal.cur,
+                scope_entries=self.cfg.range_subgraphs
+                if (scoped and self.cfg.opt_walk_query)
+                else None,
+            )
+            qtime, hits, misses, steps_total = self.board.query_and_direct(
+                blocks, scoped and self.cfg.opt_walk_query
+            )
+            busy += qtime
+            m.queries.add(len(normal))
+            m.query_steps.add(steps_total)
+            m.cache_hits.add(hits)
+            m.cache_misses.add(misses)
+            self._insert_pwb(t, normal, blocks, pre_edge=None)
+        self._finish_board_batch(t, busy)
+
+    def _finish_board_batch(self, t: float, busy: float) -> None:
+        m = self.metrics
+        m.board_busy.add(busy)
+        t_done = self._board_pipe.acquire_for(t, busy)
+        if t_done > t:
+            self.sim.at(t_done, lambda: self._after_board_batch())
+        else:
+            self._after_board_batch()
+
+    def _after_board_batch(self) -> None:
+        t = self.sim.now
+        self._kick_chips(t)
+        self._maybe_finish_partition(t)
+
+    def _insert_pwb(
+        self,
+        t: float,
+        walks: WalkSet,
+        blocks: np.ndarray,
+        pre_edge: np.ndarray | None,
+    ) -> None:
+        """Insert directed walks into partition-walk-buffer entries."""
+        n = len(walks)
+        if n == 0:
+            return
+        nbytes = n * self.cfg.walk_bytes
+        self.ssd.dram.write(t, nbytes)
+        self.metrics.record_dram(t, nbytes)
+        order = np.argsort(blocks, kind="stable")
+        sblocks = blocks[order]
+        swalks = walks.select(order)
+        spre = pre_edge[order] if pre_edge is not None else None
+        bounds = np.flatnonzero(np.diff(sblocks)) + 1
+        starts = np.concatenate([[0], bounds])
+        ends = np.concatenate([bounds, [n]])
+        for s, e in zip(starts, ends):
+            block = int(sblocks[s])
+            group = swalks.select(np.arange(s, e))
+            gpre = spre[s:e] if spre is not None else None
+            self.scheduler.add_buffered(block, e - s)
+            spilled = self.pwb.push(block, WalkBatch(group, gpre))
+            if spilled:
+                self.scheduler.add_spilled(block, spilled)
+                self.metrics.spilled_walks.add(spilled)
+                # Overflowed entry flushes through the block's chip.
+                self._spill_write(t, block, spilled)
+        self.in_transit -= n
+
+    def _spill_write(self, t: float, block: int, n_walks: int) -> None:
+        """Write an overflowed buffer entry to the block's chip."""
+        nbytes = n_walks * self.cfg.walk_bytes
+        chip_flat = int(self.block_chip[block])
+        ch = self.ssd.channel(chip_flat // self.cfg.ssd.chips_per_channel)
+        chip_hw = self.ssd.chip_flat(chip_flat)
+        t_bus = ch.transfer_data(t, nbytes)
+        self._record_bus(ch.bus, t, nbytes, t_bus)
+        pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
+        t_prog = chip_hw.program_pages_striped(t_bus, pages)
+        self.metrics.record_flash_write(
+            t_bus, pages * self.cfg.ssd.page_bytes, t_prog
+        )
+
+    def _store_foreigners(
+        self, t: float, walks: WalkSet, target_blocks: np.ndarray | None
+    ) -> None:
+        """Route walks beyond the current partition to the foreigner store."""
+        n = len(walks)
+        if n == 0:
+            return
+        if target_blocks is None:
+            target_blocks = self.part.block_of_vertex(walks.cur)
+        pids = self.part.partition_of_block(
+            target_blocks, self.cfg.partition_subgraphs
+        )
+        self.metrics.foreigner_walks.add(n)
+        for pid in np.unique(pids):
+            sel = pids == pid
+            self.foreign.push(int(pid), walks.select(sel))
+        flush = self.board.add_foreigners(n)
+        if flush:
+            self._flush_to_flash(t, flush)
+        self.in_transit -= n
+
+    def _complete_walks(
+        self, t: float, n: int, sink: str, walks: WalkSet | None = None
+    ) -> None:
+        """Account ``n`` walks finishing at time ``t``.
+
+        When ``record_finals`` is on and the finished records are at
+        hand, their (src, final) pairs are kept for the caller.
+        """
+        self.completed_walks += n
+        self.in_transit -= n
+        self.metrics.record_completed(t, n)
+        if self._finals is not None and walks is not None and len(walks):
+            self._finals.append(walks)
+        if sink in ("board", "channel"):
+            flush = self.board.add_completed(n)
+            if flush:
+                self._flush_to_flash(t, flush)
+
+    def _flush_to_flash(self, t: float, nbytes: int) -> float:
+        """Board-side write of sink contents, striped over channels."""
+        pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
+        end = t
+        c = self.cfg.ssd
+        for _ in range(pages):
+            # Stripe pages over channels, then chips (persistent cursor),
+            # so write-back never concentrates on one chip's planes.
+            p = self._flush_cursor
+            self._flush_cursor += 1
+            ch = self.ssd.channel(p % c.channels)
+            t_bus = ch.transfer_data(t, c.page_bytes)
+            chip_hw = ch.chip((p // c.channels) % c.chips_per_channel)
+            end = max(end, chip_hw.program_pages_striped(t_bus, 1))
+        self.metrics.record_channel(t, nbytes, end)
+        self.metrics.record_flash_write(t, pages * self.cfg.ssd.page_bytes, end)
+        return end
+
+    def _read_scattered(self, t: float, nbytes: int) -> float:
+        """Read ``nbytes`` of walk records striped over all channels."""
+        if nbytes <= 0:
+            return t
+        pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
+        end = t
+        for p in range(pages):
+            ch = self.ssd.channel(p % self.cfg.ssd.channels)
+            chip_hw = ch.chip(p % self.cfg.ssd.chips_per_channel)
+            t_read = chip_hw.read_page(
+                t, p % self.cfg.ssd.dies_per_chip, p % self.cfg.ssd.planes_per_die
+            )
+            t_bus = ch.transfer_data(t, self.cfg.ssd.page_bytes)
+            end = max(end, t_read, t_bus)
+        self.metrics.record_flash_read(t, pages * self.cfg.ssd.page_bytes, end)
+        self.metrics.record_channel(t, pages * self.cfg.ssd.page_bytes, end)
+        return end
+
+    # ------------------------------------------------------------- chip level
+
+    def _kick_chips(self, t: float) -> None:
+        for chip_idx in self.scheduler.chips_with_work():
+            chip = self.chips[int(chip_idx)]
+            if not chip.busy:
+                self._start_load(chip, t)
+
+    def _start_load(self, chip: ChipAccelerator, t: float) -> None:
+        block = self.scheduler.next_subgraph(chip.index)
+        if block is None:
+            chip.busy = False
+            return
+        chip.busy = True
+        batch, nb, ns = self.pwb.drain(block)
+        s_nb, s_ns = self.scheduler.take_walks(block)
+        if (s_nb, s_ns) != (nb, ns):  # pragma: no cover - consistency guard
+            raise SimulationError(
+                f"scheduler/buffer walk counts diverged for block {block}: "
+                f"({s_nb},{s_ns}) vs ({nb},{ns})"
+            )
+        self.in_transit += nb + ns
+        m = self.metrics
+        ssd_cfg = self.cfg.ssd
+        ch_hw = self.ssd.channel(chip.channel_id)
+        chip_hw = self.ssd.chip(chip.channel_id, chip.chip_in_channel)
+        # 1. Load command over the channel bus (extended ONFI).
+        t_cmd = ch_hw.send_command(t)
+        m.record_channel(t, ONFI_COMMAND_BYTES)
+        # 2. Subgraph pages from this chip's planes (bus not involved).
+        t_pages = t_cmd
+        if chip.touch_block(block):
+            pages = self.cfg.subgraph_pages()
+            t_pages = chip_hw.read_pages_striped(t_cmd, pages)
+            m.record_flash_read(t_cmd, pages * ssd_cfg.page_bytes, t_pages)
+            m.subgraph_loads.add()
+        # 3. Spilled walks read back from this chip's planes.
+        if ns:
+            sp_bytes = ns * self.cfg.walk_bytes
+            sp_pages = max(1, math.ceil(sp_bytes / ssd_cfg.page_bytes))
+            t_sp = chip_hw.read_pages_striped(t_cmd, sp_pages)
+            m.record_flash_read(t_cmd, sp_pages * ssd_cfg.page_bytes, t_sp)
+            t_pages = max(t_pages, t_sp)
+        # 4. Buffered walks from on-board DRAM over the channel bus.  DRAM
+        # fetch and bus transfer pipeline (DMA), so both are queued at
+        # issue time and the completion is their max.
+        t_walks = t_cmd
+        if nb:
+            nbytes = nb * self.cfg.walk_bytes
+            t_dram = self.ssd.dram.read(t, nbytes)
+            m.record_dram(t, nbytes)
+            t_bus = ch_hw.transfer_data(t, nbytes)
+            self._record_bus(ch_hw.bus, t, nbytes, t_bus)
+            t_walks = max(t_cmd, t_dram, t_bus)
+        t_ready = max(t_pages, t_walks)
+        self.sim.at(t_ready, lambda: self._chip_process(chip, batch))
+
+    def _chip_process(self, chip: ChipAccelerator, batch: WalkBatch) -> None:
+        t = self.sim.now
+        res = advance_batch(
+            self.ctx, batch, chip.loaded, self.rngs.stream(f"chip{chip.index}")
+        )
+        busy = chip.batch_time(res)
+        chip.push_roving(res.roving)
+        stall = chip.roving_overflow_stall(self.cfg.roving_collect_interval)
+        self.metrics.hops.add(res.hops)
+        self.metrics.chip_busy.add(busy)
+        self.metrics.stall_time.add(stall)
+        self.metrics.roving_walks.add(len(res.roving))
+        t_end = t + busy + stall
+        if res.n_completed:
+            self._complete_walks(
+                t_end, res.n_completed, sink="chip", walks=res.completed
+            )
+            self._chip_completed_flush(chip, t_end, res.n_completed)
+        if chip.pending_rove_count:
+            self._schedule_collect(chip.channel_id, t_end)
+        self.sim.at(t_end, lambda: self._after_chip_batch(chip))
+
+    def _chip_completed_flush(self, chip: ChipAccelerator, t: float, n: int) -> None:
+        """Chip-side completed-walk buffer; programs own planes when full."""
+        chip.pending_completed += n * self.cfg.walk_bytes
+        if chip.pending_completed >= self.cfg.completed_buffer_bytes:
+            nbytes = chip.pending_completed
+            chip.pending_completed = 0
+            pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
+            chip_hw = self.ssd.chip(chip.channel_id, chip.chip_in_channel)
+            chip_hw.program_pages_striped(t, pages)
+            self.metrics.record_flash_write(t, pages * self.cfg.ssd.page_bytes)
+
+    def _after_chip_batch(self, chip: ChipAccelerator) -> None:
+        t = self.sim.now
+        chip.busy = False
+        self._start_load(chip, t)
+        if not chip.busy:
+            self._maybe_finish_partition(t)
+
+    # ---------------------------------------------------------- channel level
+
+    def _schedule_collect(self, channel_id: int, t: float) -> None:
+        ch = self.channels[channel_id]
+        if ch.collect_scheduled:
+            return
+        ch.collect_scheduled = True
+        interval = self.cfg.roving_collect_interval
+        t_collect = math.ceil(max(t, self.sim.now) / interval) * interval
+        if t_collect < self.sim.now:
+            t_collect = self.sim.now
+        self.sim.at(t_collect, lambda: self._collect_channel(channel_id))
+
+    def _collect_channel(self, channel_id: int) -> None:
+        """Periodic roving-walk collection by a channel accelerator."""
+        t = self.sim.now
+        ch = self.channels[channel_id]
+        ch.collect_scheduled = False
+        ch_hw = self.ssd.channel(channel_id)
+        cpc = self.cfg.ssd.chips_per_channel
+        parts: list[WalkSet] = []
+        t_arr = t
+        for chip in self.chips[channel_id * cpc : (channel_id + 1) * cpc]:
+            if chip.pending_rove_count == 0:
+                continue
+            w = chip.take_roving()
+            nbytes = len(w) * self.cfg.walk_bytes
+            t_xfer = ch_hw.transfer_data(t, nbytes)
+            t_arr = max(t_arr, t_xfer)
+            self._record_bus(ch_hw.bus, t, nbytes, t_xfer)
+            parts.append(w)
+        walks = WalkSet.concat(parts)
+        if len(walks) == 0:
+            return
+        busy = 0.0
+        # Hot-subgraph updates at the channel level.
+        if self.cfg.opt_hot_subgraphs and ch.hot_blocks:
+            hot_arr = np.asarray(ch.hot_blocks, dtype=np.int64)
+            in_hot = np.isin(
+                self.part.block_of_vertex(walks.cur), hot_arr
+            ) & ~self.ctx.is_dense_vertex[walks.cur]
+            if in_hot.any():
+                hot_walks, walks = walks.split(in_hot)
+                res = advance_batch(
+                    self.ctx,
+                    WalkBatch(hot_walks),
+                    ch.hot_blocks,
+                    self.rngs.stream(f"channel{channel_id}"),
+                )
+                busy += ch.batch_time(res)
+                self.metrics.hops.add(res.hops)
+                self.metrics.hot_hits_channel.add(len(hot_walks))
+                if res.n_completed:
+                    self._complete_walks(
+                        t_arr, res.n_completed, sink="channel", walks=res.completed
+                    )
+                walks = WalkSet.concat([walks, res.roving])
+        # Approximate walk search tags the remainder.
+        scoped = False
+        if self.cfg.opt_walk_query and ch.range_table is not None and len(walks):
+            busy += ch.range_query_time(len(walks))
+            scoped = True
+        busy += ch.guide_time(len(walks))
+        self.metrics.channel_busy.add(busy)
+        t_done = t_arr + busy
+        if len(walks):
+            self.sim.at(t_done, lambda: self._board_direct(walks, scoped=scoped))
+        else:
+            self.sim.at(t_done, lambda: self._maybe_finish_partition(self.sim.now))
+
+    # ----------------------------------------------------------- partition end
+
+    def _maybe_finish_partition(self, t: float) -> None:
+        if self._done or self.scheduler is None:
+            return
+        if self.scheduler.total_pending > 0 or self.in_transit > 0:
+            return
+        if any(c.busy or c.pending_rove_count for c in self.chips):
+            return
+        if self.completed_walks >= self.total_walks:
+            self._done = True
+            return
+        if self.foreign.total == 0:  # pragma: no cover - consistency guard
+            raise SimulationError(
+                "no pending work anywhere but "
+                f"{self.total_walks - self.completed_walks} walks unfinished"
+            )
+        self._switch_partition(t)
+
+    # -------------------------------------------------------------- inspection
+
+    def describe(self) -> str:
+        """Human-readable configuration/topology summary."""
+        from ..common.units import fmt_bytes
+
+        return (
+            f"FlashWalker: |V|={self.graph.num_vertices} "
+            f"|E|={self.graph.num_edges} blocks={self.part.num_blocks} "
+            f"({fmt_bytes(self.cfg.subgraph_bytes)} each) "
+            f"partitions={self.n_partitions} chips={len(self.chips)} "
+            f"channels={len(self.channels)} "
+            f"hot(board/chan)={len(self.board.hot_blocks)}/"
+            f"{sum(len(c.hot_blocks) for c in self.channels)} "
+            f"dense={self.part.num_dense_vertices}"
+        )

@@ -1,0 +1,176 @@
+"""FlashWalker run metrics (feeds Figs. 5, 6, 8).
+
+Byte traffic is recorded twice: whole-run totals (Fig. 6 traffic and
+bandwidth comparisons) and time-bucketed series (Fig. 8 timelines).
+``flash_read`` counts bytes sensed from planes, ``flash_write`` bytes
+programmed, ``channel`` bytes crossing ONFI buses; ``progress`` counts
+completed walks over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.stats import StatsRegistry
+
+__all__ = ["RunMetrics", "RunResult"]
+
+
+class RunMetrics:
+    """Live accumulator used by the engine during a run."""
+
+    def __init__(self, bucket: float = 50e-6):
+        self.stats = StatsRegistry(bucket=bucket)
+        # traffic series
+        self.flash_read = self.stats.timeseries("flash_read_bytes")
+        self.flash_write = self.stats.timeseries("flash_write_bytes")
+        self.channel = self.stats.timeseries("channel_bytes")
+        self.dram = self.stats.timeseries("dram_bytes")
+        self.progress = self.stats.timeseries("walks_completed")
+        # scalar counters
+        self.hops = self.stats.counter("hops")
+        self.queries = self.stats.counter("walk_queries")
+        self.query_steps = self.stats.counter("query_search_steps")
+        self.cache_hits = self.stats.counter("query_cache_hits")
+        self.cache_misses = self.stats.counter("query_cache_misses")
+        self.roving_walks = self.stats.counter("roving_walks")
+        self.foreigner_walks = self.stats.counter("foreigner_walks")
+        self.spilled_walks = self.stats.counter("spilled_walks")
+        self.subgraph_loads = self.stats.counter("subgraph_loads")
+        self.hot_hits_channel = self.stats.counter("hot_subgraph_hits_channel")
+        self.hot_hits_board = self.stats.counter("hot_subgraph_hits_board")
+        self.pre_walks = self.stats.counter("pre_walks")
+        self.partition_switches = self.stats.counter("partition_switches")
+        self.chip_busy = self.stats.counter("chip_busy_time")
+        self.channel_busy = self.stats.counter("channel_accel_busy_time")
+        self.board_busy = self.stats.counter("board_accel_busy_time")
+        self.stall_time = self.stats.counter("chip_stall_time")
+
+    # -- traffic helpers -------------------------------------------------------
+
+    def record_flash_read(self, t: float, nbytes: int, t_end: float | None = None) -> None:
+        if t_end is not None and t_end > t:
+            self.flash_read.add_spread(t, t_end, nbytes)
+        else:
+            self.flash_read.add(t, nbytes)
+
+    def record_flash_write(self, t: float, nbytes: int, t_end: float | None = None) -> None:
+        if t_end is not None and t_end > t:
+            self.flash_write.add_spread(t, t_end, nbytes)
+        else:
+            self.flash_write.add(t, nbytes)
+
+    def record_channel(self, t: float, nbytes: int, t_end: float | None = None) -> None:
+        """Attribute channel-bus bytes over the transfer's actual span so
+        bandwidth timelines never exceed the physical bus rate."""
+        if t_end is not None and t_end > t:
+            self.channel.add_spread(t, t_end, nbytes)
+        else:
+            self.channel.add(t, nbytes)
+
+    def record_dram(self, t: float, nbytes: int, t_end: float | None = None) -> None:
+        if t_end is not None and t_end > t:
+            self.dram.add_spread(t, t_end, nbytes)
+        else:
+            self.dram.add(t, nbytes)
+
+    def record_completed(self, t: float, count: int) -> None:
+        if count:
+            self.progress.add(t, count)
+
+    def finalize(self, elapsed: float, total_walks: int) -> "RunResult":
+        return RunResult(
+            elapsed=elapsed,
+            total_walks=total_walks,
+            flash_read_bytes=int(self.flash_read.total),
+            flash_write_bytes=int(self.flash_write.total),
+            channel_bytes=int(self.channel.total),
+            dram_bytes=int(self.dram.total),
+            hops=int(self.hops.total),
+            counters=self.stats.snapshot(),
+            metrics=self,
+        )
+
+
+@dataclass
+class RunResult:
+    """Immutable summary of one FlashWalker (or baseline) run."""
+
+    elapsed: float
+    total_walks: int
+    flash_read_bytes: int
+    flash_write_bytes: int
+    channel_bytes: int
+    dram_bytes: int
+    hops: int
+    counters: dict[str, float] = field(default_factory=dict)
+    metrics: RunMetrics | None = None
+    #: Completed walks' (src, cur=final, hop) records; populated only
+    #: when the engine ran with ``record_finals=True``.
+    finals: object | None = None
+
+    @property
+    def flash_read_bandwidth(self) -> float:
+        """Mean achieved flash read bandwidth (bytes/sec)."""
+        return self.flash_read_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def walks_per_sec(self) -> float:
+        return self.total_walks / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def hops_per_sec(self) -> float:
+        return self.hops / self.elapsed if self.elapsed > 0 else 0.0
+
+    def bandwidth_series(self, rebins: int = 50) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Fig. 8 series, rebinned to ~``rebins`` buckets over the run.
+
+        Returns name -> (bucket start times, bytes/sec).  Includes the
+        walk progression as a cumulative fraction under ``progress``.
+        """
+        if self.metrics is None:
+            raise ValueError("run was finalized without live metrics")
+        out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # The rebin width must be a whole multiple of the raw bucket —
+        # otherwise a bin would aggregate more raw time than its width
+        # and the computed rate would exceed the physical bus rate — and
+        # the mapping uses integer bucket indices so floating-point
+        # division can never shift a bucket across a bin boundary.
+        raw = self.metrics.flash_read.bucket
+        width = max(self.elapsed / max(rebins, 1), raw, 1e-9)
+        k = max(1, int(np.ceil(width / raw - 1e-9)))
+        width = k * raw
+        rebins = max(1, int(np.ceil(self.elapsed / width)) + 1)
+
+        def rebin(series):
+            starts, sums = series.buckets()
+            if starts.size == 0:
+                return np.zeros(rebins)
+            raw_idx = np.rint(starts / raw).astype(np.int64)
+            idx = np.minimum(raw_idx // k, rebins - 1)
+            agg = np.zeros(rebins)
+            np.add.at(agg, idx, sums)
+            return agg
+
+        for name, series in (
+            ("flash_read", self.metrics.flash_read),
+            ("flash_write", self.metrics.flash_write),
+            ("channel", self.metrics.channel),
+        ):
+            out[name] = (np.arange(rebins) * width, rebin(series) / width)
+        frac = np.cumsum(rebin(self.metrics.progress)) / max(self.total_walks, 1)
+        out["progress"] = (np.arange(rebins) * width, frac)
+        return out
+
+    def summary(self) -> str:
+        from ..common.units import fmt_bandwidth, fmt_bytes, fmt_time
+
+        return (
+            f"t={fmt_time(self.elapsed)} walks={self.total_walks} "
+            f"hops={self.hops} read={fmt_bytes(self.flash_read_bytes)} "
+            f"write={fmt_bytes(self.flash_write_bytes)} "
+            f"chan={fmt_bytes(self.channel_bytes)} "
+            f"readBW={fmt_bandwidth(self.flash_read_bandwidth)}"
+        )

@@ -1,0 +1,131 @@
+"""Walk query caches (Section III-D).
+
+Small caches of hot subgraph-mapping entries shared by groups of board
+guiders (the paper provisions 32 caches, one per 4 guiders, 4 KB each).
+A hit resolves a walk query in one cache probe; a miss pays the full
+binary search and installs the entry.  Two locality sources make this
+work: upper-level binary-search-tree nodes recur, and power-law graphs
+concentrate walks in few hot subgraphs.
+
+The cache is modeled at *entry granularity with LRU replacement*: keys
+are subgraph (block) IDs.  Batched queries are processed in
+first-appearance order over the unique blocks in the batch, which is
+accurate for the engine's batch-arrival pattern while staying O(unique).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..common.errors import ReproError
+
+__all__ = ["WalkQueryCache", "QueryCacheArray"]
+
+
+class WalkQueryCache:
+    """One LRU cache of subgraph mapping entries."""
+
+    def __init__(self, n_entries: int):
+        if n_entries < 1:
+            raise ReproError(f"cache needs >= 1 entry, got {n_entries}")
+        self.n_entries = n_entries
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, block_id: int) -> bool:
+        """Single query; returns True on hit.  Installs on miss."""
+        if block_id in self._lru:
+            self._lru.move_to_end(block_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lru[block_id] = None
+        if len(self._lru) > self.n_entries:
+            self._lru.popitem(last=False)
+        return False
+
+    def probe_batch(self, block_ids: np.ndarray) -> tuple[int, int]:
+        """Query a batch; returns (hits, misses).
+
+        All repeats of a block within the batch after its first probe are
+        hits (the entry was just installed or refreshed).
+        """
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return 0, 0
+        uniq, counts = np.unique(block_ids, return_counts=True)
+        hits = 0
+        misses = 0
+        for b, c in zip(uniq.tolist(), counts.tolist()):
+            if self.probe(b):  # probe() counts this first query
+                hits += 1
+            else:
+                misses += 1
+            if c > 1:  # repeats in the batch hit the fresh entry
+                self.hits += c - 1
+                hits += c - 1
+        return hits, misses
+
+    def invalidate(self) -> None:
+        self._lru.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WalkQueryCache(entries={self.n_entries}, "
+            f"hit_rate={self.hit_rate:.2%})"
+        )
+
+
+class QueryCacheArray:
+    """The board's bank of walk query caches.
+
+    Walks are distributed over caches by guider group (we shard on block
+    ID, matching how guiders pull walks from the guide buffer).
+    """
+
+    def __init__(self, n_caches: int, entries_per_cache: int):
+        if n_caches < 1:
+            raise ReproError(f"need >= 1 cache, got {n_caches}")
+        self.caches = [WalkQueryCache(entries_per_cache) for _ in range(n_caches)]
+
+    def probe_batch(self, block_ids: np.ndarray) -> tuple[int, int]:
+        """Shard a batch across the caches; returns (hits, misses)."""
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return 0, 0
+        shard = block_ids % len(self.caches)
+        hits = 0
+        misses = 0
+        for i, cache in enumerate(self.caches):
+            sub = block_ids[shard == i]
+            if sub.size:
+                h, m = cache.probe_batch(sub)
+                hits += h
+                misses += m
+        return hits, misses
+
+    def invalidate(self) -> None:
+        """Drop all entries (partition switch: table contents change)."""
+        for cache in self.caches:
+            cache.invalidate()
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.caches)
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self.caches)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,189 @@
+"""Subgraph scheduling (Section III-D, Eq. 1).
+
+The scoreboard tracks, per subgraph of the current partition, how many
+walks wait in the partition walk buffer (``pwb``) and how many were
+spilled to flash (``fl``).  Eq. 1's critical degree::
+
+    score_i = (pwb * alpha + fl) * beta    if subgraph i is non-dense
+    score_i =  pwb * alpha + fl            if subgraph i is dense
+
+``alpha`` weighs buffered walks (overflow-prone) over spilled ones;
+``beta`` discounts dense subgraphs, whose walks pack denser (no ``cur``
+stored) and so overflow later.
+
+To avoid sorting all subgraphs, a per-chip **topN list** caches the N
+highest-scoring subgraphs on that chip; it is refreshed from the dirty
+set only every M walk-insertions per subgraph (Section III-D's
+amortization).  With scheduling disabled (Fig. 9 baseline) the scheduler
+degrades to most-buffered-walks order, GraphWalker's policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import SchedulingError
+
+__all__ = ["SubgraphScheduler"]
+
+
+class SubgraphScheduler:
+    """Scoreboard + per-chip topN lists over one graph partition."""
+
+    def __init__(
+        self,
+        block_chip: np.ndarray,
+        is_dense_block: np.ndarray,
+        first_block: int,
+        last_block: int,
+        n_chips: int,
+        alpha: float,
+        beta: float,
+        top_n: int,
+        update_period_m: int,
+        use_scores: bool = True,
+    ):
+        if not 0 <= first_block <= last_block:
+            raise SchedulingError(f"bad block range [{first_block}, {last_block}]")
+        if alpha <= 0 or beta <= 0:
+            raise SchedulingError(f"alpha/beta must be positive ({alpha}, {beta})")
+        if top_n < 1 or update_period_m < 1:
+            raise SchedulingError("top_n and update_period_m must be >= 1")
+        self.first_block = first_block
+        self.last_block = last_block
+        self.n_blocks = last_block - first_block + 1
+        self.block_chip = np.asarray(
+            block_chip[first_block : last_block + 1], dtype=np.int64
+        )
+        self.is_dense = np.asarray(
+            is_dense_block[first_block : last_block + 1], dtype=bool
+        )
+        self.n_chips = n_chips
+        self.alpha = alpha
+        self.beta = beta
+        self.top_n = top_n
+        self.update_period_m = update_period_m
+        self.use_scores = use_scores
+        # Per-block state (local indices 0..n_blocks-1).
+        self.pwb = np.zeros(self.n_blocks, dtype=np.int64)
+        self.fl = np.zeros(self.n_blocks, dtype=np.int64)
+        self._inserts_since_update = np.zeros(self.n_blocks, dtype=np.int64)
+        # Per-chip topN caches: local block indices, lazily refreshed.
+        self._top: dict[int, list[int]] = {c: [] for c in range(n_chips)}
+        self._dirty: set[int] = set(range(n_chips))
+        self.topn_refreshes = 0
+        self.topn_updates_deferred = 0
+
+    # -- index helpers ------------------------------------------------------------
+
+    def _local(self, block_id: int) -> int:
+        idx = block_id - self.first_block
+        if not 0 <= idx < self.n_blocks:
+            raise SchedulingError(
+                f"block {block_id} outside partition "
+                f"[{self.first_block}, {self.last_block}]"
+            )
+        return idx
+
+    # -- scoreboard updates ---------------------------------------------------------
+
+    def add_buffered(self, block_id: int, count: int = 1) -> None:
+        """Walks inserted into the partition walk buffer for ``block_id``."""
+        if count < 0:
+            raise SchedulingError(f"negative count {count}")
+        idx = self._local(block_id)
+        self.pwb[idx] += count
+        self._inserts_since_update[idx] += count
+        # Amortized topN maintenance: only mark dirty every M insertions.
+        if self._inserts_since_update[idx] >= self.update_period_m:
+            self._inserts_since_update[idx] = 0
+            self._dirty.add(int(self.block_chip[idx]))
+        else:
+            self.topn_updates_deferred += 1
+
+    def add_spilled(self, block_id: int, count: int = 1) -> None:
+        """Walks spilled from the buffer entry to flash."""
+        if count < 0:
+            raise SchedulingError(f"negative count {count}")
+        idx = self._local(block_id)
+        if count > self.pwb[idx]:
+            raise SchedulingError(
+                f"spilling {count} walks but only {self.pwb[idx]} buffered"
+            )
+        self.pwb[idx] -= count
+        self.fl[idx] += count
+        self._dirty.add(int(self.block_chip[idx]))
+
+    def take_walks(self, block_id: int) -> tuple[int, int]:
+        """Claim all of a block's walks for loading; returns (pwb, fl)."""
+        idx = self._local(block_id)
+        pwb, fl = int(self.pwb[idx]), int(self.fl[idx])
+        self.pwb[idx] = 0
+        self.fl[idx] = 0
+        self._inserts_since_update[idx] = 0
+        self._dirty.add(int(self.block_chip[idx]))
+        return pwb, fl
+
+    # -- scores ---------------------------------------------------------------------
+
+    def scores(self) -> np.ndarray:
+        """Eq. 1 over all blocks of the partition (vectorized)."""
+        base = self.pwb * self.alpha + self.fl
+        return np.where(self.is_dense, base, base * self.beta)
+
+    def walk_counts(self) -> np.ndarray:
+        return self.pwb + self.fl
+
+    @property
+    def total_pending(self) -> int:
+        return int(self.pwb.sum() + self.fl.sum())
+
+    # -- selection ----------------------------------------------------------------------
+
+    def _refresh_top(self, chip: int) -> None:
+        mask = self.block_chip == chip
+        counts = self.walk_counts()
+        candidates = np.flatnonzero(mask & (counts > 0))
+        if candidates.size == 0:
+            self._top[chip] = []
+        else:
+            key = self.scores() if self.use_scores else counts
+            order = np.argsort(key[candidates], kind="stable")[::-1]
+            self._top[chip] = candidates[order][: self.top_n].tolist()
+        self.topn_refreshes += 1
+        self._dirty.discard(chip)
+
+    def next_subgraph(self, chip: int, exclude: set[int] | None = None) -> int | None:
+        """Best block for ``chip`` to load next (global ID), or None.
+
+        ``exclude`` holds block IDs currently loading elsewhere on the
+        chip.  Entries with no walks left are skipped and the list is
+        refreshed when it runs dry or the chip is dirty.
+        """
+        if not 0 <= chip < self.n_chips:
+            raise SchedulingError(f"chip {chip} out of range [0, {self.n_chips})")
+        exclude = exclude or set()
+        counts = self.walk_counts()
+        for _ in range(2):
+            if chip in self._dirty or not self._top[chip]:
+                self._refresh_top(chip)
+            for idx in self._top[chip]:
+                if counts[idx] > 0 and (idx + self.first_block) not in exclude:
+                    return idx + self.first_block
+            # topN stale (all consumed): force one refresh, then give up.
+            if chip not in self._dirty:
+                self._dirty.add(chip)
+            else:
+                break
+        return None
+
+    def chips_with_work(self) -> np.ndarray:
+        """Chip indices that currently own blocks with pending walks."""
+        counts = self.walk_counts()
+        return np.unique(self.block_chip[counts > 0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubgraphScheduler(blocks={self.n_blocks}, pending="
+            f"{self.total_pending}, refreshes={self.topn_refreshes})"
+        )

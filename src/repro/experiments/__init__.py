@@ -1,0 +1,18 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from . import fig1, fig5, fig6, fig7, fig8, fig9, motivation, tables
+from .harness import ExperimentContext, format_table, full_scale
+
+__all__ = [
+    "fig1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "motivation",
+    "tables",
+    "ExperimentContext",
+    "format_table",
+    "full_scale",
+]

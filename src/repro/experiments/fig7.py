@@ -1,0 +1,67 @@
+"""Figure 7: speedup projection with varied GraphWalker DRAM capacities.
+
+The paper fixes FlashWalker and gives GraphWalker 4, 8, and 16 GB of
+memory; running the same graph against less memory emulates a *larger*
+graph, so the 4 GB column projects FlashWalker's advantage upward and
+the 16 GB column downward.  Scaled equivalents: 2, 4, 8 MB.
+
+Expected shapes: speedup decreases monotonically (or near-) as
+GraphWalker memory grows; the drop is mild for CW (graph still >> any
+memory) and for TT (already fits at the default).
+"""
+
+from __future__ import annotations
+
+from ..common.config import GraphWalkerConfig, PAPER_SCALE
+from ..common.units import GB
+from .harness import ExperimentContext, format_table
+
+__all__ = ["run", "main", "PAPER_MEMORY_GB"]
+
+#: GraphWalker memory points from the paper, in (unscaled) GB.
+PAPER_MEMORY_GB = (4, 8, 16)
+
+
+def run(
+    ctx: ExperimentContext,
+    datasets: list[str] | None = None,
+    memory_gb: tuple[int, ...] = PAPER_MEMORY_GB,
+) -> list[dict]:
+    rows = []
+    for name in datasets or ctx.datasets:
+        fw = ctx.run_flashwalker(name)
+        for gb in memory_gb:
+            scaled = max(128 * 1024, gb * GB // PAPER_SCALE)
+            cfg = GraphWalkerConfig(memory_bytes=scaled)
+            gw = ctx.run_graphwalker(name, config=cfg)
+            rows.append(
+                {
+                    "dataset": name,
+                    "gw_memory_GB(paper)": gb,
+                    "fw_ms": fw.elapsed * 1e3,
+                    "gw_ms": gw.elapsed * 1e3,
+                    "speedup": gw.elapsed / fw.elapsed,
+                }
+            )
+    return rows
+
+
+def main() -> str:
+    ctx = ExperimentContext()
+    rows = run(ctx)
+    out = (
+        "Figure 7: FlashWalker speedup over GraphWalker with varied DRAM\n"
+        + format_table(rows)
+    )
+    # shape check: per dataset, larger memory -> no big speedup increase
+    for name in ctx.datasets:
+        sub = [r["speedup"] for r in rows if r["dataset"] == name]
+        trend = "monotone-down" if all(
+            a >= b * 0.9 for a, b in zip(sub, sub[1:])
+        ) else "mixed"
+        out += f"\n{name}: speedups {['%.2f' % s for s in sub]} ({trend})"
+    return out
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,168 @@
+"""Shared experiment harness.
+
+Builds dataset graphs once per process, instantiates engines with the
+per-dataset configuration (ClueWeb's 2x subgraph size), runs workloads,
+and renders rows.  Every experiment driver (fig1...fig9, tables) builds
+on this.
+
+Scale control: ``size_factor`` shrinks graphs and ``walk_factor``
+shrinks walk counts relative to the paper-scaled defaults, so the same
+drivers serve quick benchmarks (CI-friendly) and full runs
+(``REPRO_FULL=1`` or explicit factors).  Factors only change magnitude,
+never the experimental structure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import DrunkardMob, GraphWalker, GraphWalkerResult
+from ..common.config import FlashWalkerConfig, GraphWalkerConfig
+from ..common.rng import RngRegistry
+from ..core import FlashWalker, RunResult
+from ..graph import CSRGraph, dataset, dataset_names
+from ..walks import WalkSpec
+
+__all__ = ["ExperimentContext", "full_scale", "format_table"]
+
+#: Paper-fixed walk length (Section IV-A).
+WALK_LENGTH = 6
+
+
+def full_scale() -> bool:
+    """True when the environment asks for full (paper-scaled) runs."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@dataclass
+class ExperimentContext:
+    """Graph cache + engine factory for one experiment campaign."""
+
+    seed: int = 3
+    size_factor: float = 1.0
+    walk_factor: float = 1.0
+    datasets: list[str] = field(default_factory=dataset_names)
+    _graphs: dict[str, CSRGraph] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def quick(cls, seed: int = 3) -> "ExperimentContext":
+        """Benchmark-friendly scale: ~10x faster than the default runs."""
+        if full_scale():
+            return cls(seed=seed)
+        return cls(seed=seed, size_factor=0.5, walk_factor=0.125)
+
+    # -- graphs ---------------------------------------------------------------
+
+    def graph(self, name: str) -> CSRGraph:
+        g = self._graphs.get(name)
+        if g is None:
+            g = dataset(name).build(
+                RngRegistry(self.seed).fresh(f"dataset:{name}:{self.size_factor}"),
+                size_factor=self.size_factor,
+            )
+            self._graphs[name] = g
+        return g
+
+    def default_walks(self, name: str) -> int:
+        return max(256, int(dataset(name).default_walks * self.walk_factor))
+
+    # -- engines -------------------------------------------------------------------
+
+    def flashwalker_config(self, name: str, **overrides) -> FlashWalkerConfig:
+        spec = dataset(name)
+        cfg = FlashWalkerConfig()
+        # The dataset's subgraph multiplier (CW: 2x) applies unless the
+        # caller overrides the subgraph size explicitly.
+        overrides.setdefault(
+            "subgraph_bytes", cfg.subgraph_bytes * spec.subgraph_multiplier
+        )
+        return cfg.replace(**overrides)
+
+    def run_flashwalker(
+        self,
+        name: str,
+        num_walks: int | None = None,
+        config: FlashWalkerConfig | None = None,
+        spec: WalkSpec | None = None,
+        seed_offset: int = 0,
+    ) -> RunResult:
+        g = self.graph(name)
+        cfg = config if config is not None else self.flashwalker_config(name)
+        fw = FlashWalker(g, cfg, seed=self.seed + 10 + seed_offset)
+        return fw.run(
+            num_walks=num_walks if num_walks is not None else self.default_walks(name),
+            spec=spec or WalkSpec(length=WALK_LENGTH),
+        )
+
+    def run_graphwalker(
+        self,
+        name: str,
+        num_walks: int | None = None,
+        config: GraphWalkerConfig | None = None,
+        spec: WalkSpec | None = None,
+        seed_offset: int = 0,
+    ) -> GraphWalkerResult:
+        g = self.graph(name)
+        cfg = config or GraphWalkerConfig()
+        # Shrink GraphWalker's memory/blocks with the graph scale so the
+        # graph:memory ratio (the paper's projection variable) holds.
+        if self.size_factor != 1.0:
+            cfg = GraphWalkerConfig(
+                memory_bytes=max(64 * 1024, int(cfg.memory_bytes * self.size_factor)),
+                block_bytes=max(32 * 1024, int(cfg.block_bytes * self.size_factor)),
+                disk_read_bytes_per_sec=cfg.disk_read_bytes_per_sec,
+                io_request_overhead=cfg.io_request_overhead,
+                cpu_hops_per_sec=cfg.cpu_hops_per_sec,
+                walk_pool_spill=cfg.walk_pool_spill,
+            )
+        gw = GraphWalker(g, cfg, seed=self.seed + 20 + seed_offset)
+        return gw.run(
+            num_walks=num_walks if num_walks is not None else self.default_walks(name),
+            spec=spec or WalkSpec(length=WALK_LENGTH),
+        )
+
+    def run_drunkardmob(
+        self,
+        name: str,
+        num_walks: int | None = None,
+        config: GraphWalkerConfig | None = None,
+    ) -> GraphWalkerResult:
+        g = self.graph(name)
+        dm = DrunkardMob(g, config or GraphWalkerConfig(), seed=self.seed + 30)
+        return dm.run(
+            num_walks=num_walks if num_walks is not None else self.default_walks(name),
+            spec=WalkSpec(length=WALK_LENGTH),
+        )
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), max(len(line[i]) for line in cells))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(v.ljust(w) for v, w in zip(line, widths)) for line in cells
+    )
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    if isinstance(v, (np.floating,)):
+        return _fmt(float(v))
+    return str(v)

@@ -1,0 +1,64 @@
+"""Motivation study (Section II-B): iteration-sync vs async vs in-storage.
+
+Not a numbered figure, but the paper's Section II-B argument in data:
+DrunkardMob's iteration-wise synchronization wastes I/O, GraphWalker's
+asynchronous updating recovers much of it, and FlashWalker removes the
+host data path entirely.  Also reports the activity-based energy
+estimates (the paper claims low power overhead but does not quantify;
+see repro.core.energy).
+"""
+
+from __future__ import annotations
+
+from ..core import EnergyModel
+from .harness import ExperimentContext, format_table
+
+__all__ = ["run", "main"]
+
+
+def run(ctx: ExperimentContext, datasets: list[str] | None = None) -> list[dict]:
+    rows = []
+    model = EnergyModel()
+    for name in datasets or ctx.datasets:
+        n = max(256, ctx.default_walks(name) // 4)  # DrunkardMob is slow
+        dm = ctx.run_drunkardmob(name, num_walks=n)
+        gw = ctx.run_graphwalker(name, num_walks=n)
+        fw = ctx.run_flashwalker(name, num_walks=n)
+        area = 14.31 + 32 * 1.84 + 128 * 1.30  # Table II totals
+        e_fw = model.estimate(fw, accel_area_mm2=area)
+        e_gw = model.estimate_graphwalker(gw)
+        e_dm = model.estimate_graphwalker(dm)
+        rows.append(
+            {
+                "dataset": name,
+                "walks": n,
+                "drunkardmob_ms": dm.elapsed * 1e3,
+                "graphwalker_ms": gw.elapsed * 1e3,
+                "flashwalker_ms": fw.elapsed * 1e3,
+                "async_speedup": dm.elapsed / gw.elapsed,
+                "instorage_speedup": gw.elapsed / fw.elapsed,
+                "fw_energy_mJ": e_fw.total * 1e3,
+                "gw_energy_mJ": e_gw.total * 1e3,
+                "dm_energy_mJ": e_dm.total * 1e3,
+            }
+        )
+    return rows
+
+
+def main() -> str:
+    ctx = ExperimentContext()
+    rows = run(ctx)
+    out = (
+        "Motivation (Section II-B): iteration-sync -> async -> in-storage\n"
+        + format_table(rows)
+    )
+    ok = all(
+        r["drunkardmob_ms"] >= r["graphwalker_ms"] >= r["flashwalker_ms"]
+        for r in rows
+    )
+    out += f"\n\nmonotone improvement across all datasets: {ok}"
+    return out
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,60 @@
+"""Command-line runner: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig5 fig9  # selected experiments
+    REPRO_FULL=1 python -m repro.experiments.runner fig8
+
+Quick mode (the default when ``REPRO_FULL`` is unset) shrinks graphs and
+walk counts; full mode runs the paper-scaled defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import fig1, fig5, fig6, fig7, fig8, fig9, motivation, tables
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "tables": tables.main,
+    "fig1": fig1.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "motivation": motivation.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the FlashWalker paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default=["all"],
+        help="which experiments to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    chosen = args.experiments
+    if not chosen or "all" in chosen:
+        chosen = list(EXPERIMENTS)
+    for name in chosen:
+        t0 = time.time()
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(EXPERIMENTS[name]())
+        print(f"\n[{name} finished in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""SSD substrate: NAND timing, channels, FTL, DRAM, host interface."""
+
+from .channel import ONFI_COMMAND_BYTES, FlashChannel
+from .dram import DRAM
+from .ftl import FTL, FlashAddress
+from .hostif import NVME_COMMAND_OVERHEAD, HostInterface
+from .nand import Die, FlashChip, Plane
+from .ssd import SSD
+from .tsu import Transaction, TransactionScheduler, TransactionType
+
+__all__ = [
+    "ONFI_COMMAND_BYTES",
+    "FlashChannel",
+    "DRAM",
+    "FTL",
+    "FlashAddress",
+    "NVME_COMMAND_OVERHEAD",
+    "HostInterface",
+    "Die",
+    "FlashChip",
+    "Plane",
+    "SSD",
+    "Transaction",
+    "TransactionScheduler",
+    "TransactionType",
+]

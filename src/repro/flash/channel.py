@@ -1,0 +1,92 @@
+"""Flash channel model: the ONFI bus plus its chips.
+
+The channel bus is the narrow resource FlashWalker is designed around:
+NV-DDR2 at 333 MB/s versus ~1.8 GB/s of plane bandwidth behind it
+(Section II-C).  Everything that crosses it — page data to the channel
+controller, extended-ONFI commands to chip accelerators, roving walks
+moving up, walk buffers flushing down — pays for bus time here, and the
+byte counters feed the Fig. 8 channel-bandwidth timeline.
+"""
+
+from __future__ import annotations
+
+from ..common.config import SSDConfig
+from ..common.errors import FlashAddressError, FlashError
+from ..sim.resources import BandwidthLink
+from .nand import FlashChip
+
+__all__ = ["FlashChannel", "ONFI_COMMAND_BYTES"]
+
+#: Approximate size of an (extended) ONFI command frame on the bus:
+#: command + address cycles + FlashWalker command payload.
+ONFI_COMMAND_BYTES = 16
+
+
+class FlashChannel:
+    """One flash channel: a serial bus and ``chips_per_channel`` chips."""
+
+    def __init__(self, channel_id: int, cfg: SSDConfig):
+        self.channel_id = channel_id
+        self.cfg = cfg
+        first_chip = channel_id * cfg.chips_per_channel
+        self.chips = [
+            FlashChip(first_chip + i, cfg) for i in range(cfg.chips_per_channel)
+        ]
+        self.bus = BandwidthLink(
+            f"channel{channel_id}.bus", cfg.channel_bytes_per_sec
+        )
+
+    def chip(self, index: int) -> FlashChip:
+        if not 0 <= index < len(self.chips):
+            raise FlashAddressError(
+                f"channel {self.channel_id}: chip index {index} out of range "
+                f"[0, {len(self.chips)})"
+            )
+        return self.chips[index]
+
+    # -- bus operations -----------------------------------------------------------
+
+    def send_command(self, now: float) -> float:
+        """Transfer one command frame; returns completion time."""
+        return self.bus.transfer(now, ONFI_COMMAND_BYTES)
+
+    def transfer_data(self, now: float, nbytes: int | float) -> float:
+        """Move ``nbytes`` of data over the bus; returns completion time."""
+        return self.bus.transfer(now, nbytes)
+
+    def read_page_to_controller(self, now: float, chip: int, die: int, plane: int) -> float:
+        """Full channel read: array sense then bus transfer of the page.
+
+        This is the *conventional* data path (what GraphWalker-era SSDs
+        do for every page); chip-level accelerators skip the bus half.
+        """
+        sensed = self.chip(chip).read_page(now, die, plane)
+        return self.bus.transfer(sensed, self.cfg.page_bytes)
+
+    def write_page_from_controller(
+        self, now: float, chip: int, die: int, plane: int
+    ) -> float:
+        """Full channel write: bus transfer of the page then array program."""
+        arrived = self.bus.transfer(now, self.cfg.page_bytes)
+        return self.chip(chip).program_page(arrived, die, plane)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def bytes_on_bus(self) -> int:
+        return self.bus.bytes_moved
+
+    def bytes_read_from_planes(self) -> int:
+        return sum(c.bytes_read for c in self.chips)
+
+    def bytes_programmed_to_planes(self) -> int:
+        return sum(c.bytes_programmed for c in self.chips)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.bus.utilization(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlashChannel(id={self.channel_id}, chips={len(self.chips)}, "
+            f"bus_bytes={self.bytes_on_bus})"
+        )

@@ -1,0 +1,50 @@
+"""Host interface logic (HIL): NVMe command handling over PCIe.
+
+Models the host-visible data path of Section II-C: I/O commands decoded
+by the HIL, data moving over ``pcie_lanes`` x 1 GB/s.  Used by the
+GraphWalker baseline (all its graph data crosses PCIe) and by
+FlashWalker only for the tiny command/result traffic with the host.
+"""
+
+from __future__ import annotations
+
+from ..common.config import SSDConfig
+from ..common.errors import FlashError
+from ..sim.resources import BandwidthLink
+
+__all__ = ["HostInterface", "NVME_COMMAND_OVERHEAD"]
+
+#: Fixed per-command latency: NVMe submission/completion queue round trip
+#: plus HIL decode.
+NVME_COMMAND_OVERHEAD = 10e-6
+
+
+class HostInterface:
+    """PCIe link + NVMe command accounting."""
+
+    def __init__(self, cfg: SSDConfig, command_overhead: float = NVME_COMMAND_OVERHEAD):
+        if command_overhead < 0:
+            raise FlashError("command_overhead must be non-negative")
+        self.cfg = cfg
+        self.command_overhead = command_overhead
+        self.pcie = BandwidthLink("pcie", cfg.pcie_bytes_per_sec)
+        self.commands = 0
+
+    def submit(self, now: float, nbytes: int | float) -> float:
+        """One NVMe command moving ``nbytes``; returns completion time."""
+        self.commands += 1
+        start = now + self.command_overhead
+        return self.pcie.transfer(start, nbytes)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.pcie.bytes_moved
+
+    def utilization(self, elapsed: float) -> float:
+        return self.pcie.utilization(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HostInterface(commands={self.commands}, "
+            f"bytes={self.bytes_transferred})"
+        )

@@ -1,0 +1,209 @@
+"""NAND flash timing model: planes, dies, chips.
+
+A **plane** is the unit of array access: one read (35 us), program
+(350 us) or erase (2 ms) at a time, with an SRAM page register (Section
+II-C).  A **die** groups planes; a **chip** groups dies and additionally
+caps how many plane operations can be in flight at once
+(``max_concurrent_plane_ops_per_chip``), which is what bounds the paper's
+55.8 GB/s aggregate read throughput.
+
+The model is analytic (no events): operations return completion times and
+update byte/op counters.  Data *transfer* off the chip is the channel's
+job (:mod:`repro.flash.channel`); chip-level accelerators read page
+registers directly and never touch the channel bus — the core of
+FlashWalker's design.
+"""
+
+from __future__ import annotations
+
+from ..common.config import SSDConfig
+from ..common.errors import FlashAddressError, FlashError
+from ..sim.resources import FcfsResource
+
+__all__ = ["Plane", "Die", "FlashChip"]
+
+
+class Plane:
+    """One flash plane: serial array operations + per-op counters."""
+
+    __slots__ = (
+        "plane_id",
+        "busy_until",
+        "reads",
+        "programs",
+        "erases",
+        "bytes_read",
+        "bytes_programmed",
+        "busy_time",
+    )
+
+    def __init__(self, plane_id: int):
+        self.plane_id = plane_id
+        self.busy_until = 0.0
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        self.bytes_read = 0
+        self.bytes_programmed = 0
+        self.busy_time = 0.0
+
+    def occupy(self, now: float, duration: float) -> tuple[float, float]:
+        """Serialize an array op on this plane; returns (start, end)."""
+        if duration < 0:
+            raise FlashError(f"plane {self.plane_id}: negative duration")
+        start = self.busy_until if self.busy_until > now else now
+        end = start + duration
+        self.busy_until = end
+        self.busy_time += duration
+        return start, end
+
+
+class Die:
+    """A die: a set of planes (multi-plane ops run concurrently)."""
+
+    __slots__ = ("die_id", "planes")
+
+    def __init__(self, die_id: int, planes_per_die: int):
+        if planes_per_die < 1:
+            raise FlashError("die needs >= 1 plane")
+        self.die_id = die_id
+        self.planes = [Plane(p) for p in range(planes_per_die)]
+
+
+class FlashChip:
+    """One flash chip: dies x planes plus a chip-level op concurrency cap.
+
+    Page addressing within the chip is ``(die, plane, block, page)``;
+    bounds come from :class:`~repro.common.config.SSDConfig`.
+    """
+
+    def __init__(self, chip_id: int, cfg: SSDConfig):
+        self.chip_id = chip_id
+        self.cfg = cfg
+        self.dies = [Die(d, cfg.planes_per_die) for d in range(cfg.dies_per_chip)]
+        # The chip's internal op dispatcher: at most N plane ops in flight.
+        self._op_slots = FcfsResource(
+            f"chip{chip_id}.ops", cfg.max_concurrent_plane_ops_per_chip
+        )
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        self.bytes_read = 0
+        self.bytes_programmed = 0
+        self._prog_cursor = 0
+
+    # -- addressing -----------------------------------------------------------
+
+    def plane(self, die: int, plane: int) -> Plane:
+        if not 0 <= die < self.cfg.dies_per_chip:
+            raise FlashAddressError(
+                f"chip {self.chip_id}: die {die} out of range "
+                f"[0, {self.cfg.dies_per_chip})"
+            )
+        if not 0 <= plane < self.cfg.planes_per_die:
+            raise FlashAddressError(
+                f"chip {self.chip_id}: plane {plane} out of range "
+                f"[0, {self.cfg.planes_per_die})"
+            )
+        return self.dies[die].planes[plane]
+
+    def check_page_addr(self, die: int, plane: int, block: int, page: int) -> None:
+        self.plane(die, plane)  # validates die/plane
+        if not 0 <= block < self.cfg.blocks_per_plane:
+            raise FlashAddressError(
+                f"chip {self.chip_id}: block {block} out of range "
+                f"[0, {self.cfg.blocks_per_plane})"
+            )
+        if not 0 <= page < self.cfg.pages_per_block:
+            raise FlashAddressError(
+                f"chip {self.chip_id}: page {page} out of range "
+                f"[0, {self.cfg.pages_per_block})"
+            )
+
+    # -- array operations -------------------------------------------------------
+
+    def _array_op(self, now: float, die: int, plane: int, latency: float) -> float:
+        """Run one plane op through the chip dispatcher + the plane."""
+        pl = self.plane(die, plane)
+        # The op occupies both a chip dispatch slot and the plane for the
+        # array time; the tighter of the two constraints dominates.
+        slot_end = self._op_slots.acquire_for(now, latency)
+        start = max(now, slot_end - latency, pl.busy_until)
+        _, end = pl.occupy(start, latency)
+        return end
+
+    def read_page(self, now: float, die: int, plane: int) -> float:
+        """Sense one page into the plane's page register; returns end time."""
+        end = self._array_op(now, die, plane, self.cfg.read_latency)
+        pl = self.plane(die, plane)
+        pl.reads += 1
+        pl.bytes_read += self.cfg.page_bytes
+        self.reads += 1
+        self.bytes_read += self.cfg.page_bytes
+        return end
+
+    def program_page(self, now: float, die: int, plane: int) -> float:
+        """Program one page from the page register; returns end time.
+
+        Programs occupy only the target plane, not the chip's read
+        dispatcher: modern NAND supports program-suspend so pending reads
+        on other planes are not stalled behind 350 us programs.  (Without
+        this, walk write-back traffic would serialize subgraph loads —
+        a distortion of the paper's near-zero write impact, Fig. 8.)
+        """
+        pl = self.plane(die, plane)
+        _, end = pl.occupy(now, self.cfg.program_latency)
+        pl.programs += 1
+        pl.bytes_programmed += self.cfg.page_bytes
+        self.programs += 1
+        self.bytes_programmed += self.cfg.page_bytes
+        return end
+
+    def erase_block(self, now: float, die: int, plane: int) -> float:
+        """Erase one block; returns end time."""
+        end = self._array_op(now, die, plane, self.cfg.erase_latency)
+        self.plane(die, plane).erases += 1
+        self.erases += 1
+        return end
+
+    def program_pages_striped(self, now: float, n_pages: int) -> float:
+        """Program ``n_pages`` at a rotating plane cursor (FTL-style
+        allocation), so repeated small write-backs spread over all planes
+        instead of serializing on one."""
+        if n_pages < 1:
+            raise FlashError(f"n_pages must be >= 1, got {n_pages}")
+        end = now
+        ppd = self.cfg.planes_per_die
+        for _ in range(n_pages):
+            c = self._prog_cursor
+            self._prog_cursor += 1
+            die = (c // ppd) % self.cfg.dies_per_chip
+            plane = c % ppd
+            end = max(end, self.program_page(now, die, plane))
+        return end
+
+    def read_pages_striped(self, now: float, n_pages: int) -> float:
+        """Read ``n_pages`` striped round-robin across this chip's planes.
+
+        Convenience for multi-page subgraph loads; returns the time the
+        last page is available.
+        """
+        if n_pages < 1:
+            raise FlashError(f"n_pages must be >= 1, got {n_pages}")
+        end = now
+        ppd = self.cfg.planes_per_die
+        for i in range(n_pages):
+            die = (i // ppd) % self.cfg.dies_per_chip
+            plane = i % ppd
+            end = max(end, self.read_page(now, die, plane))
+        return end
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean fraction of the chip's op slots busy over ``elapsed``."""
+        return self._op_slots.utilization(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlashChip(id={self.chip_id}, reads={self.reads}, "
+            f"programs={self.programs})"
+        )

@@ -1,0 +1,123 @@
+"""Whole-SSD assembly: channels, chips, FTL, DRAM, host interface.
+
+:class:`SSD` is the substrate both engines run on.  GraphWalker uses the
+*host path* (:meth:`host_read_bytes`): array reads -> channel bus ->
+controller -> PCIe.  FlashWalker's accelerators call into chips and
+channel buses directly, bypassing the narrow links — that asymmetry *is*
+the paper's contribution, so the SSD exposes both paths explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.config import DRAMConfig, SSDConfig
+from ..common.errors import FlashAddressError, FlashError
+from .channel import FlashChannel
+from .dram import DRAM
+from .ftl import FTL, FlashAddress
+from .hostif import HostInterface
+from .nand import FlashChip
+
+__all__ = ["SSD"]
+
+
+class SSD:
+    """Behavioral SSD with the paper's Table I/III geometry."""
+
+    def __init__(self, cfg: SSDConfig | None = None, dram_cfg: DRAMConfig | None = None):
+        self.cfg = (cfg or SSDConfig()).validate()
+        self.channels = [FlashChannel(i, self.cfg) for i in range(self.cfg.channels)]
+        self.ftl = FTL(self.cfg)
+        self.dram = DRAM(dram_cfg or DRAMConfig())
+        self.host = HostInterface(self.cfg)
+
+    # -- topology ------------------------------------------------------------
+
+    def channel(self, index: int) -> FlashChannel:
+        if not 0 <= index < len(self.channels):
+            raise FlashAddressError(
+                f"channel {index} out of range [0, {len(self.channels)})"
+            )
+        return self.channels[index]
+
+    def chip(self, channel: int, chip: int) -> FlashChip:
+        return self.channel(channel).chip(chip)
+
+    def chip_flat(self, flat_index: int) -> FlashChip:
+        """Chip by flat index in [0, total_chips)."""
+        cpc = self.cfg.chips_per_channel
+        if not 0 <= flat_index < self.cfg.total_chips:
+            raise FlashAddressError(
+                f"flat chip index {flat_index} out of range "
+                f"[0, {self.cfg.total_chips})"
+            )
+        return self.chip(flat_index // cpc, flat_index % cpc)
+
+    # -- logical I/O through the FTL ------------------------------------------
+
+    def read_lpn_to_controller(self, now: float, lpn: int) -> float:
+        """Read one logical page up to the SSD controller (no PCIe)."""
+        addr = self.ftl.lookup(lpn)
+        ch = self.channel(addr.channel)
+        return ch.read_page_to_controller(now, addr.chip, addr.die, addr.plane)
+
+    def write_lpn_from_controller(
+        self, now: float, lpn: int, plane_hint: int | None = None
+    ) -> float:
+        """Allocate + program one logical page from the controller."""
+        addr = self.ftl.write(lpn, plane_hint=plane_hint)
+        ch = self.channel(addr.channel)
+        return ch.write_page_from_controller(now, addr.chip, addr.die, addr.plane)
+
+    # -- host path (GraphWalker's view) ------------------------------------------
+
+    def host_read_bytes(self, now: float, nbytes: int | float) -> float:
+        """Sequential host read of ``nbytes`` striped over all channels.
+
+        Internal arrays/channels work in parallel; the host sees the
+        *slower* of the internal pipeline and the PCIe link — with Table
+        III parameters PCIe (4 GB/s) is slower than 32 channels
+        (10.7 GB/s), so large host reads run at PCIe speed, exactly the
+        bottleneck Fig. 1 blames.
+        """
+        if nbytes < 0:
+            raise FlashError(f"negative read size {nbytes}")
+        n_pages = max(1, int(np.ceil(nbytes / self.cfg.page_bytes)))
+        # Internal service time: pages striped perfectly over channels.
+        pages_per_channel = -(-n_pages // self.cfg.channels)
+        internal = self.cfg.read_latency + pages_per_channel * (
+            self.cfg.page_bytes / self.cfg.channel_bytes_per_sec
+        )
+        # Count array + bus traffic on the channels actually used.
+        remaining = n_pages
+        for ch in self.channels:
+            take = min(pages_per_channel, remaining)
+            if take <= 0:
+                break
+            for p in range(take):
+                chip = p % self.cfg.chips_per_channel
+                die = (p // self.cfg.chips_per_channel) % self.cfg.dies_per_chip
+                plane = p % self.cfg.planes_per_die
+                ch.chip(chip).read_page(now, die, plane)
+            ch.bus.transfer(now, take * self.cfg.page_bytes)
+            remaining -= take
+        ready = now + internal
+        return self.host.submit(ready, nbytes)
+
+    # -- aggregate accounting ----------------------------------------------------
+
+    def bytes_read_from_planes(self) -> int:
+        return sum(ch.bytes_read_from_planes() for ch in self.channels)
+
+    def bytes_programmed_to_planes(self) -> int:
+        return sum(ch.bytes_programmed_to_planes() for ch in self.channels)
+
+    def bytes_on_channel_buses(self) -> int:
+        return sum(ch.bytes_on_bus for ch in self.channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSD({self.cfg.channels}ch x {self.cfg.chips_per_channel}chips, "
+            f"read={self.bytes_read_from_planes()}B)"
+        )

@@ -1,0 +1,144 @@
+"""Transaction Scheduling Unit (TSU): prioritized flash command queues.
+
+MQSim (the paper's SSD simulator) schedules flash transactions through
+per-channel queues with type priorities — reads before programs before
+erases — because read latency is user-visible while programs/erases can
+wait.  This module reproduces that behavioral layer on top of the raw
+chip/channel timing models: callers enqueue transactions, the TSU
+dispatches them respecting chip-level plane concurrency and the
+priority order, and returns per-transaction completion times.
+
+FlashWalker's accelerators bypass the host TSU by design (they issue
+chip-local reads), so the engine does not route through this module;
+it exists as substrate completeness, is exercised by tests, and backs
+the ``queued`` host-read mode of :class:`~repro.flash.ssd.SSD` users
+who want queueing-fidelity host I/O.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from ..common.errors import FlashError
+from .channel import FlashChannel
+
+__all__ = ["TransactionType", "Transaction", "TransactionScheduler"]
+
+
+class TransactionType(IntEnum):
+    """Priority order: lower value = dispatched first."""
+
+    READ = 0
+    PROGRAM = 1
+    ERASE = 2
+
+
+@dataclass(order=True)
+class Transaction:
+    """One flash transaction awaiting dispatch."""
+
+    sort_key: tuple = field(init=False, repr=False)
+    ttype: TransactionType = field(compare=False)
+    issue_time: float = field(compare=False)
+    chip: int = field(compare=False)
+    die: int = field(compare=False)
+    plane: int = field(compare=False)
+    seq: int = field(compare=False, default=0)
+    completion_time: float | None = field(compare=False, default=None)
+
+    def __post_init__(self):
+        # Priority by type, then FIFO by issue time and sequence.
+        self.sort_key = (int(self.ttype), self.issue_time, self.seq)
+
+
+class TransactionScheduler:
+    """Per-channel TSU over one :class:`FlashChannel`.
+
+    ``enqueue`` accepts transactions in non-decreasing issue-time order;
+    ``dispatch_until`` drains everything issued up to a time horizon and
+    stamps ``completion_time`` on each transaction.  Reads overtake
+    queued programs/erases (read-priority scheduling), matching MQSim's
+    default policy.
+    """
+
+    def __init__(self, channel: FlashChannel):
+        self.channel = channel
+        self._queue: list[Transaction] = []
+        self._seq = itertools.count()
+        self._last_issue = 0.0
+        self.dispatched = 0
+
+    def enqueue(
+        self,
+        ttype: TransactionType,
+        issue_time: float,
+        chip: int,
+        die: int,
+        plane: int,
+    ) -> Transaction:
+        if issue_time < self._last_issue:
+            raise FlashError(
+                f"transactions must be enqueued in time order "
+                f"({issue_time} < {self._last_issue})"
+            )
+        self._last_issue = issue_time
+        self.channel.chip(chip).check_page_addr(die, plane, 0, 0)
+        txn = Transaction(
+            ttype=ttype,
+            issue_time=issue_time,
+            chip=chip,
+            die=die,
+            plane=plane,
+            seq=next(self._seq),
+        )
+        heapq.heappush(self._queue, txn)
+        return txn
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def dispatch_until(self, horizon: float) -> list[Transaction]:
+        """Dispatch every queued transaction issued at or before ``horizon``.
+
+        Returns the dispatched transactions in dispatch order with
+        ``completion_time`` set.  Data transfers for reads cross the
+        channel bus after the array op; programs pay the bus before the
+        array op; erases have no data phase.
+        """
+        done: list[Transaction] = []
+        deferred: list[Transaction] = []
+        cfg = self.channel.cfg
+        while self._queue:
+            txn = heapq.heappop(self._queue)
+            if txn.issue_time > horizon:
+                deferred.append(txn)
+                continue
+            chip = self.channel.chip(txn.chip)
+            start = txn.issue_time
+            if txn.ttype is TransactionType.READ:
+                sensed = chip.read_page(start, txn.die, txn.plane)
+                txn.completion_time = self.channel.bus.transfer(
+                    sensed, cfg.page_bytes
+                )
+            elif txn.ttype is TransactionType.PROGRAM:
+                arrived = self.channel.bus.transfer(start, cfg.page_bytes)
+                txn.completion_time = chip.program_page(
+                    arrived, txn.die, txn.plane
+                )
+            else:
+                txn.completion_time = chip.erase_block(start, txn.die, txn.plane)
+            done.append(txn)
+            self.dispatched += 1
+        for txn in deferred:
+            heapq.heappush(self._queue, txn)
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionScheduler(ch={self.channel.channel_id}, "
+            f"pending={self.pending}, dispatched={self.dispatched})"
+        )

@@ -1,0 +1,235 @@
+"""Compressed Sparse Row graph representation.
+
+The whole library operates on :class:`CSRGraph`: an ``offsets`` array of
+length ``n+1`` and an ``edges`` array holding destination vertex IDs,
+exactly the layout the paper stores in graph blocks (Section III-B).
+Optionally a parallel ``weights`` array supports biased random walks, with
+a lazily-built cumulative-weight array for Inverse Transform Sampling.
+
+Everything is NumPy, vectorized, and copy-free where possible (views for
+adjacency slices), per the hpc-parallel guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Directed graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        int64 array of length ``num_vertices + 1``; ``offsets[v]:offsets[v+1]``
+        indexes vertex ``v``'s out-edges in ``edges``.
+    edges:
+        destination vertex IDs (any integer dtype; stored as given).
+    weights:
+        optional positive float edge weights aligned with ``edges``.
+    """
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        edges: np.ndarray,
+        weights: np.ndarray | None = None,
+    ):
+        offsets = np.asarray(offsets, dtype=np.int64)
+        edges = np.asarray(edges)
+        if offsets.ndim != 1 or edges.ndim != 1:
+            raise GraphError("offsets and edges must be 1-D arrays")
+        if offsets.size == 0:
+            raise GraphError("offsets must have length >= 1")
+        if offsets[0] != 0:
+            raise GraphError(f"offsets[0] must be 0, got {offsets[0]}")
+        if offsets[-1] != edges.size:
+            raise GraphError(
+                f"offsets[-1] ({offsets[-1]}) must equal len(edges) ({edges.size})"
+            )
+        if offsets.size > 1 and np.any(np.diff(offsets) < 0):
+            raise GraphError("offsets must be non-decreasing")
+        if edges.size and not np.issubdtype(edges.dtype, np.integer):
+            raise GraphError(f"edges must be an integer array, got {edges.dtype}")
+        n = offsets.size - 1
+        if edges.size and (edges.min() < 0 or edges.max() >= n):
+            raise GraphError(
+                f"edge destinations must be in [0, {n}), got range "
+                f"[{edges.min()}, {edges.max()}]"
+            )
+        self.offsets = offsets
+        self.edges = edges
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != edges.shape:
+                raise GraphError(
+                    f"weights shape {weights.shape} != edges shape {edges.shape}"
+                )
+            if weights.size and weights.min() <= 0:
+                raise GraphError("edge weights must be strictly positive")
+        self.weights = weights
+        self._cumweights: np.ndarray | None = None
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def out_degree(self, v: int | np.ndarray) -> np.ndarray | int:
+        """Out-degree of vertex ``v`` (scalar or vectorized)."""
+        deg = self.offsets[np.asarray(v) + 1] - self.offsets[np.asarray(v)]
+        if np.isscalar(v) or (isinstance(v, np.ndarray) and v.ndim == 0):
+            return int(deg)
+        return deg
+
+    def out_degrees(self) -> np.ndarray:
+        """All out-degrees as an int64 array of length ``num_vertices``."""
+        return np.diff(self.offsets)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View (no copy) of vertex ``v``'s out-neighbors."""
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self.edges[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        """View of vertex ``v``'s out-edge weights (requires weighted graph)."""
+        if self.weights is None:
+            raise GraphError("graph is unweighted")
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self.weights[self.offsets[v] : self.offsets[v + 1]]
+
+    def in_degrees(self) -> np.ndarray:
+        """All in-degrees (counts of incoming edges)."""
+        return np.bincount(self.edges, minlength=self.num_vertices).astype(np.int64)
+
+    # -- sampling support -------------------------------------------------------
+
+    def cumulative_weights(self) -> np.ndarray:
+        """Per-vertex cumulative weight lists, concatenated (ITS support).
+
+        ``cumweights[offsets[v]:offsets[v+1]]`` is the inclusive prefix sum
+        of vertex ``v``'s edge weights — the CL list of Section III-B.
+        Built lazily and cached.
+        """
+        if self.weights is None:
+            raise GraphError("cumulative weights require a weighted graph")
+        if self._cumweights is None:
+            cw = np.cumsum(self.weights)
+            # Subtract each vertex's starting total so every list restarts at
+            # its own first weight.
+            base = np.zeros_like(cw)
+            starts = self.offsets[:-1]
+            valid = starts < self.offsets[1:]
+            seg_base = np.where(starts > 0, cw[starts - 1], 0.0)
+            lengths = np.diff(self.offsets)
+            base = np.repeat(seg_base[valid], lengths[valid])
+            self._cumweights = cw - base
+        return self._cumweights
+
+    def sum_weights(self) -> np.ndarray:
+        """Total out-edge weight per vertex (``sumWeight`` of Section III-B)."""
+        if self.weights is None:
+            raise GraphError("sum weights require a weighted graph")
+        cw = self.cumulative_weights()
+        totals = np.zeros(self.num_vertices)
+        ends = self.offsets[1:] - 1
+        nonempty = self.offsets[1:] > self.offsets[:-1]
+        totals[nonempty] = cw[ends[nonempty]]
+        return totals
+
+    # -- conversions -------------------------------------------------------------
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_vertices: int | None = None,
+        weights: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel source/destination arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError(f"src shape {src.shape} != dst shape {dst.shape}")
+        if src.size and src.min() < 0:
+            raise GraphError("negative source vertex")
+        if num_vertices is None:
+            num_vertices = int(max(src.max(), dst.max()) + 1) if src.size else 0
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        dst_sorted = dst[order]
+        counts = np.bincount(src_sorted, minlength=num_vertices)
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        w_sorted = None
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != src.shape:
+                raise GraphError("weights must align with edges")
+            w_sorted = weights[order]
+        return cls(offsets, dst_sorted, w_sorted)
+
+    def to_edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """(src, dst) arrays; inverse of :meth:`from_edge_list` up to order."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees())
+        return src, self.edges.astype(np.int64)
+
+    def with_uniform_weights(self) -> "CSRGraph":
+        """Copy of this graph with all-ones weights (for biased-walk tests)."""
+        return CSRGraph(self.offsets, self.edges, np.ones(self.num_edges))
+
+    def subgraph_view(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """(offsets, edges) views for the vertex range [lo, hi] inclusive.
+
+        The returned offsets are rebased to 0 — this is exactly the content
+        of a graph block holding vertices lo..hi.
+        """
+        if not (0 <= lo <= hi < self.num_vertices):
+            raise GraphError(f"bad vertex range [{lo}, {hi}]")
+        off = self.offsets[lo : hi + 2] - self.offsets[lo]
+        edg = self.edges[self.offsets[lo] : self.offsets[hi + 1]]
+        return off, edg
+
+    # -- memory accounting ---------------------------------------------------------
+
+    def csr_bytes(self, vid_bytes: int = 4) -> int:
+        """On-disk CSR footprint with ``vid_bytes``-wide IDs (Table IV)."""
+        if vid_bytes <= 0:
+            raise GraphError(f"vid_bytes must be positive, got {vid_bytes}")
+        return (self.num_vertices + 1) * vid_bytes + self.num_edges * vid_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        w = ", weighted" if self.is_weighted else ""
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges}{w})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        same = np.array_equal(self.offsets, other.offsets) and np.array_equal(
+            self.edges, other.edges
+        )
+        if not same:
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None:
+            return np.allclose(self.weights, other.weights)
+        return True
+
+    __hash__ = None  # mutable arrays -> unhashable

@@ -1,0 +1,123 @@
+"""Graph I/O: edge-list text files and a binary CSR format.
+
+Text format is the usual whitespace-separated ``src dst [weight]`` per
+line with ``#`` comments — what SNAP/network-repository datasets use and
+what GraphWalker ingests.  The binary format is a small header + raw
+NumPy arrays, the equivalent of the paper's preprocessed CSR inputs
+(Table IV quotes both "CSR Size" and "Text Size").
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import GraphError
+from .csr import CSRGraph
+
+__all__ = ["write_edge_list", "read_edge_list", "save_csr", "load_csr"]
+
+_MAGIC = b"FWCSR1\x00\x00"
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path, header: str = "") -> None:
+    """Write ``graph`` as a text edge list (optionally with weights)."""
+    path = Path(path)
+    src, dst = graph.to_edge_list()
+    with path.open("w") as f:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        f.write(f"# vertices: {graph.num_vertices} edges: {graph.num_edges}\n")
+        if graph.is_weighted:
+            for s, d, w in zip(src, dst, graph.weights):
+                f.write(f"{s} {d} {w:.17g}\n")
+        else:
+            np.savetxt(f, np.column_stack([src, dst]), fmt="%d")
+
+
+def read_edge_list(
+    path: str | Path, num_vertices: int | None = None, weighted: bool = False
+) -> CSRGraph:
+    """Parse a text edge list into a CSR graph.
+
+    Lines starting with ``#`` or ``%`` are comments.  With ``weighted``,
+    a third column is required on every edge line.
+    """
+    path = Path(path)
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    with path.open() as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'src dst', got {line!r}")
+            try:
+                srcs.append(int(parts[0]))
+                dsts.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: bad vertex id: {line!r}") from exc
+            if weighted:
+                if len(parts) < 3:
+                    raise GraphError(f"{path}:{lineno}: missing weight: {line!r}")
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphError(f"{path}:{lineno}: bad weight: {line!r}") from exc
+    w = np.array(weights) if weighted else None
+    return CSRGraph.from_edge_list(
+        np.array(srcs, dtype=np.int64),
+        np.array(dsts, dtype=np.int64),
+        num_vertices=num_vertices,
+        weights=w,
+    )
+
+
+def save_csr(graph: CSRGraph, path: str | Path) -> int:
+    """Serialise ``graph`` to the binary CSR format; returns bytes written."""
+    path = Path(path)
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    flags = 1 if graph.is_weighted else 0
+    buf.write(struct.pack("<qqq", graph.num_vertices, graph.num_edges, flags))
+    buf.write(graph.offsets.astype("<i8").tobytes())
+    buf.write(graph.edges.astype("<i8").tobytes())
+    if graph.is_weighted:
+        buf.write(graph.weights.astype("<f8").tobytes())
+    data = buf.getvalue()
+    path.write_bytes(data)
+    return len(data)
+
+
+def load_csr(path: str | Path) -> CSRGraph:
+    """Load a graph written by :func:`save_csr`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < len(_MAGIC) + 24 or data[: len(_MAGIC)] != _MAGIC:
+        raise GraphError(f"{path}: not a FlashWalker CSR file")
+    off = len(_MAGIC)
+    n, m, flags = struct.unpack_from("<qqq", data, off)
+    off += 24
+    if n < 0 or m < 0:
+        raise GraphError(f"{path}: corrupt header (n={n}, m={m})")
+    need = (n + 1) * 8 + m * 8 + (m * 8 if flags & 1 else 0)
+    if len(data) - off != need:
+        raise GraphError(
+            f"{path}: truncated or oversized payload "
+            f"(expected {need} bytes, found {len(data) - off})"
+        )
+    offsets = np.frombuffer(data, dtype="<i8", count=n + 1, offset=off).copy()
+    off += (n + 1) * 8
+    edges = np.frombuffer(data, dtype="<i8", count=m, offset=off).copy()
+    off += m * 8
+    weights = None
+    if flags & 1:
+        weights = np.frombuffer(data, dtype="<f8", count=m, offset=off).copy()
+    return CSRGraph(offsets, edges, weights)

@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel: engine, resources, statistics."""
+
+from .engine import Event, Simulator
+from .resources import BandwidthLink, FcfsResource
+from .stats import Counter, Histogram, StatsRegistry, TimeSeries
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "BandwidthLink",
+    "FcfsResource",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "TimeSeries",
+]

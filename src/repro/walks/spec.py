@@ -1,0 +1,85 @@
+"""Walk specifications: how walks start, step, and terminate.
+
+Section II-A taxonomy: *unbiased* vs *biased* (edge weights via ITS),
+*static* vs *dynamic* (sampling distribution depends on walk state), and
+two termination conditions (fixed hop count, or stop probability per
+hop).  A :class:`WalkSpec` bundles these for both engines and the
+reference walker; algorithm presets live in
+:mod:`repro.walks.algorithms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import WalkError
+from ..graph.csr import CSRGraph
+
+__all__ = ["WalkSpec", "start_vertices"]
+
+
+@dataclass(frozen=True)
+class WalkSpec:
+    """Parameters of one random-walk workload.
+
+    ``length``: hop budget per walk (the paper fixes 6 in all
+    experiments).  ``stop_probability``: if > 0, each completed hop
+    additionally terminates the walk with this probability (termination
+    condition 2 of Section II-A; used by PPR).  ``biased``: sample next
+    hops by edge weight via ITS instead of uniformly (requires a
+    weighted graph).
+    """
+
+    length: int = 6
+    stop_probability: float = 0.0
+    biased: bool = False
+
+    def validate(self, graph: CSRGraph | None = None) -> "WalkSpec":
+        if self.length < 1:
+            raise WalkError(f"walk length must be >= 1, got {self.length}")
+        if not 0.0 <= self.stop_probability < 1.0:
+            raise WalkError(
+                f"stop_probability must be in [0, 1), got {self.stop_probability}"
+            )
+        if self.biased and graph is not None and graph.weights is None:
+            raise WalkError("biased walks require a weighted graph")
+        return self
+
+    def apply_stop_probability(
+        self, hop: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Decrement-to-zero mask for probabilistic termination.
+
+        Given remaining-hop counts after a step, returns the mask of
+        walks that terminate *now* due to ``stop_probability``.
+        """
+        if self.stop_probability <= 0.0 or hop.size == 0:
+            return np.zeros(hop.shape, dtype=bool)
+        return rng.random(hop.shape[0]) < self.stop_probability
+
+
+def start_vertices(
+    graph: CSRGraph,
+    num_walks: int,
+    rng: np.random.Generator,
+    sources: np.ndarray | None = None,
+) -> np.ndarray:
+    """Choose start vertices for ``num_walks`` walks.
+
+    With ``sources`` given, walks cycle through them (DeepWalk-style
+    "walks per vertex"); otherwise starts are uniform over all vertices
+    (the paper's "massive vertices" initialization).
+    """
+    if num_walks < 0:
+        raise WalkError(f"negative walk count {num_walks}")
+    if sources is not None:
+        sources = np.asarray(sources, dtype=np.int64)
+        if sources.size == 0:
+            raise WalkError("empty sources array")
+        if sources.min() < 0 or sources.max() >= graph.num_vertices:
+            raise WalkError("source vertex out of range")
+        reps = -(-num_walks // sources.size)
+        return np.tile(sources, reps)[:num_walks]
+    return rng.integers(0, graph.num_vertices, size=num_walks, dtype=np.int64)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the FlashWalker reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import FlashWalkerConfig, RngRegistry
+from repro.graph import CSRGraph, partition_graph, powerlaw_graph, rmat
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def rng(rngs) -> np.random.Generator:
+    return rngs.stream("test")
+
+
+@pytest.fixture
+def small_graph(rng) -> CSRGraph:
+    """A 1024-vertex RMAT graph, skewed, with dead ends."""
+    return rmat(10, 8, rng)
+
+
+@pytest.fixture
+def skewed_graph(rng) -> CSRGraph:
+    """Power-law graph with dense vertices under a 4 KB block size."""
+    return powerlaw_graph(2000, 60_000, rng, exponent=0.9)
+
+
+@pytest.fixture
+def tiny_config() -> FlashWalkerConfig:
+    """FlashWalker config shrunk for fast engine tests."""
+    return FlashWalkerConfig().replace(
+        partition_subgraphs=64,
+        board_hot_subgraphs=4,
+        channel_hot_subgraphs=1,
+    )
+
+
+@pytest.fixture
+def diamond_graph() -> CSRGraph:
+    """0 -> {1, 2} -> 3 -> 0: deterministic structure for walk checks."""
+    src = np.array([0, 0, 1, 2, 3])
+    dst = np.array([1, 2, 3, 3, 0])
+    return CSRGraph.from_edge_list(src, dst, num_vertices=4)
+
+
+def make_partitioning(graph: CSRGraph, subgraph_bytes: int = 4096):
+    return partition_graph(graph, subgraph_bytes)

@@ -1,0 +1,151 @@
+"""Tests for the GraphWalker and DrunkardMob baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    GraphWalkerConfig,
+    KB,
+    MB,
+    RngRegistry,
+    SimulationError,
+)
+from repro.baselines import DrunkardMob, GraphWalker
+from repro.graph import powerlaw_graph, ring_graph, rmat
+from repro.walks import WalkSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(12, 8, RngRegistry(31).fresh("g"))  # 4096 verts, 32k edges
+
+
+def small_cfg(**kw):
+    defaults = dict(memory_bytes=64 * KB, block_bytes=16 * KB)
+    defaults.update(kw)
+    return GraphWalkerConfig(**defaults)
+
+
+class TestGraphWalker:
+    def test_completes_all_walks(self, graph):
+        gw = GraphWalker(graph, small_cfg(), seed=2)
+        res = gw.run(num_walks=2000, spec=WalkSpec(length=6))
+        assert res.total_walks == 2000
+        assert 0 < res.hops <= 2000 * 6
+
+    def test_breakdown_sums_to_one(self, graph):
+        res = GraphWalker(graph, small_cfg(), seed=2).run(num_walks=500)
+        b = res.breakdown
+        assert b["load_graph"] + b["update_walks"] + b["other"] == pytest.approx(1.0)
+
+    def test_io_bound_when_memory_starved(self, graph):
+        """Fig. 1's condition: graph >> memory => loading dominates."""
+        starved = GraphWalker(
+            graph, small_cfg(memory_bytes=32 * KB, block_bytes=16 * KB), seed=2
+        ).run(num_walks=4000)
+        assert starved.breakdown["load_graph"] > 0.5
+
+    def test_in_memory_graph_loads_each_block_once(self, graph):
+        # Memory holds the whole graph: every block loads exactly once
+        # (the paper's observation for TT/R2B at 8 GB).
+        gw = GraphWalker(graph, small_cfg(memory_bytes=4 * MB), seed=2)
+        res = gw.run(num_walks=3000)
+        assert res.block_loads == gw.part.num_blocks
+        assert res.disk_read_bytes < graph.csr_bytes() * 1.1
+
+    def test_more_memory_less_io(self, graph):
+        small = GraphWalker(
+            graph, small_cfg(memory_bytes=48 * KB), seed=2
+        ).run(num_walks=3000)
+        big = GraphWalker(
+            graph, small_cfg(memory_bytes=512 * KB), seed=2
+        ).run(num_walks=3000)
+        assert big.disk_read_bytes < small.disk_read_bytes
+        assert big.elapsed < small.elapsed
+
+    def test_deterministic(self, graph):
+        r1 = GraphWalker(graph, small_cfg(), seed=7).run(num_walks=500)
+        r2 = GraphWalker(graph, small_cfg(), seed=7).run(num_walks=500)
+        assert r1.elapsed == r2.elapsed
+        assert r1.disk_read_bytes == r2.disk_read_bytes
+
+    def test_walk_pool_spill_writes(self, graph):
+        cfg = small_cfg(walk_pool_spill=32)
+        res = GraphWalker(graph, cfg, seed=2).run(num_walks=5000)
+        assert res.disk_write_bytes > 0
+
+    def test_explicit_starts(self, graph):
+        res = GraphWalker(graph, small_cfg(), seed=1).run(
+            starts=np.arange(64, dtype=np.int64)
+        )
+        assert res.total_walks == 64
+
+    def test_rejects_missing_walks(self, graph):
+        with pytest.raises(SimulationError):
+            GraphWalker(graph, small_cfg(), seed=1).run()
+
+    def test_stop_probability(self, graph):
+        res = GraphWalker(graph, small_cfg(), seed=1).run(
+            num_walks=2000, spec=WalkSpec(length=40, stop_probability=0.5)
+        )
+        assert res.hops < 2000 * 10
+
+    def test_summary_renders(self, graph):
+        res = GraphWalker(graph, small_cfg(), seed=1).run(num_walks=100)
+        assert "walks=100" in res.summary()
+
+    def test_describe(self, graph):
+        assert "GraphWalker" in GraphWalker(graph, small_cfg()).describe()
+
+
+class TestDrunkardMob:
+    def test_completes_all_walks(self, graph):
+        dm = DrunkardMob(graph, small_cfg(), seed=2)
+        res = dm.run(num_walks=1000, spec=WalkSpec(length=5))
+        assert res.total_walks == 1000
+        assert res.counters["iterations"] >= 1
+
+    def test_iteration_sync_slower_than_graphwalker(self, graph):
+        """The motivation of Section II-B: async beats iteration-sync."""
+        cfg = small_cfg()
+        dm = DrunkardMob(graph, cfg, seed=2).run(num_walks=4000)
+        gw = GraphWalker(graph, cfg, seed=2).run(num_walks=4000)
+        assert dm.elapsed > gw.elapsed
+
+    def test_writes_walks_between_iterations(self, graph):
+        res = DrunkardMob(graph, small_cfg(), seed=2).run(num_walks=1000)
+        assert res.disk_write_bytes > 0
+
+    def test_ring_iterations_match_length(self):
+        g = ring_graph(64)  # single block: walks finish in one iteration
+        res = DrunkardMob(g, small_cfg(), seed=1).run(
+            num_walks=50, spec=WalkSpec(length=4)
+        )
+        assert res.counters["iterations"] == 1
+
+    def test_deterministic(self, graph):
+        r1 = DrunkardMob(graph, small_cfg(), seed=9).run(num_walks=300)
+        r2 = DrunkardMob(graph, small_cfg(), seed=9).run(num_walks=300)
+        assert r1.elapsed == r2.elapsed
+
+    def test_rejects_missing_walks(self, graph):
+        with pytest.raises(SimulationError):
+            DrunkardMob(graph, small_cfg(), seed=1).run()
+
+    def test_describe(self, graph):
+        assert "DrunkardMob" in DrunkardMob(graph, small_cfg()).describe()
+
+
+class TestStateAwareScheduling:
+    def test_prioritizes_crowded_blocks(self):
+        """GraphWalker loads the block with most walks first."""
+        g = powerlaw_graph(2000, 40_000, RngRegistry(13).fresh("g"), exponent=0.9)
+        cfg = small_cfg(memory_bytes=32 * KB, block_bytes=16 * KB)
+        gw = GraphWalker(g, cfg, seed=3)
+        # All walks start in the block holding vertex 0.
+        block0 = int(gw.part.block_of_vertex(0))
+        starts = np.full(500, int(gw.part.block_lo[block0]), dtype=np.int64)
+        res = gw.run(starts=starts, spec=WalkSpec(length=1))
+        # One hop each: the first load must be block0 and most walks
+        # resolve quickly -> few loads overall.
+        assert res.block_loads <= gw.part.num_blocks + 2

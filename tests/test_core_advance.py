@@ -1,0 +1,150 @@
+"""Tests for the vectorized walk-advancement kernel."""
+
+import numpy as np
+import pytest
+
+from repro.common import ReproError
+from repro.core import AdvanceContext, WalkBatch, advance_batch
+from repro.graph import partition_graph, path_graph, ring_graph, star_graph
+from repro.walks import WalkSet, WalkSpec, make_sampler
+
+
+def make_ctx(graph, subgraph_bytes=4096, spec=None):
+    part = partition_graph(graph, subgraph_bytes)
+    spec = spec or WalkSpec(length=6)
+    return AdvanceContext.build(graph, part, spec, make_sampler(graph)), part
+
+
+class TestTermination:
+    def test_all_complete_when_everything_loaded(self, rng):
+        g = ring_graph(64)
+        ctx, part = make_ctx(g)
+        batch = WalkBatch(WalkSet.start(np.arange(10), 4))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        assert res.n_completed == 10
+        assert len(res.roving) == 0
+        assert res.hops == 40
+        # each walk advanced 4 hops around the ring
+        np.testing.assert_array_equal(res.completed.hop, np.zeros(10))
+
+    def test_dead_ends_complete_early(self, rng):
+        g = path_graph(4)
+        ctx, part = make_ctx(g)
+        batch = WalkBatch(WalkSet.start(np.array([0, 3]), 10))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        assert res.n_completed == 2
+        # walk from 0 ends at 3 (3 hops); walk from 3 is an instant dead end
+        finals = dict(zip(res.completed.src.tolist(), res.completed.cur.tolist()))
+        assert finals[0] == 3
+        assert finals[3] == 3
+
+    def test_stop_probability_terminates(self, rng):
+        g = ring_graph(64)
+        spec = WalkSpec(length=50, stop_probability=0.5)
+        ctx, part = make_ctx(g, spec=spec)
+        batch = WalkBatch(WalkSet.start(np.zeros(500, dtype=np.int64), 50))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        assert res.n_completed == 500
+        hops_taken = 50 - res.completed.hop
+        assert hops_taken.mean() < 5  # geometric with p=.5 -> mean ~2
+
+    def test_empty_batch(self, rng):
+        g = ring_graph(8)
+        ctx, part = make_ctx(g)
+        res = advance_batch(ctx, WalkBatch(WalkSet.empty()), [0], rng)
+        assert res.hops == 0
+        assert res.n_completed == 0
+
+
+class TestRoving:
+    def test_walks_leave_unloaded_region(self, rng):
+        g = ring_graph(4000)  # spans multiple 4 KB blocks
+        ctx, part = make_ctx(g)
+        assert part.num_blocks >= 2
+        batch = WalkBatch(WalkSet.start(np.zeros(5, dtype=np.int64), 4000))
+        res = advance_batch(ctx, batch, [0], rng)
+        # Ring walks march off block 0's end and rove.
+        assert len(res.roving) == 5
+        assert res.n_completed == 0
+        first_foreign = part.block_hi[0] + 1
+        np.testing.assert_array_equal(res.roving.cur, np.full(5, first_foreign))
+        # Hops consumed so far are recorded in the walk state.
+        assert (res.roving.hop < 4000).all()
+
+    def test_walk_accounting_exact(self, rng, skewed_graph):
+        ctx, part = make_ctx(skewed_graph)
+        n = 300
+        batch = WalkBatch(WalkSet.start(np.arange(n), 6))
+        loaded = list(range(0, part.num_blocks, 3))
+        res = advance_batch(ctx, batch, loaded, rng)
+        assert res.n_completed + len(res.roving) == n
+
+    def test_guide_ops_scale_with_loaded(self, rng, skewed_graph):
+        ctx, part = make_ctx(skewed_graph)
+        batch1 = WalkBatch(WalkSet.start(np.arange(100), 6))
+        batch2 = WalkBatch(WalkSet.start(np.arange(100), 6))
+        few = advance_batch(ctx, batch1, [0], rng)
+        many = advance_batch(ctx, batch2, list(range(8)), rng)
+        assert many.guide_ops >= few.guide_ops
+
+    def test_dense_landing_roves(self, rng):
+        # Star hub is dense: walks arriving at the hub must rove for
+        # pre-walking even if hub slices are loaded.
+        g = star_graph(5000)
+        ctx, part = make_ctx(g)
+        leaf_block = part.block_of_vertex(1)
+        batch = WalkBatch(WalkSet.start(np.array([1, 2, 3]), 6))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        # all walks moved leaf -> hub and stopped there as roving
+        assert len(res.roving) == 3
+        np.testing.assert_array_equal(res.roving.cur, np.zeros(3))
+
+
+class TestPreWalkedResolution:
+    def test_pre_edge_resolved(self, rng):
+        g = star_graph(5000)
+        ctx, part = make_ctx(g)
+        meta = part.dense_meta[0]
+        # Walk at the hub, pre-walked to edge index 42 -> leaf 43.
+        ws = WalkSet(np.array([0]), np.array([0]), np.array([3]))
+        batch = WalkBatch(ws, np.array([42]))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        # The hop resolves to leaf 43 (neighbors are 1..5000 in order),
+        # then the walk continues leaf -> hub -> roves (hub is dense).
+        assert res.hops >= 1
+
+    def test_pre_edge_first_hop_deterministic(self, rng):
+        g = star_graph(3000)
+        ctx, part = make_ctx(g)
+        ws = WalkSet(np.array([0]), np.array([0]), np.array([1]))
+        batch = WalkBatch(ws, np.array([7]))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        assert res.n_completed == 1
+        assert res.completed.cur[0] == g.neighbors(0)[7]
+
+    def test_bad_pre_edge_rejected(self, rng):
+        g = star_graph(3000)
+        ctx, part = make_ctx(g)
+        ws = WalkSet(np.array([0]), np.array([0]), np.array([1]))
+        batch = WalkBatch(ws, np.array([10**9]))
+        with pytest.raises(ReproError):
+            advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+
+
+class TestBiased:
+    def test_bias_steps_counted(self, rng, small_graph):
+        from repro.graph import add_random_weights
+
+        g = add_random_weights(small_graph, rng)
+        part = partition_graph(g, 4096)
+        spec = WalkSpec(length=4, biased=True)
+        ctx = AdvanceContext.build(g, part, spec, make_sampler(g))
+        batch = WalkBatch(WalkSet.start(np.arange(50), 4))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        assert res.bias_steps > 0
+
+    def test_unbiased_has_no_bias_steps(self, rng, small_graph):
+        ctx, part = make_ctx(small_graph)
+        batch = WalkBatch(WalkSet.start(np.arange(50), 4))
+        res = advance_batch(ctx, batch, list(range(part.num_blocks)), rng)
+        assert res.bias_steps == 0

@@ -1,0 +1,171 @@
+"""Tests for walk buffering: WalkBatch, entries, PWB, foreigner store."""
+
+import numpy as np
+import pytest
+
+from repro.common import BufferOverflowError, ReproError
+from repro.core import BlockEntry, ForeignerStore, PartitionWalkBuffer, WalkBatch
+from repro.walks import WalkSet
+
+
+def walks(n, start=0):
+    return WalkSet.start(np.arange(start, start + n), 6)
+
+
+class TestWalkBatch:
+    def test_plain(self):
+        b = WalkBatch(walks(3))
+        assert len(b) == 3
+        assert b.pre_edge is None
+
+    def test_with_pre_edge(self):
+        b = WalkBatch(walks(2), np.array([5, 7]))
+        np.testing.assert_array_equal(b.pre_edge, [5, 7])
+
+    def test_pre_edge_misaligned(self):
+        with pytest.raises(ReproError):
+            WalkBatch(walks(2), np.array([5]))
+
+    def test_merge_plain(self):
+        m = WalkBatch.merge([WalkBatch(walks(2)), WalkBatch(walks(3, 10))])
+        assert len(m) == 5
+        assert m.pre_edge is None
+
+    def test_merge_mixed_pads_minus_one(self):
+        m = WalkBatch.merge(
+            [WalkBatch(walks(2)), WalkBatch(walks(1, 10), np.array([4]))]
+        )
+        np.testing.assert_array_equal(m.pre_edge, [-1, -1, 4])
+
+    def test_merge_empty(self):
+        m = WalkBatch.merge([])
+        assert len(m) == 0
+
+
+class TestBlockEntry:
+    def test_push_and_drain(self):
+        e = BlockEntry()
+        e.push(WalkBatch(walks(4)))
+        e.push(WalkBatch(walks(2, 10)))
+        batch, nb, ns = e.drain()
+        assert (nb, ns) == (6, 0)
+        assert len(batch) == 6
+        assert e.total == 0
+
+    def test_spill_overflow_fifo(self):
+        e = BlockEntry()
+        e.push(WalkBatch(walks(4)))          # oldest
+        e.push(WalkBatch(walks(4, 10)))
+        spilled = e.spill_overflow(capacity=5)
+        assert spilled == 4  # whole oldest batch moves out
+        assert e.buffered_count == 4
+        assert e.spilled_count == 4
+
+    def test_spill_nothing_under_capacity(self):
+        e = BlockEntry()
+        e.push(WalkBatch(walks(3)))
+        assert e.spill_overflow(10) == 0
+
+    def test_drain_merges_both_sides(self):
+        e = BlockEntry()
+        e.push(WalkBatch(walks(4)))
+        e.push(WalkBatch(walks(4, 10)))
+        e.spill_overflow(4)
+        batch, nb, ns = e.drain()
+        assert (nb, ns) == (4, 4)
+        assert len(batch) == 8
+
+    def test_negative_capacity(self):
+        with pytest.raises(BufferOverflowError):
+            BlockEntry().spill_overflow(-1)
+
+
+class TestPartitionWalkBuffer:
+    def make(self, cap=8, dense_cap=12, n_blocks=10):
+        is_dense = np.zeros(n_blocks, dtype=bool)
+        is_dense[3] = True
+        return PartitionWalkBuffer(0, n_blocks - 1, cap, dense_cap, is_dense)
+
+    def test_push_within_capacity(self):
+        pwb = self.make()
+        assert pwb.push(0, WalkBatch(walks(5))) == 0
+        assert pwb.counts(0) == (5, 0)
+
+    def test_push_overflow_spills(self):
+        pwb = self.make(cap=8)
+        pwb.push(1, WalkBatch(walks(6)))
+        spilled = pwb.push(1, WalkBatch(walks(6, 10)))
+        assert spilled == 6  # oldest batch out
+        assert pwb.spill_events == 1
+        assert pwb.walks_spilled == 6
+
+    def test_dense_entries_hold_more(self):
+        pwb = self.make(cap=8, dense_cap=12)
+        assert pwb.capacity_of(3) == 12
+        assert pwb.capacity_of(0) == 8
+        assert pwb.push(3, WalkBatch(walks(11))) == 0
+
+    def test_drain_removes_entry(self):
+        pwb = self.make()
+        pwb.push(2, WalkBatch(walks(4)))
+        batch, nb, ns = pwb.drain(2)
+        assert (nb, ns) == (4, 0)
+        assert pwb.counts(2) == (0, 0)
+        assert pwb.total_walks == 0
+
+    def test_drain_unknown_block_empty(self):
+        pwb = self.make()
+        batch, nb, ns = pwb.drain(7)
+        assert (nb, ns) == (0, 0)
+
+    def test_blocks_with_walks(self):
+        pwb = self.make()
+        pwb.push(0, WalkBatch(walks(1)))
+        pwb.push(5, WalkBatch(walks(1)))
+        assert sorted(pwb.blocks_with_walks()) == [0, 5]
+
+    def test_out_of_partition_rejected(self):
+        pwb = self.make(n_blocks=4)
+        with pytest.raises(ReproError):
+            pwb.push(10, WalkBatch(walks(1)))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PartitionWalkBuffer(0, 3, 0, 1, np.zeros(4, dtype=bool))
+
+
+class TestForeignerStore:
+    def test_push_and_drain(self):
+        fs = ForeignerStore(3)
+        fs.push(1, walks(4))
+        fs.push(1, walks(2, 10))
+        assert fs.count(1) == 6
+        out = fs.drain(1)
+        assert len(out) == 6
+        assert fs.count(1) == 0
+
+    def test_empty_pushes_ignored(self):
+        fs = ForeignerStore(2)
+        fs.push(0, WalkSet.empty())
+        assert fs.total == 0
+
+    def test_partitions_with_walks(self):
+        fs = ForeignerStore(4)
+        fs.push(2, walks(1))
+        fs.push(0, walks(1))
+        np.testing.assert_array_equal(fs.partitions_with_walks(), [0, 2])
+
+    def test_total(self):
+        fs = ForeignerStore(2)
+        fs.push(0, walks(3))
+        fs.push(1, walks(4))
+        assert fs.total == 7
+
+    def test_bounds(self):
+        fs = ForeignerStore(2)
+        with pytest.raises(ReproError):
+            fs.push(5, walks(1))
+        with pytest.raises(ReproError):
+            fs.drain(-1)
+        with pytest.raises(ReproError):
+            ForeignerStore(0)

@@ -1,0 +1,113 @@
+"""Tests for the activity-based energy model."""
+
+import pytest
+
+from repro.common import ReproError, RngRegistry
+from repro.core import EnergyModel, FlashWalker
+from repro.core.metrics import RunResult
+from repro.graph import rmat
+from repro.walks import WalkSpec
+
+
+def fake_result(**kw):
+    defaults = dict(
+        elapsed=1e-3,
+        total_walks=100,
+        flash_read_bytes=40960,   # 10 pages
+        flash_write_bytes=4096,   # 1 page
+        channel_bytes=10_000,
+        dram_bytes=5_000,
+        hops=600,
+        counters={"hops": 600, "walk_queries": 200, "query_search_steps": 800},
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestEnergyModel:
+    def test_component_accounting(self):
+        m = EnergyModel()
+        e = m.estimate(fake_result())
+        assert e.flash == pytest.approx(
+            10 * m.flash_read_per_page + 1 * m.flash_program_per_page
+        )
+        assert e.channel == pytest.approx(10_000 * m.channel_per_byte)
+        assert e.dram == pytest.approx(5_000 * m.dram_per_byte)
+        assert e.total == pytest.approx(
+            e.flash + e.channel + e.dram + e.accelerator + e.leakage
+        )
+
+    def test_leakage_scales_with_area_and_time(self):
+        m = EnergyModel()
+        small = m.estimate(fake_result(), accel_area_mm2=1.0)
+        big = m.estimate(fake_result(), accel_area_mm2=10.0)
+        assert big.leakage == pytest.approx(10 * small.leakage)
+
+    def test_shares_sum_to_one(self):
+        e = EnergyModel().estimate(fake_result(), accel_area_mm2=17.45)
+        assert sum(e.shares().values()) == pytest.approx(1.0)
+
+    def test_power_and_per_hop(self):
+        e = EnergyModel().estimate(fake_result())
+        assert e.mean_power_watt == pytest.approx(e.total / 1e-3)
+        assert e.energy_per_hop == pytest.approx(e.total / 600)
+
+    def test_zero_division_safe(self):
+        e = EnergyModel().estimate(fake_result(elapsed=0.0, hops=0, counters={}))
+        assert e.mean_power_watt == 0.0
+        assert e.energy_per_hop == 0.0
+
+    def test_summary_renders(self):
+        s = EnergyModel().estimate(fake_result()).summary()
+        assert "nJ/hop" in s and "flash" in s
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ReproError):
+            EnergyModel(accel_op=0).validate()
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ReproError):
+            EnergyModel().estimate(fake_result(), accel_area_mm2=-1)
+
+
+class TestEndToEndEnergy:
+    @pytest.fixture(scope="class")
+    def run_pair(self):
+        from repro.baselines import GraphWalker
+        from repro.common import GraphWalkerConfig, KB
+
+        g = rmat(11, 8, RngRegistry(77).fresh("g"))
+        fw = FlashWalker(g, seed=9)
+        fw_res = fw.run(num_walks=3000, spec=WalkSpec(length=6))
+        gw = GraphWalker(
+            g, GraphWalkerConfig(memory_bytes=128 * KB, block_bytes=32 * KB), seed=9
+        )
+        gw_res = gw.run(num_walks=3000, spec=WalkSpec(length=6))
+        return fw, fw_res, gw_res
+
+    def test_flashwalker_energy_positive(self, run_pair):
+        fw, fw_res, _ = run_pair
+        area = (
+            fw.cfg.levels.board.area_mm2
+            + 32 * fw.cfg.levels.channel.area_mm2
+            + 128 * fw.cfg.levels.chip.area_mm2
+        )
+        e = EnergyModel().estimate(fw_res, accel_area_mm2=area)
+        assert e.total > 0
+        assert 0 < e.energy_per_hop < 1e-3
+
+    def test_flash_dominates_flashwalker(self, run_pair):
+        fw, fw_res, _ = run_pair
+        e = EnergyModel().estimate(fw_res)
+        # Random walks are I/O-dominated: array energy leads.
+        assert e.shares()["flash"] > 0.5
+
+    def test_graphwalker_energy_comparable_shape(self, run_pair):
+        _, fw_res, gw_res = run_pair
+        m = EnergyModel()
+        e_gw = m.estimate_graphwalker(gw_res)
+        assert e_gw.total > 0
+        # GraphWalker moves the graph over PCIe: its flash+bus energy
+        # exceeds FlashWalker's bus energy for the same workload.
+        e_fw = m.estimate(fw_res)
+        assert e_gw.flash + e_gw.channel > e_fw.channel

@@ -1,0 +1,88 @@
+"""Tests for run metrics and result summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import RunMetrics, RunResult
+
+
+class TestRunMetrics:
+    def test_traffic_totals(self):
+        m = RunMetrics()
+        m.record_flash_read(0.0, 4096)
+        m.record_flash_read(1e-3, 4096)
+        m.record_flash_write(0.0, 1024)
+        m.record_channel(0.0, 512)
+        m.record_dram(0.0, 256)
+        res = m.finalize(elapsed=2e-3, total_walks=10)
+        assert res.flash_read_bytes == 8192
+        assert res.flash_write_bytes == 1024
+        assert res.channel_bytes == 512
+        assert res.dram_bytes == 256
+
+    def test_spread_recording_conserves_bytes(self):
+        m = RunMetrics()
+        m.record_channel(0.0, 10_000, t_end=1e-3)
+        assert m.channel.total == pytest.approx(10_000)
+
+    def test_spread_limits_peak_rate(self):
+        m = RunMetrics()
+        # 1 MB over 1 ms = 1 GB/s; recorded at a point it would read as
+        # 1 MB / 50 us = 20 GB/s.
+        m.record_channel(0.0, 1 << 20, t_end=1e-3)
+        m.record_completed(1e-3, 1)
+        res = m.finalize(elapsed=1e-3, total_walks=1)
+        _, rate = res.bandwidth_series(rebins=20)["channel"]
+        assert rate.max() < 1.5e9
+
+    def test_completion_progress(self):
+        m = RunMetrics()
+        m.record_completed(0.0, 5)
+        m.record_completed(1e-3, 15)
+        res = m.finalize(elapsed=2e-3, total_walks=20)
+        t, frac = res.bandwidth_series(rebins=10)["progress"]
+        assert frac[-1] == pytest.approx(1.0)
+        assert (np.diff(frac) >= -1e-12).all()
+
+    def test_counters_snapshot(self):
+        m = RunMetrics()
+        m.hops.add(100)
+        m.queries.add(5)
+        res = m.finalize(elapsed=1.0, total_walks=1)
+        assert res.counters["hops"] == 100
+        assert res.counters["walk_queries"] == 5
+
+
+class TestRunResult:
+    def make(self, **kw):
+        defaults = dict(
+            elapsed=2.0,
+            total_walks=100,
+            flash_read_bytes=2_000_000,
+            flash_write_bytes=0,
+            channel_bytes=10,
+            dram_bytes=5,
+            hops=600,
+        )
+        defaults.update(kw)
+        return RunResult(**defaults)
+
+    def test_derived_rates(self):
+        r = self.make()
+        assert r.flash_read_bandwidth == pytest.approx(1_000_000)
+        assert r.walks_per_sec == pytest.approx(50)
+        assert r.hops_per_sec == pytest.approx(300)
+
+    def test_zero_elapsed_safe(self):
+        r = self.make(elapsed=0.0)
+        assert r.flash_read_bandwidth == 0.0
+        assert r.walks_per_sec == 0.0
+
+    def test_series_requires_metrics(self):
+        with pytest.raises(ValueError):
+            self.make().bandwidth_series()
+
+    def test_summary_renders(self):
+        s = self.make().summary()
+        assert "walks=100" in s
+        assert "read=" in s

@@ -1,0 +1,125 @@
+"""Cross-validation: the FlashWalker engine against the reference walker.
+
+With ``record_finals`` the engine exposes every completed walk's final
+vertex; those must follow the same distribution as the in-memory
+reference walker's finals.  These are the strongest end-to-end checks
+that the in-storage machinery (pre-walking, spilling, partitions, hot
+subgraphs) never distorts walk semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import FlashWalkerConfig, RngRegistry
+from repro.core import FlashWalker
+from repro.graph import path_graph, powerlaw_graph, ring_graph, rmat, star_graph
+from repro.walks import WalkSpec, reference_walks
+
+
+def final_histogram(graph, n_walks, length, engine_seed, starts=None, cfg=None):
+    fw = FlashWalker(graph, cfg, seed=engine_seed)
+    if starts is None:
+        starts = RngRegistry(engine_seed).fresh("s").integers(
+            0, graph.num_vertices, size=n_walks
+        )
+    res = fw.run(starts=starts.astype(np.int64), spec=WalkSpec(length=length),
+                 record_finals=True)
+    finals = res.finals
+    assert len(finals) == n_walks
+    return np.bincount(finals.cur, minlength=graph.num_vertices), starts
+
+
+class TestFinalsRecording:
+    def test_finals_absent_by_default(self, small_graph):
+        res = FlashWalker(small_graph, seed=1).run(num_walks=100)
+        assert res.finals is None
+
+    def test_finals_count_matches(self, small_graph):
+        res = FlashWalker(small_graph, seed=1).run(
+            num_walks=500, record_finals=True
+        )
+        assert len(res.finals) == 500
+        assert res.counters["finals_recorded"] == 500
+
+    def test_finals_src_preserved(self):
+        g = ring_graph(100)
+        starts = np.arange(50, dtype=np.int64)
+        res = FlashWalker(g, seed=2).run(
+            starts=starts, spec=WalkSpec(length=3), record_finals=True
+        )
+        np.testing.assert_array_equal(np.sort(res.finals.src), starts)
+
+    def test_deterministic_graph_exact_finals(self):
+        g = ring_graph(500)
+        starts = np.arange(100, dtype=np.int64)
+        res = FlashWalker(g, seed=2).run(
+            starts=starts, spec=WalkSpec(length=7), record_finals=True
+        )
+        # Ring: final = src + 7 (mod 500), regardless of arrival order.
+        finals = {int(s): int(c) for s, c in zip(res.finals.src, res.finals.cur)}
+        for s in range(100):
+            assert finals[s] == (s + 7) % 500
+
+    def test_dead_end_finals(self):
+        g = path_graph(50)
+        starts = np.full(20, 45, dtype=np.int64)
+        res = FlashWalker(g, seed=3).run(
+            starts=starts, spec=WalkSpec(length=10), record_finals=True
+        )
+        np.testing.assert_array_equal(res.finals.cur, np.full(20, 49))
+
+
+class TestDistributionAgreement:
+    def _compare(self, graph, n_walks=6000, length=4, cfg=None, tol=4.0):
+        """Chi-square-style comparison of engine vs reference finals."""
+        hist_fw, starts = final_histogram(graph, n_walks, length, 7, cfg=cfg)
+        rng = RngRegistry(99).fresh("ref")
+        ref = reference_walks(graph, starts, WalkSpec(length=length), rng)
+        hist_ref = np.bincount(ref["final"], minlength=graph.num_vertices)
+        assert hist_fw.sum() == hist_ref.sum() == n_walks
+        # Compare on aggregated buckets (top-degree vertices + rest).
+        order = np.argsort(hist_ref)[::-1]
+        top = order[:20]
+        p_fw = hist_fw[top] / n_walks
+        p_ref = hist_ref[top] / n_walks
+        sigma = np.sqrt(np.maximum(p_ref, 1e-5) / n_walks)
+        assert np.all(np.abs(p_fw - p_ref) < tol * sigma + 0.01), (
+            p_fw,
+            p_ref,
+        )
+
+    def test_rmat_agreement(self):
+        g = rmat(10, 8, RngRegistry(5).fresh("g"))
+        self._compare(g)
+
+    def test_powerlaw_agreement(self):
+        g = powerlaw_graph(1500, 40_000, RngRegistry(6).fresh("g"), exponent=0.8)
+        self._compare(g)
+
+    def test_star_agreement_with_prewalking(self):
+        """Pre-walking must keep the hub's neighbor choice uniform."""
+        g = star_graph(6000)
+        n = 6000
+        starts = np.zeros(n, dtype=np.int64)  # all from the hub
+        hist, _ = final_histogram(g, n, 1, 8, starts=starts)
+        # One hop from the hub: uniform over 6000 leaves.
+        assert hist[0] == 0
+        leaves = hist[1:]
+        assert leaves.sum() == n
+        # Occupancy spread consistent with uniform sampling.
+        assert leaves.max() <= 8  # P(any leaf > 8 hits) is negligible
+
+    def test_agreement_with_spilling(self):
+        """Overflow storms must not change where walks end."""
+        g = rmat(10, 8, RngRegistry(5).fresh("g"))
+        cfg = FlashWalkerConfig().replace(
+            pwb_entry_walks=4, board_hot_subgraphs=1, channel_hot_subgraphs=0
+        )
+        self._compare(g, n_walks=4000, cfg=cfg)
+
+    def test_agreement_across_partitions(self):
+        g = rmat(10, 8, RngRegistry(5).fresh("g"))
+        cfg = FlashWalkerConfig().replace(
+            partition_subgraphs=4, board_hot_subgraphs=1, channel_hot_subgraphs=0
+        )
+        self._compare(g, n_walks=4000, cfg=cfg)

@@ -1,0 +1,181 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.common import GraphError
+from repro.graph import CSRGraph
+
+
+def simple_graph():
+    # 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 isolated
+    return CSRGraph.from_edge_list(
+        np.array([0, 0, 1, 2]), np.array([1, 2, 2, 0]), num_vertices=4
+    )
+
+
+class TestConstruction:
+    def test_from_edge_list(self):
+        g = simple_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        np.testing.assert_array_equal(g.offsets, [0, 2, 3, 4, 4])
+
+    def test_neighbors(self):
+        g = simple_graph()
+        np.testing.assert_array_equal(np.sort(g.neighbors(0)), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(3), [])
+
+    def test_neighbors_is_view(self):
+        g = simple_graph()
+        assert g.neighbors(0).base is g.edges
+
+    def test_infers_num_vertices(self):
+        g = CSRGraph.from_edge_list(np.array([0, 5]), np.array([5, 0]))
+        assert g.num_vertices == 6
+
+    def test_empty_edge_graph(self):
+        g = CSRGraph(np.zeros(5, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_rejects_bad_offsets_start(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))
+
+    def test_rejects_offsets_edge_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_rejects_decreasing_offsets(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 0, 0]))
+
+    def test_rejects_out_of_range_destination(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_list(np.array([0]), np.array([7]), num_vertices=2)
+
+    def test_rejects_negative_source(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_list(np.array([-1]), np.array([0]))
+
+    def test_rejects_float_edges(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([0.5]))
+
+
+class TestDegrees:
+    def test_out_degree_scalar(self):
+        g = simple_graph()
+        assert g.out_degree(0) == 2
+        assert g.out_degree(3) == 0
+
+    def test_out_degrees_vector(self):
+        g = simple_graph()
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 1, 0])
+
+    def test_out_degree_vectorized(self):
+        g = simple_graph()
+        np.testing.assert_array_equal(g.out_degree(np.array([0, 1])), [2, 1])
+
+    def test_in_degrees(self):
+        g = simple_graph()
+        np.testing.assert_array_equal(g.in_degrees(), [1, 1, 2, 0])
+
+    def test_degree_sums_match(self):
+        g = simple_graph()
+        assert g.out_degrees().sum() == g.in_degrees().sum() == g.num_edges
+
+
+class TestRoundTrip:
+    def test_edge_list_round_trip(self, small_graph):
+        src, dst = small_graph.to_edge_list()
+        g2 = CSRGraph.from_edge_list(src, dst, num_vertices=small_graph.num_vertices)
+        assert g2 == small_graph
+
+    def test_equality(self):
+        assert simple_graph() == simple_graph()
+
+    def test_inequality(self):
+        g2 = CSRGraph.from_edge_list(
+            np.array([0, 0, 1, 2]), np.array([1, 2, 2, 1]), num_vertices=4
+        )
+        assert simple_graph() != g2
+
+    def test_weighted_unweighted_inequality(self):
+        g = simple_graph()
+        assert g != g.with_uniform_weights()
+
+
+class TestWeights:
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([0.0]))
+
+    def test_edge_weights_view(self):
+        g = simple_graph().with_uniform_weights()
+        np.testing.assert_array_equal(g.edge_weights(0), [1.0, 1.0])
+
+    def test_edge_weights_requires_weighted(self):
+        with pytest.raises(GraphError):
+            simple_graph().edge_weights(0)
+
+    def test_cumulative_weights_per_vertex(self):
+        offsets = np.array([0, 2, 4])
+        edges = np.array([0, 1, 0, 1])
+        weights = np.array([1.0, 3.0, 2.0, 2.0])
+        g = CSRGraph(offsets, edges, weights)
+        np.testing.assert_allclose(g.cumulative_weights(), [1.0, 4.0, 2.0, 4.0])
+
+    def test_cumulative_weights_restart_per_segment(self, small_graph, rng):
+        w = rng.uniform(0.5, 2.0, small_graph.num_edges)
+        g = CSRGraph(small_graph.offsets, small_graph.edges, w)
+        cw = g.cumulative_weights()
+        for v in range(0, g.num_vertices, 97):
+            lo, hi = g.offsets[v], g.offsets[v + 1]
+            if hi > lo:
+                np.testing.assert_allclose(cw[lo:hi], np.cumsum(w[lo:hi]))
+
+    def test_sum_weights(self):
+        offsets = np.array([0, 2, 2, 3])
+        edges = np.array([1, 2, 0])
+        weights = np.array([1.5, 2.5, 4.0])
+        g = CSRGraph(offsets, edges, weights)
+        np.testing.assert_allclose(g.sum_weights(), [4.0, 0.0, 4.0])
+
+    def test_sum_weights_requires_weighted(self):
+        with pytest.raises(GraphError):
+            simple_graph().sum_weights()
+
+
+class TestSubgraphView:
+    def test_view_contents(self):
+        g = simple_graph()
+        off, edg = g.subgraph_view(1, 2)
+        np.testing.assert_array_equal(off, [0, 1, 2])
+        np.testing.assert_array_equal(edg, [2, 0])
+
+    def test_view_full_graph(self):
+        g = simple_graph()
+        off, edg = g.subgraph_view(0, 3)
+        np.testing.assert_array_equal(off, g.offsets)
+        np.testing.assert_array_equal(edg, g.edges)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(GraphError):
+            simple_graph().subgraph_view(2, 1)
+
+
+class TestCsrBytes:
+    def test_formula(self):
+        g = simple_graph()
+        assert g.csr_bytes(4) == (4 + 1) * 4 + 4 * 4
+        assert g.csr_bytes(8) == (4 + 1) * 8 + 4 * 8
+
+    def test_rejects_bad_vid(self):
+        with pytest.raises(GraphError):
+            simple_graph().csr_bytes(0)

@@ -1,0 +1,107 @@
+"""Tests for graph I/O round trips and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.common import GraphError
+from repro.graph import (
+    CSRGraph,
+    add_random_weights,
+    load_csr,
+    read_edge_list,
+    save_csr,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_unweighted(self, small_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_graph, path)
+        g2 = read_edge_list(path, num_vertices=small_graph.num_vertices)
+        assert g2 == small_graph
+
+    def test_weighted(self, small_graph, rng, tmp_path):
+        g = add_random_weights(small_graph, rng)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, num_vertices=g.num_vertices, weighted=True)
+        assert g2 == g
+
+    def test_header_written_as_comment(self, small_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_graph, path, header="my dataset\nline two")
+        text = path.read_text()
+        assert text.startswith("# my dataset\n# line two\n")
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% other comment\n\n0 1\n1 0\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_bad_vertex_id_reports_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nzap 2\n")
+        with pytest.raises(GraphError, match="g.txt:2"):
+            read_edge_list(path)
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("42\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_missing_weight_when_required(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, weighted=True)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 notaweight\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, weighted=True)
+
+
+class TestBinaryRoundTrip:
+    def test_unweighted(self, small_graph, tmp_path):
+        path = tmp_path / "g.csr"
+        n = save_csr(small_graph, path)
+        assert n == path.stat().st_size
+        assert load_csr(path) == small_graph
+
+    def test_weighted(self, small_graph, rng, tmp_path):
+        g = add_random_weights(small_graph, rng)
+        path = tmp_path / "g.csr"
+        save_csr(g, path)
+        g2 = load_csr(path)
+        assert g2 == g
+        assert g2.is_weighted
+
+    def test_empty_graph(self, tmp_path):
+        g = CSRGraph(np.zeros(3, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        path = tmp_path / "g.csr"
+        save_csr(g, path)
+        assert load_csr(path) == g
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.csr"
+        path.write_bytes(b"NOTACSR!" + b"\x00" * 64)
+        with pytest.raises(GraphError, match="not a FlashWalker CSR"):
+            load_csr(path)
+
+    def test_rejects_truncated(self, small_graph, tmp_path):
+        path = tmp_path / "g.csr"
+        save_csr(small_graph, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])
+        with pytest.raises(GraphError, match="truncated"):
+            load_csr(path)
+
+    def test_rejects_short_file(self, tmp_path):
+        path = tmp_path / "tiny.csr"
+        path.write_bytes(b"FW")
+        with pytest.raises(GraphError):
+            load_csr(path)

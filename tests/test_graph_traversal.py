@@ -1,0 +1,92 @@
+"""Tests for BFS, components, and reachability utilities."""
+
+import numpy as np
+import pytest
+
+from repro.common import GraphError
+from repro.graph import (
+    CSRGraph,
+    bfs_levels,
+    complete_graph,
+    largest_component_fraction,
+    path_graph,
+    reachable_count,
+    ring_graph,
+    weakly_connected_components,
+)
+
+
+class TestBfsLevels:
+    def test_ring_distances(self):
+        g = ring_graph(6)
+        levels = bfs_levels(g, 0)
+        np.testing.assert_array_equal(levels, [0, 1, 2, 3, 4, 5])
+
+    def test_path_unreachable_backwards(self):
+        g = path_graph(5)
+        levels = bfs_levels(g, 2)
+        np.testing.assert_array_equal(levels, [-1, -1, 0, 1, 2])
+
+    def test_complete_graph_one_hop(self):
+        g = complete_graph(5)
+        levels = bfs_levels(g, 0)
+        assert levels[0] == 0
+        assert (levels[1:] == 1).all()
+
+    def test_max_depth_truncates(self):
+        g = ring_graph(10)
+        levels = bfs_levels(g, 0, max_depth=3)
+        assert levels.max() == 3
+        assert (levels[4:] == -1).all()
+
+    def test_bad_source(self):
+        with pytest.raises(GraphError):
+            bfs_levels(ring_graph(4), 10)
+
+
+class TestReachability:
+    def test_ring_fully_reachable(self):
+        assert reachable_count(ring_graph(8), 3) == 8
+
+    def test_path_partial(self):
+        assert reachable_count(path_graph(10), 7) == 3
+
+    def test_isolated_vertex(self):
+        g = CSRGraph(np.array([0, 0, 0]), np.zeros(0, dtype=np.int64))
+        assert reachable_count(g, 0) == 1
+
+
+class TestComponents:
+    def test_single_component(self):
+        labels = weakly_connected_components(ring_graph(8))
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 0, 3, 2])
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=5)  # vertex 4 isolated
+        labels = weakly_connected_components(g)
+        assert len(set(labels.tolist())) == 3
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_direction_ignored(self):
+        # A directed path is one weak component even though reverse
+        # reachability fails.
+        g = path_graph(6)
+        labels = weakly_connected_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_largest_fraction(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=6)  # 3 isolated
+        assert largest_component_fraction(g) == pytest.approx(0.5)
+
+    def test_datasets_have_giant_component(self, rngs):
+        from repro.graph import build_graph
+
+        g = build_graph("TT", rngs, size_factor=0.1)
+        # Social-graph analogs should have a dominant weak component.
+        assert largest_component_fraction(g) > 0.5

@@ -1,0 +1,113 @@
+"""Property-based tests for graph structures and partitioning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, partition_graph
+from repro.graph.stats import gini
+
+
+@st.composite
+def edge_lists(draw, max_vertices=64, max_edges=256):
+    n = draw(st.integers(1, max_vertices))
+    m = draw(st.integers(0, max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+class TestCSRProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_from_edge_list_preserves_multiset(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        s2, d2 = g.to_edge_list()
+        # same edge multiset (order may differ)
+        orig = sorted(zip(src.tolist(), dst.tolist()))
+        back = sorted(zip(s2.tolist(), d2.tolist()))
+        assert orig == back
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_invariants(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        out_deg = g.out_degrees()
+        assert out_deg.sum() == g.num_edges
+        assert g.in_degrees().sum() == g.num_edges
+        np.testing.assert_array_equal(
+            out_deg, np.bincount(src, minlength=n) if src.size else np.zeros(n)
+        )
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_neighbors_consistent_with_offsets(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        for v in range(0, n, max(1, n // 8)):
+            nbrs = g.neighbors(v)
+            assert nbrs.size == g.out_degree(v)
+
+
+class TestPartitionProperties:
+    @given(edge_lists(max_vertices=200, max_edges=4000), st.integers(256, 4096))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants(self, data, subgraph_bytes):
+        n, src, dst = data
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        part = partition_graph(g, subgraph_bytes)
+        part.verify()  # all structural invariants
+        # every vertex resolves to a block containing it
+        vs = np.arange(n)
+        blocks = part.block_of_vertex(vs)
+        assert np.all(vs >= part.block_lo[blocks])
+        assert np.all(vs <= part.block_hi[blocks])
+
+    @given(edge_lists(max_vertices=100, max_edges=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_edges_exact(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        part = partition_graph(g, 512)
+        assert int(part.block_edges.sum()) == g.num_edges
+
+    @given(
+        edge_lists(max_vertices=100, max_edges=1000),
+        st.integers(1, 16),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_groupings_cover_blocks(self, data, range_size, part_size):
+        n, src, dst = data
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        part = partition_graph(g, 1024)
+        lo, hi = part.range_table(range_size)
+        assert lo.size == -(-part.num_blocks // range_size)
+        n_parts = part.num_partitions(part_size)
+        first, last = part.partition_block_range(n_parts - 1, part_size)
+        assert last == part.num_blocks - 1
+
+
+class TestGiniProperties:
+    @given(
+        st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=200)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gini_bounds(self, values):
+        g = gini(np.array(values))
+        assert -1e-9 <= g <= 1.0
+
+    @given(
+        st.lists(st.floats(0.01, 1e6, allow_nan=False), min_size=2, max_size=100),
+        st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gini_scale_invariant(self, values, scale):
+        v = np.array(values)
+        assert abs(gini(v) - gini(v * scale)) < 1e-9

@@ -1,0 +1,190 @@
+"""Stress and failure-injection tests: the engine under hostile settings.
+
+Overflow storms (tiny buffer entries), dense-only graphs, dead-end
+graphs, minimal hardware, extreme collection intervals — walk accounting
+must stay exact in every regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import FlashWalkerConfig, RngRegistry, SSDConfig
+from repro.core import FlashWalker
+from repro.graph import (
+    CSRGraph,
+    path_graph,
+    powerlaw_graph,
+    ring_graph,
+    rmat,
+    star_graph,
+)
+from repro.walks import WalkSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(10, 8, RngRegistry(55).fresh("g"))
+
+
+def completes(fw, n, length=4):
+    res = fw.run(num_walks=n, spec=WalkSpec(length=length))
+    assert int(res.counters["walks_completed"]) == n
+    assert fw.in_transit == 0
+    return res
+
+
+class TestOverflowStorm:
+    def test_tiny_entries_force_mass_spilling(self, graph):
+        cfg = FlashWalkerConfig().replace(
+            pwb_entry_walks=4, board_hot_subgraphs=1, channel_hot_subgraphs=0
+        )
+        fw = FlashWalker(graph, cfg, seed=1)
+        res = completes(fw, 2000)
+        assert res.counters["spilled_walks"] > 100
+        assert res.flash_write_bytes > 0
+
+    def test_tiny_sinks_force_frequent_flushes(self, graph):
+        cfg = FlashWalkerConfig().replace(
+            completed_buffer_bytes=64, foreigner_buffer_bytes=64
+        )
+        fw = FlashWalker(graph, cfg, seed=1)
+        res = completes(fw, 1000)
+        assert res.flash_write_bytes > 0
+
+    def test_spilled_walks_survive_round_trip(self, graph):
+        """Spill-heavy run completes the same walk count as a roomy one."""
+        lean = dict(board_hot_subgraphs=1, channel_hot_subgraphs=0)
+        roomy = FlashWalker(
+            graph,
+            FlashWalkerConfig().replace(pwb_entry_walks=10**9, **lean),
+            seed=2,
+        )
+        tight = FlashWalker(
+            graph, FlashWalkerConfig().replace(pwb_entry_walks=2, **lean), seed=2
+        )
+        r1 = completes(roomy, 1500)
+        r2 = completes(tight, 1500)
+        assert r1.counters["spilled_walks"] == 0
+        assert r2.counters["spilled_walks"] > 0
+        # Spilling costs write traffic but never walks.
+        assert r2.flash_write_bytes > r1.flash_write_bytes
+
+
+class TestHostileGraphs:
+    def test_all_dead_ends(self):
+        # Path graph with walks starting near the sink: they die early.
+        g = path_graph(2000)
+        fw = FlashWalker(g, seed=3)
+        starts = np.tile(np.arange(1995, 2000, dtype=np.int64), 100)
+        res = fw.run(starts=starts, spec=WalkSpec(length=10))
+        assert int(res.counters["walks_completed"]) == 500
+        assert res.hops <= 500 * 4  # at most 4 hops from vertex 1995
+
+    def test_single_sink_graph(self):
+        # Everything funnels into one absorbing vertex.
+        n = 1000
+        src = np.arange(n - 1, dtype=np.int64)
+        dst = np.full(n - 1, n - 1, dtype=np.int64)
+        g = CSRGraph.from_edge_list(src, dst, num_vertices=n)
+        fw = FlashWalker(g, seed=3)
+        res = completes(fw, 300, length=6)
+        assert res.hops == 300  # one hop then absorbed
+
+    def test_dense_dominated_graph(self):
+        # Star: nearly all traffic passes the dense hub.
+        g = star_graph(20_000)
+        fw = FlashWalker(g, seed=4)
+        res = completes(fw, 400, length=6)
+
+    def test_dense_hub_not_board_resident(self):
+        g = star_graph(20_000)
+        cfg = FlashWalkerConfig().replace(board_hot_dense_vertices=0)
+        fw = FlashWalker(g, cfg, seed=4)
+        res = completes(fw, 200, length=4)
+        assert res.counters["pre_walks"] > 0
+
+    def test_two_vertex_graph(self):
+        g = ring_graph(2)
+        fw = FlashWalker(g, seed=5)
+        completes(fw, 64, length=3)
+
+    def test_heavy_skew_power_law(self):
+        g = powerlaw_graph(3000, 90_000, RngRegistry(9).fresh("g"), exponent=1.3)
+        fw = FlashWalker(g, seed=6)
+        completes(fw, 1000, length=5)
+
+
+class TestMinimalHardware:
+    def test_single_channel_single_chip(self, graph):
+        ssd = SSDConfig(
+            channels=1,
+            chips_per_channel=1,
+            max_concurrent_plane_ops_per_chip=4,
+        )
+        cfg = FlashWalkerConfig().replace(ssd=ssd)
+        fw = FlashWalker(graph, cfg, seed=7)
+        res = completes(fw, 500)
+        # Everything serializes through one chip: longer than default.
+        default = FlashWalker(graph, seed=7).run(
+            num_walks=500, spec=WalkSpec(length=4)
+        )
+        assert res.elapsed > default.elapsed
+
+    def test_two_channels(self, graph):
+        ssd = SSDConfig(channels=2, chips_per_channel=2)
+        cfg = FlashWalkerConfig().replace(ssd=ssd)
+        completes(FlashWalker(graph, cfg, seed=7), 400)
+
+    def test_single_subgraph_slot(self, graph):
+        cfg = FlashWalkerConfig()
+        cfg.levels.chip.subgraph_buffer_bytes = 256 * 1024  # 1 slot
+        completes(FlashWalker(graph, cfg, seed=7), 400)
+
+
+class TestExtremeParameters:
+    def test_huge_collect_interval(self, graph):
+        cfg = FlashWalkerConfig().replace(
+            roving_collect_interval=5e-3,
+            board_hot_subgraphs=2,
+            channel_hot_subgraphs=0,
+        )
+        fw = FlashWalker(graph, cfg, seed=8)
+        res = completes(fw, 300)
+        # Latency grows with the interval but nothing deadlocks.
+        assert res.elapsed >= 5e-3
+
+    def test_tiny_collect_interval(self, graph):
+        cfg = FlashWalkerConfig().replace(roving_collect_interval=1e-7)
+        completes(FlashWalker(graph, cfg, seed=8), 300)
+
+    def test_tiny_partitions(self, graph):
+        # Hot sets shrunk so blocks in other partitions need switches.
+        cfg = FlashWalkerConfig().replace(
+            partition_subgraphs=4,
+            board_hot_subgraphs=1,
+            channel_hot_subgraphs=0,
+        )
+        fw = FlashWalker(graph, cfg, seed=8)
+        res = completes(fw, 400)
+        assert res.counters["partition_switches"] > 0
+
+    def test_range_size_one(self, graph):
+        cfg = FlashWalkerConfig().replace(range_subgraphs=1)
+        completes(FlashWalker(graph, cfg, seed=8), 300)
+
+    def test_no_table_ports_contention(self, graph):
+        cfg = FlashWalkerConfig().replace(table_ports=1)
+        completes(FlashWalker(graph, cfg, seed=8), 300)
+
+    def test_alpha_beta_extremes(self, graph):
+        for alpha, beta in ((0.01, 1.01), (10.0, 10.0)):
+            cfg = FlashWalkerConfig().replace(alpha=alpha, beta=beta)
+            completes(FlashWalker(graph, cfg, seed=8), 300)
+
+    def test_one_walk(self, graph):
+        completes(FlashWalker(graph, seed=9), 1, length=6)
+
+    def test_walk_length_one(self, graph):
+        fw = FlashWalker(graph, seed=9)
+        res = completes(fw, 500, length=1)
+        assert res.hops <= 500

@@ -1,0 +1,89 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert units.KB == 1024
+        assert units.MB == 1024**2
+        assert units.GB == 1024**3
+        assert units.TB == 1024**4
+
+    def test_decimal_prefixes(self):
+        assert units.MB_D == 10**6
+        assert units.GB_D == 10**9
+
+    def test_time_units(self):
+        assert units.MS == pytest.approx(1e-3)
+        assert units.US == pytest.approx(1e-6)
+        assert units.NS == pytest.approx(1e-9)
+
+
+class TestMhzToCycle:
+    def test_500mhz_is_2ns(self):
+        assert units.mhz_to_cycle(500) == pytest.approx(2e-9)
+
+    def test_1ghz_is_1ns(self):
+        assert units.mhz_to_cycle(1000) == pytest.approx(1e-9)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.mhz_to_cycle(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.mhz_to_cycle(-5)
+
+
+class TestBandwidthTime:
+    def test_simple(self):
+        assert units.bandwidth_time(1000, 1000) == pytest.approx(1.0)
+
+    def test_channel_page(self):
+        # One 4 KB page over a 333 MB/s ONFI bus: ~12.3 us.
+        t = units.bandwidth_time(4096, 333e6)
+        assert t == pytest.approx(4096 / 333e6)
+
+    def test_zero_bytes(self):
+        assert units.bandwidth_time(0, 100) == 0.0
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_time(10, 0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_time(-1, 100)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(512) == "512B"
+        assert units.fmt_bytes(2048) == "2.00KB"
+        assert units.fmt_bytes(5 * units.MB) == "5.00MB"
+        assert units.fmt_bytes(3 * units.GB) == "3.00GB"
+        assert units.fmt_bytes(2 * units.TB) == "2.00TB"
+
+    def test_fmt_bytes_negative(self):
+        assert units.fmt_bytes(-2048) == "-2.00KB"
+
+    def test_fmt_time(self):
+        assert units.fmt_time(2.5) == "2.500s"
+        assert units.fmt_time(3.5e-3) == "3.500ms"
+        assert units.fmt_time(35e-6) == "35.000us"
+        assert units.fmt_time(16e-9) == "16.0ns"
+
+    def test_fmt_time_negative(self):
+        assert units.fmt_time(-1e-3).startswith("-")
+
+    def test_fmt_bandwidth(self):
+        assert units.fmt_bandwidth(333e6).endswith("/s")
+
+    def test_fmt_count(self):
+        assert units.fmt_count(999) == "999"
+        assert units.fmt_count(1_460_000_000) == "1.46B"
+        assert units.fmt_count(41_600_000) == "41.60M"
+        assert units.fmt_count(20_300) == "20.30K"
