@@ -1,0 +1,62 @@
+"""Fault sensitivity: page-error rate vs campaign slowdown.
+
+Sweeps the NAND page-error rate on one dataset and reports the elapsed
+slowdown relative to a clean run. Walk accounting must stay exact at
+every rate: faults cost time (read retries, remaps, degraded loads),
+never walks.
+"""
+
+from repro.common import FaultConfig
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+#: Error rates swept; 0.0 doubles as the clean baseline.
+RATES = [0.0, 0.05, 0.1, 0.2, 0.4]
+DATASET = "TT"
+
+
+def run(ctx, rates=RATES, dataset=DATASET):
+    """One campaign per rate; returns rate-vs-slowdown rows."""
+    rows = []
+    baseline = None
+    walks = ctx.default_walks(dataset)
+    for rate in rates:
+        cfg = ctx.flashwalker_config(
+            dataset,
+            board_hot_subgraphs=1,
+            channel_hot_subgraphs=0,
+            faults=FaultConfig(enabled=rate > 0, page_error_rate=rate),
+        )
+        res = ctx.run_flashwalker(dataset, num_walks=walks, config=cfg)
+        if baseline is None:
+            baseline = res.elapsed
+        rows.append(
+            {
+                "page_error_rate": rate,
+                "elapsed_ms": res.elapsed * 1e3,
+                "slowdown": res.elapsed / baseline,
+                "walks_completed": int(res.counters["walks_completed"]),
+                "read_faults": int(res.counters.get("fault_read_faults", 0)),
+                "read_retries": int(res.counters.get("fault_read_retries", 0)),
+                "bad_block_remaps": int(
+                    res.counters.get("fault_bad_block_remaps", 0)
+                ),
+            }
+        )
+    return rows
+
+
+def test_fault_sensitivity_sweep(benchmark, ctx):
+    rows = run_once(benchmark, run, ctx)
+    walks = ctx.default_walks(DATASET)
+    # Faults never cost walks: every campaign completes exactly.
+    for r in rows:
+        assert r["walks_completed"] == walks, r
+    # Injection is live above rate zero and scales with the rate.
+    assert rows[0]["read_faults"] == 0
+    assert all(r["read_faults"] > 0 for r in rows[1:])
+    assert rows[-1]["read_faults"] > rows[1]["read_faults"]
+    # Retries cost time: the harshest rate is measurably slower than clean.
+    assert rows[-1]["slowdown"] > 1.0
+    benchmark.extra_info["table"] = format_table(rows)

@@ -24,8 +24,9 @@ paper-vs-measured record.
 """
 
 from .baselines import DrunkardMob, GraphWalker, GraphWalkerResult
-from .common import FlashWalkerConfig, GraphWalkerConfig, RngRegistry
+from .common import FaultConfig, FlashWalkerConfig, GraphWalkerConfig, RngRegistry
 from .core import FlashWalker, RunResult
+from .faults import Checkpoint, CheckpointManager, FaultModel
 from .graph import CSRGraph, build_graph, partition_graph
 from .walks import WalkSpec
 
@@ -35,6 +36,10 @@ __all__ = [
     "DrunkardMob",
     "GraphWalker",
     "GraphWalkerResult",
+    "Checkpoint",
+    "CheckpointManager",
+    "FaultConfig",
+    "FaultModel",
     "FlashWalkerConfig",
     "GraphWalkerConfig",
     "RngRegistry",

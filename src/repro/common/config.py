@@ -30,6 +30,7 @@ __all__ = [
     "DRAMConfig",
     "AcceleratorConfig",
     "AcceleratorLevels",
+    "FaultConfig",
     "GraphWalkerConfig",
     "FlashWalkerConfig",
     "PAPER_SCALE",
@@ -390,6 +391,111 @@ class GraphWalkerConfig:
 
 
 # ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection parameters (strictly opt-in).
+
+    With ``enabled=False`` (the default) the fault layer is never
+    constructed: no RNG stream is registered and every flash operation
+    takes the exact same code path as before this subsystem existed, so
+    results are bit-identical to a fault-free build.
+
+    All probabilities are per *operation* (one page read, one bus data
+    transfer), not per bit; pick rates high enough to matter at
+    laptop-scale page counts (e.g. 1e-3..1e-1).  Latencies are seconds.
+    """
+
+    enabled: bool = False
+
+    # -- NAND page read failures + read-retry ladder -------------------------
+    #: Probability that a page read's first sense fails ECC.
+    page_error_rate: float = 0.0
+    #: Probability each escalating read-retry attempt (shifted Vref)
+    #: succeeds; attempts are i.i.d. draws against this.
+    retry_success_prob: float = 0.75
+    #: Retry attempts before the read is declared exhausted.
+    max_read_retries: int = 5
+    #: Attempt ``k`` (1-based) costs ``read_latency * retry_backoff**k``:
+    #: deeper retries use finer, slower sensing.
+    retry_backoff: float = 1.5
+
+    # -- bad-block management ------------------------------------------------
+    #: When a read exhausts its retries with recovery enabled, the FTL
+    #: remaps the victim block (one clean re-read + one program charge)
+    #: and retires a block from the plane's free pool.
+    remap_on_exhaustion: bool = True
+
+    # -- channel CRC errors --------------------------------------------------
+    #: Probability one ONFI data transfer is received corrupted.
+    crc_error_rate: float = 0.0
+    #: Probability each retransmission arrives clean.
+    crc_retry_success_prob: float = 0.9
+    #: Retransmissions before the transfer is declared exhausted.
+    max_crc_retries: int = 3
+    #: Pause before retransmission ``k`` (1-based) is
+    #: ``crc_retry_delay * crc_backoff**(k-1)``; the data then recrosses
+    #: the shared bus at full cost.
+    crc_retry_delay: float = 1 * US
+    crc_backoff: float = 2.0
+    #: Latency of a full link reset when retransmissions run dry (the
+    #: recovery path of last resort before the final clean transfer).
+    crc_reset_latency: float = 100 * US
+
+    # -- whole-chip (plane/die escalation) failures --------------------------
+    #: Explicit ``(time_seconds, flat_chip_id)`` failure events, where
+    #: ``flat_chip_id = channel * chips_per_channel + chip``.  Explicit
+    #: scheduling (rather than a failure rate) keeps degraded-mode runs
+    #: exactly reproducible and lets tests target specific chips.
+    chip_failures: tuple[tuple[float, int], ...] = ()
+    #: Delay before a failed chip's in-flight walks re-enter the board
+    #: pipeline (failure detection + firmware failover).
+    failover_latency: float = 1 * MS
+    #: First load of a subgraph relocated off a failed chip costs
+    #: ``rebuild_read_factor``x the normal flash read time (RAID-style
+    #: reconstruction from redundancy, modeled analytically).
+    rebuild_read_factor: float = 4.0
+
+    # -- checkpoint/resume ---------------------------------------------------
+    #: Simulated seconds between checkpoints; 0 disables checkpointing.
+    checkpoint_interval: float = 0.0
+
+    def validate(self) -> "FaultConfig":
+        for name in ("page_error_rate", "crc_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+        for name in ("retry_success_prob", "crc_retry_success_prob"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"{name} must be in (0, 1], got {value!r}")
+        for name in ("max_read_retries", "max_crc_retries"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        _positive("retry_backoff", self.retry_backoff)
+        _positive("crc_backoff", self.crc_backoff)
+        _non_negative("crc_retry_delay", self.crc_retry_delay)
+        _non_negative("crc_reset_latency", self.crc_reset_latency)
+        _non_negative("failover_latency", self.failover_latency)
+        if self.rebuild_read_factor < 1.0:
+            raise ConfigError(
+                f"rebuild_read_factor must be >= 1, got {self.rebuild_read_factor!r}"
+            )
+        _non_negative("checkpoint_interval", self.checkpoint_interval)
+        for event in self.chip_failures:
+            if len(event) != 2:
+                raise ConfigError(f"chip_failures entries are (time, chip): {event!r}")
+            t_fail, chip = event
+            _non_negative("chip_failures time", t_fail)
+            if int(chip) != chip or chip < 0:
+                raise ConfigError(f"chip_failures chip id must be an int >= 0: {chip!r}")
+        return self
+
+
+# ---------------------------------------------------------------------------
 # FlashWalker top-level
 # ---------------------------------------------------------------------------
 
@@ -405,6 +511,7 @@ class FlashWalkerConfig:
     ssd: SSDConfig = field(default_factory=SSDConfig)
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     levels: AcceleratorLevels = field(default_factory=AcceleratorLevels)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     #: Graph-block (= subgraph) size.  Paper: 256 KB (512 KB for ClueWeb);
     #: scaled to one flash page so scaled graphs still span thousands of
@@ -525,6 +632,7 @@ class FlashWalkerConfig:
         self.ssd.validate()
         self.dram.validate()
         self.levels.validate()
+        self.faults.validate()
         for name in (
             "subgraph_bytes",
             "vid_bytes",
@@ -556,6 +664,12 @@ class FlashWalkerConfig:
                 f"walk_bytes ({self.walk_bytes}) cannot hold src+cur+hop with "
                 f"vid_bytes={self.vid_bytes}"
             )
+        for _t, chip in self.faults.chip_failures:
+            if chip >= self.ssd.total_chips:
+                raise ConfigError(
+                    f"chip_failures targets chip {chip} but the SSD only has "
+                    f"{self.ssd.total_chips} chips"
+                )
         return self
 
     def replace(self, **kwargs) -> "FlashWalkerConfig":

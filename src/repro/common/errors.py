@@ -36,6 +36,25 @@ class FlashAddressError(FlashError):
     """A physical or logical flash address is out of range."""
 
 
+class FaultError(FlashError):
+    """An injected hardware fault could not be handled."""
+
+
+class FaultExhaustedError(FaultError):
+    """A bounded retry loop ran dry without the operation succeeding.
+
+    Raised by the NAND read-retry ladder and the channel CRC retransmit
+    loop when ``recover=False``; with recovery enabled the SSD model
+    escalates instead (bad-block remap / link reset) so campaigns keep
+    every walk.  ``at`` carries the simulation time when the final
+    attempt failed, so callers can keep charging the wasted latency.
+    """
+
+    def __init__(self, message: str, at: float = 0.0):
+        super().__init__(message)
+        self.at = at
+
+
 class BufferOverflowError(ReproError):
     """A hardware buffer exceeded capacity where overflow is not allowed.
 

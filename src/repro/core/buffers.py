@@ -112,9 +112,11 @@ class PartitionWalkBuffer:
     def __init__(self, first_block: int, last_block: int, entry_capacity: int,
                  dense_entry_capacity: int, is_dense_block: np.ndarray):
         if not 0 <= first_block <= last_block:
-            raise ReproError(f"bad block range [{first_block}, {last_block}]")
+            raise BufferOverflowError(
+                f"bad block range [{first_block}, {last_block}]"
+            )
         if entry_capacity < 1 or dense_entry_capacity < 1:
-            raise ReproError("entry capacities must be >= 1")
+            raise BufferOverflowError("entry capacities must be >= 1")
         self.first_block = first_block
         self.last_block = last_block
         self.entry_capacity = entry_capacity
@@ -126,7 +128,7 @@ class PartitionWalkBuffer:
 
     def _entry(self, block_id: int) -> BlockEntry:
         if not self.first_block <= block_id <= self.last_block:
-            raise ReproError(
+            raise BufferOverflowError(
                 f"block {block_id} outside partition "
                 f"[{self.first_block}, {self.last_block}]"
             )
@@ -190,7 +192,7 @@ class ForeignerStore:
 
     def __init__(self, n_partitions: int):
         if n_partitions < 1:
-            raise ReproError(f"need >= 1 partition, got {n_partitions}")
+            raise BufferOverflowError(f"need >= 1 partition, got {n_partitions}")
         self.n_partitions = n_partitions
         self._pools: list[list[WalkSet]] = [[] for _ in range(n_partitions)]
         self._counts = np.zeros(n_partitions, dtype=np.int64)

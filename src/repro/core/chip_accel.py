@@ -44,6 +44,9 @@ class ChipAccelerator:
         #: Blocks resident in the subgraph buffer, most recent last.
         self.loaded: list[int] = []
         self.busy = False
+        #: Set when the underlying flash chip is declared dead: the
+        #: scheduler stops targeting it and in-flight walks are rerouted.
+        self.failed = False
         #: Roving walks awaiting the channel accelerator's collection.
         self.pending_rove: list[WalkSet] = []
         self.pending_rove_count = 0

@@ -27,6 +27,8 @@ import numpy as np
 from ..common.config import FlashWalkerConfig
 from ..common.errors import SimulationError
 from ..common.rng import RngRegistry
+from ..faults.checkpoint import CheckpointManager
+from ..faults.model import FaultModel
 from ..flash.channel import ONFI_COMMAND_BYTES
 from ..flash.ssd import SSD
 from ..graph.csr import CSRGraph
@@ -81,6 +83,8 @@ class FlashWalker:
         )
         cpc = self.cfg.ssd.chips_per_channel
         self.block_chip = placement[:, 0] * cpc + placement[:, 1]  # flat chip id
+        # Pristine placement; chip failures remap block_chip per run.
+        self._block_chip0 = self.block_chip.copy()
         # Accelerators.
         slots = self.cfg.chip_subgraph_slots()
         self.chips = [
@@ -104,6 +108,9 @@ class FlashWalker:
         # Run state (reset per run()).
         self.sim: Simulator | None = None
         self.metrics: RunMetrics | None = None
+        # Survives _reset_run_state so a crashed run's snapshot is still
+        # there when resume() re-initializes the engine.
+        self._checkpoints = CheckpointManager()
         self._reset_run_state()
 
     # ------------------------------------------------------------------ setup
@@ -173,9 +180,28 @@ class FlashWalker:
         self._flush_cursor = 0
         self._finals: list[WalkSet] | None = None
         self._done = False
+        # Fault-injection state.  Strictly opt-in: with faults disabled
+        # no fault model exists, no RNG stream is registered, and every
+        # hot path sees fault_model is None.
+        fcfg = self.cfg.faults
+        self.block_chip = self._block_chip0.copy()
+        self.fault_model = (
+            FaultModel(fcfg, self.rngs.fresh("faults")) if fcfg.enabled else None
+        )
+        self.ssd.attach_fault_model(self.fault_model)
+        self._rebuilding_blocks: set[int] = set()
+        self._board_inflight = 0
+        self._draining = False
+        self._ckpt_interval = (
+            fcfg.checkpoint_interval if fcfg.enabled else 0.0
+        )
+        self._next_checkpoint = (
+            self._ckpt_interval if self._ckpt_interval > 0 else math.inf
+        )
         for chip in self.chips:
             chip.loaded = []
             chip.busy = False
+            chip.failed = False
             chip.pending_rove = []
             chip.pending_rove_count = 0
             chip.pending_completed = 0
@@ -202,6 +228,7 @@ class FlashWalker:
         """
         self.spec = (spec or WalkSpec()).validate(self.graph)
         self._reset_run_state()
+        self._checkpoints.clear()
         if record_finals:
             self._finals = []
         if starts is None:
@@ -238,7 +265,17 @@ class FlashWalker:
         self._install_partition(0, t0)
         walks = WalkSet.start(starts, self.spec.length)
         self.sim.at(t0, lambda: self._board_direct(walks, scoped=False))
+        if self.fault_model is not None:
+            for t_fail, chip_flat in self.cfg.faults.chip_failures:
+                self.sim.at(
+                    float(t_fail),
+                    lambda c=int(chip_flat): self._fail_chip(c),
+                )
         self.sim.run(max_events=max_events)
+        return self._finalize_run()
+
+    def _finalize_run(self) -> RunResult:
+        """Shared completion path of run() and resume()."""
         if self.completed_walks != self.total_walks:
             raise SimulationError(
                 f"run ended with {self.completed_walks}/{self.total_walks} "
@@ -250,6 +287,9 @@ class FlashWalker:
         if tail:
             end = self._flush_to_flash(self.sim.now, tail)
         result = self.metrics.finalize(end, self.total_walks)
+        if self.fault_model is not None:
+            for name, value in self.fault_model.stats().items():
+                result.counters[name] = float(value)
         if self._finals is not None:
             finals = WalkSet.concat(self._finals)
             result.counters["finals_recorded"] = float(len(finals))
@@ -353,7 +393,7 @@ class FlashWalker:
         """Direct a batch of roving/new walks at the board level."""
         t = self.sim.now
         if len(walks) == 0:
-            self._maybe_finish_partition(t)
+            self._service_barriers(t)
             return
         busy = 0.0
         m = self.metrics
@@ -509,14 +549,19 @@ class FlashWalker:
         m.board_busy.add(busy)
         t_done = self._board_pipe.acquire_for(t, busy)
         if t_done > t:
-            self.sim.at(t_done, lambda: self._after_board_batch())
+            self._board_inflight += 1
+            self.sim.at(t_done, lambda: self._board_batch_done())
         else:
             self._after_board_batch()
+
+    def _board_batch_done(self) -> None:
+        self._board_inflight -= 1
+        self._after_board_batch()
 
     def _after_board_batch(self) -> None:
         t = self.sim.now
         self._kick_chips(t)
-        self._maybe_finish_partition(t)
+        self._service_barriers(t)
 
     def _insert_pwb(
         self,
@@ -650,6 +695,12 @@ class FlashWalker:
                 self._start_load(chip, t)
 
     def _start_load(self, chip: ChipAccelerator, t: float) -> None:
+        if self._draining or chip.failed:
+            # Draining toward a checkpoint barrier (loads restart once
+            # the snapshot is taken) or the chip is dead (its blocks were
+            # remapped; the scheduler will stop naming it).
+            chip.busy = False
+            return
         block = self.scheduler.next_subgraph(chip.index)
         if block is None:
             chip.busy = False
@@ -677,6 +728,17 @@ class FlashWalker:
             t_pages = chip_hw.read_pages_striped(t_cmd, pages)
             m.record_flash_read(t_cmd, pages * ssd_cfg.page_bytes, t_pages)
             m.subgraph_loads.add()
+            if block in self._rebuilding_blocks:
+                # First load after failover: the replica is reassembled
+                # from redundancy, costing extra sense time on this chip.
+                self._rebuilding_blocks.discard(block)
+                extra = (
+                    pages
+                    * ssd_cfg.read_latency
+                    * (self.cfg.faults.rebuild_read_factor - 1.0)
+                )
+                t_pages += extra
+                m.degraded_loads.add()
         # 3. Spilled walks read back from this chip's planes.
         if ns:
             sp_bytes = ns * self.cfg.walk_bytes
@@ -700,6 +762,22 @@ class FlashWalker:
 
     def _chip_process(self, chip: ChipAccelerator, batch: WalkBatch) -> None:
         t = self.sim.now
+        if chip.failed:
+            # The chip died while this batch was loading.  Re-route the
+            # walks through the board after the failover delay; their
+            # pre-walked edges are dropped (dense walks are re-pre-walked,
+            # an identical uniform redraw).
+            chip.busy = False
+            walks = batch.walks
+            if len(walks):
+                self.metrics.walks_rerouted.add(len(walks))
+                self.sim.at(
+                    t + self.cfg.faults.failover_latency,
+                    lambda: self._board_direct(walks, scoped=False),
+                )
+            else:
+                self._service_barriers(t)
+            return
         res = advance_batch(
             self.ctx, batch, chip.loaded, self.rngs.stream(f"chip{chip.index}")
         )
@@ -736,7 +814,7 @@ class FlashWalker:
         chip.busy = False
         self._start_load(chip, t)
         if not chip.busy:
-            self._maybe_finish_partition(t)
+            self._service_barriers(t)
 
     # ---------------------------------------------------------- channel level
 
@@ -806,7 +884,132 @@ class FlashWalker:
         if len(walks):
             self.sim.at(t_done, lambda: self._board_direct(walks, scoped=scoped))
         else:
-            self.sim.at(t_done, lambda: self._maybe_finish_partition(self.sim.now))
+            self.sim.at(t_done, lambda: self._service_barriers(self.sim.now))
+
+    # ------------------------------------------------------------- resilience
+
+    def _fail_chip(self, chip_flat: int) -> None:
+        """Declare a whole chip dead and migrate its responsibilities.
+
+        Blocks mapped to the chip are remapped round-robin over the
+        surviving chips (their replicas rebuild lazily on first load);
+        in-flight roving walks are re-routed through the board after the
+        failover delay; the scheduler stops naming the chip.
+        """
+        t = self.sim.now
+        fm = self.fault_model
+        if fm is None or not fm.fail_chip(int(chip_flat)):
+            return
+        chip = self.chips[int(chip_flat)]
+        chip.failed = True
+        chip.loaded = []
+        self.metrics.chips_failed.add()
+        survivors = [c.index for c in self.chips if not c.failed]
+        if not survivors:
+            raise SimulationError("all chips failed; campaign cannot proceed")
+        mine = np.flatnonzero(self.block_chip == int(chip_flat))
+        if mine.size:
+            new_chips = np.asarray(
+                [survivors[i % len(survivors)] for i in range(mine.size)],
+                dtype=np.int64,
+            )
+            self.block_chip[mine] = new_chips
+            self._rebuilding_blocks.update(int(b) for b in mine)
+            if self.scheduler is not None:
+                in_part = mine[
+                    (mine >= self.scheduler.first_block)
+                    & (mine <= self.scheduler.last_block)
+                ]
+                if in_part.size:
+                    self.scheduler.reassign_blocks(
+                        in_part, self.block_chip[in_part]
+                    )
+        # Walks stranded in the chip's roving buffer fail over to the
+        # board path; completed-walk bytes pending flush are lost traffic
+        # only (their completion is already accounted).
+        rerouted = chip.take_roving()
+        chip.pending_completed = 0
+        if len(rerouted):
+            self.metrics.walks_rerouted.add(len(rerouted))
+            self.sim.at(
+                t + self.cfg.faults.failover_latency,
+                lambda: self._board_direct(rerouted, scoped=False),
+            )
+        self._kick_chips(t)
+
+    # ------------------------------------------------------------- checkpoints
+
+    @property
+    def latest_checkpoint(self):
+        """Most recent checkpoint of the current/last run (or None)."""
+        return self._checkpoints.latest
+
+    def _quiescent(self) -> bool:
+        """True when no walk is mid-flight through any pipeline stage."""
+        return (
+            self.in_transit == 0
+            and self._board_inflight == 0
+            and not any(c.busy or c.pending_rove_count for c in self.chips)
+        )
+
+    def _service_barriers(self, t: float) -> None:
+        """Checkpoint drain barrier + partition-end check.
+
+        Called wherever the event graph reaches a potential rest point.
+        When a checkpoint is due, new subgraph loads stop (``_draining``)
+        until every in-flight walk settles into a buffer, the snapshot is
+        taken at full quiescence, and loads restart.
+        """
+        if self._ckpt_interval > 0 and not self._done:
+            if not self._draining and t >= self._next_checkpoint:
+                self._draining = True
+            if self._draining and self._quiescent():
+                self._draining = False
+                self._take_checkpoint(t)
+                self._kick_chips(t)
+        self._maybe_finish_partition(t)
+
+    def _take_checkpoint(self, t: float) -> None:
+        from ..faults.checkpoint import capture_checkpoint
+
+        # Counter and next-deadline advance *before* capture so a resumed
+        # run continues with identical checkpoint cadence and totals.
+        self.metrics.checkpoints.add()
+        self._next_checkpoint = t + self._ckpt_interval
+        self._checkpoints.save(capture_checkpoint(self, t))
+
+    def resume(
+        self,
+        checkpoint=None,
+        max_events: int | None = None,
+    ) -> RunResult:
+        """Continue a crashed campaign from a checkpoint.
+
+        Restores engine, hardware-occupancy, and RNG state from
+        ``checkpoint`` (default: the latest snapshot taken by the crashed
+        run) and drives the simulation to completion.  The merged result
+        matches an uninterrupted run exactly.
+        """
+        from ..faults.checkpoint import restore_checkpoint
+
+        snap = checkpoint if checkpoint is not None else self.latest_checkpoint
+        if snap is None:
+            raise SimulationError("no checkpoint available to resume from")
+        restore_checkpoint(self, snap)
+        if self.fault_model is not None:
+            for t_fail, chip_flat in self.cfg.faults.chip_failures:
+                if float(t_fail) >= self.sim.now and not self.fault_model.is_failed(
+                    int(chip_flat)
+                ):
+                    self.sim.at(
+                        float(t_fail),
+                        lambda c=int(chip_flat): self._fail_chip(c),
+                    )
+        t = self.sim.now
+        self._kick_chips(t)
+        self._service_barriers(t)
+        self.sim.run(max_events=max_events)
+        return self._finalize_run()
 
     # ----------------------------------------------------------- partition end
 

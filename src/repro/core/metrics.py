@@ -47,6 +47,11 @@ class RunMetrics:
         self.channel_busy = self.stats.counter("channel_accel_busy_time")
         self.board_busy = self.stats.counter("board_accel_busy_time")
         self.stall_time = self.stats.counter("chip_stall_time")
+        # resilience counters (always present; nonzero only with faults)
+        self.chips_failed = self.stats.counter("chips_failed")
+        self.walks_rerouted = self.stats.counter("walks_rerouted")
+        self.degraded_loads = self.stats.counter("degraded_loads")
+        self.checkpoints = self.stats.counter("checkpoints_taken")
 
     # -- traffic helpers -------------------------------------------------------
 

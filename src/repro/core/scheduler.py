@@ -177,6 +177,26 @@ class SubgraphScheduler:
                 break
         return None
 
+    def reassign_blocks(self, block_ids, new_chips) -> None:
+        """Move blocks to new owning chips (degraded mode).
+
+        Used when a chip fails and its subgraphs are relocated onto the
+        survivors: both the old and new owners' topN caches are marked
+        dirty so future :meth:`next_subgraph` calls rebuild them.
+        """
+        for bid, chip in zip(block_ids, new_chips):
+            if not 0 <= chip < self.n_chips:
+                raise SchedulingError(
+                    f"chip {chip} out of range [0, {self.n_chips})"
+                )
+            idx = self._local(int(bid))
+            old = int(self.block_chip[idx])
+            if old == chip:
+                continue
+            self.block_chip[idx] = chip
+            self._dirty.add(old)
+            self._dirty.add(int(chip))
+
     def chips_with_work(self) -> np.ndarray:
         """Chip indices that currently own blocks with pending walks."""
         counts = self.walk_counts()

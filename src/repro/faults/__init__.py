@@ -1,0 +1,13 @@
+"""Deterministic fault injection and resilience (opt-in).
+
+:class:`FaultModel` draws NAND read failures, channel CRC errors and
+whole-chip failures from a dedicated :class:`~repro.common.rng.RngRegistry`
+stream so fault runs are bit-reproducible; :mod:`repro.faults.checkpoint`
+snapshots a running campaign so it can resume to an identical
+:class:`~repro.core.metrics.RunResult`.
+"""
+
+from .checkpoint import Checkpoint, CheckpointManager
+from .model import FaultModel
+
+__all__ = ["Checkpoint", "CheckpointManager", "FaultModel"]

@@ -1,0 +1,494 @@
+"""Checkpoint/resume for FlashWalker campaigns.
+
+A checkpoint is a *quiescent-state* snapshot: the engine drains its
+pipelines (no walk mid-flight through a chip, channel, or the board
+pipe) and everything that determines the rest of the run is copied out —
+walk buffers, RNG stream states, hardware occupancy horizons, metric
+accumulators.  Resuming restores that state into a fresh event queue and
+drives the simulation to completion; because every source of
+nondeterminism is part of the snapshot, the merged result is *exactly*
+the uninterrupted run's.
+
+Deliberately **not** captured: the FTL's logical-to-physical map.  Block
+remaps (bad-block retirement) are analytic bookkeeping with no effect on
+the run's timing or the :class:`~repro.core.metrics.RunResult` counters,
+so replaying them after a resume is harmless; snapshotting the full map
+would dwarf the rest of the checkpoint.
+
+Core modules are imported lazily inside the capture/restore functions:
+``repro.core.flashwalker`` imports this package, so module-level imports
+the other way would be circular.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..walks.state import WalkSet
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "capture_checkpoint",
+    "restore_checkpoint",
+]
+
+
+@dataclass
+class Checkpoint:
+    """One quiescent snapshot of a running campaign."""
+
+    time: float
+    data: dict = field(repr=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Checkpoint(t={self.time:.6f}, "
+            f"completed={self.data.get('completed_walks')})"
+        )
+
+
+class CheckpointManager:
+    """Holds the snapshots of one campaign, newest last."""
+
+    def __init__(self):
+        self._checkpoints: list[Checkpoint] = []
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def save(self, ckpt: Checkpoint) -> None:
+        self._checkpoints.append(ckpt)
+
+    def all(self) -> list[Checkpoint]:
+        return list(self._checkpoints)
+
+    def clear(self) -> None:
+        self._checkpoints = []
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+
+# --------------------------------------------------------------- pack helpers
+
+
+def _pack_walks(ws: WalkSet) -> tuple:
+    return (ws.src.copy(), ws.cur.copy(), ws.hop.copy())
+
+
+def _unpack_walks(data: tuple) -> WalkSet:
+    src, cur, hop = data
+    return WalkSet(src.copy(), cur.copy(), hop.copy())
+
+
+def _pack_batch(batch) -> tuple:
+    pre = None if batch.pre_edge is None else batch.pre_edge.copy()
+    return (_pack_walks(batch.walks), pre)
+
+
+def _unpack_batch(data):
+    from ..core.buffers import WalkBatch
+
+    walks_data, pre = data
+    return WalkBatch(
+        _unpack_walks(walks_data), None if pre is None else pre.copy()
+    )
+
+
+def _link_state(link) -> tuple:
+    return (link._busy_until, link.bytes_moved, link.busy_time, link.transfers)
+
+
+def _set_link(link, s: tuple) -> None:
+    link._busy_until, link.bytes_moved, link.busy_time, link.transfers = s
+
+
+def _fcfs_state(res) -> tuple:
+    return (list(res._free_at), res.busy_time, res.requests, res.queued_time)
+
+
+def _set_fcfs(res, s: tuple) -> None:
+    free_at, busy, requests, queued = s
+    res._free_at = list(free_at)
+    heapq.heapify(res._free_at)
+    res.busy_time = busy
+    res.requests = requests
+    res.queued_time = queued
+
+
+def _chip_hw_state(chip) -> dict:
+    return {
+        "ops": _fcfs_state(chip._op_slots),
+        "reads": chip.reads,
+        "programs": chip.programs,
+        "erases": chip.erases,
+        "bytes_read": chip.bytes_read,
+        "bytes_programmed": chip.bytes_programmed,
+        "prog_cursor": chip._prog_cursor,
+        "planes": [
+            (
+                pl.busy_until,
+                pl.reads,
+                pl.programs,
+                pl.erases,
+                pl.bytes_read,
+                pl.bytes_programmed,
+                pl.busy_time,
+            )
+            for die in chip.dies
+            for pl in die.planes
+        ],
+    }
+
+
+def _set_chip_hw(chip, s: dict) -> None:
+    _set_fcfs(chip._op_slots, s["ops"])
+    chip.reads = s["reads"]
+    chip.programs = s["programs"]
+    chip.erases = s["erases"]
+    chip.bytes_read = s["bytes_read"]
+    chip.bytes_programmed = s["bytes_programmed"]
+    chip._prog_cursor = s["prog_cursor"]
+    planes = [pl for die in chip.dies for pl in die.planes]
+    for pl, ps in zip(planes, s["planes"]):
+        (
+            pl.busy_until,
+            pl.reads,
+            pl.programs,
+            pl.erases,
+            pl.bytes_read,
+            pl.bytes_programmed,
+            pl.busy_time,
+        ) = ps
+
+
+def _metrics_state(metrics) -> dict:
+    return {
+        "counters": {
+            name: (c.total, c.events)
+            for name, c in metrics.stats.counters.items()
+        },
+        "series": {
+            name: (s.bucket, dict(s._sums), s.total, s.events, s.last_time)
+            for name, s in metrics.stats.series.items()
+        },
+    }
+
+
+def _set_metrics(metrics, state: dict) -> None:
+    for name, (total, events) in state["counters"].items():
+        c = metrics.stats.counter(name)
+        c.total = total
+        c.events = events
+    for name, (bucket, sums, total, events, last_time) in state["series"].items():
+        s = metrics.stats.timeseries(name, bucket)
+        s._sums = dict(sums)
+        s.total = total
+        s.events = events
+        s.last_time = last_time
+
+
+# ------------------------------------------------------------------- capture
+
+
+def capture_checkpoint(fw, t: float) -> Checkpoint:
+    """Snapshot a quiescent :class:`~repro.core.flashwalker.FlashWalker`."""
+    fm = fw.fault_model
+    data = {
+        # walk accounting
+        "spec": fw.spec,
+        "total_walks": fw.total_walks,
+        "completed_walks": fw.completed_walks,
+        "current_partition": fw.current_partition,
+        "entry_capacity": fw.entry_capacity,
+        "dense_entry_capacity": fw.dense_entry_capacity,
+        "flush_cursor": fw._flush_cursor,
+        "next_checkpoint": fw._next_checkpoint,
+        "block_chip": fw.block_chip.copy(),
+        "rebuilding_blocks": set(fw._rebuilding_blocks),
+        "finals": (
+            None
+            if fw._finals is None
+            else [_pack_walks(w) for w in fw._finals]
+        ),
+        # stochastic state
+        "rng": {
+            name: copy.deepcopy(gen.bit_generator.state)
+            for name, gen in fw.rngs._streams.items()
+        },
+        # metrics
+        "metrics": _metrics_state(fw.metrics),
+        # scheduler scoreboard
+        "scheduler": None,
+        # partition walk buffer
+        "pwb_entries": None,
+        "pwb_spills": None,
+        # foreigner pools
+        "foreign": {
+            int(pid): [_pack_walks(w) for w in pool]
+            for pid, pool in enumerate(fw.foreign._pools)
+            if pool
+        },
+        # board accelerator
+        "board": {
+            "completed_pending_bytes": fw.board.completed_pending_bytes,
+            "foreigner_pending_bytes": fw.board.foreigner_pending_bytes,
+            "batches": fw.board.batches,
+            "hops": fw.board.hops,
+            "directed_walks": fw.board.directed_walks,
+            "completed_flushes": fw.board.completed_flushes,
+            "foreigner_flushes": fw.board.foreigner_flushes,
+            "caches": (
+                None
+                if fw.board.caches is None
+                else [
+                    (list(c._lru.keys()), c.hits, c.misses)
+                    for c in fw.board.caches.caches
+                ]
+            ),
+        },
+        "dense": (
+            fw.dense_table.bloom_queries,
+            fw.dense_table.bloom_positives,
+            fw.dense_table.false_positives,
+            fw.dense_table.hash_probes,
+        ),
+        # accelerators
+        "chips": [
+            {
+                "loaded": list(c.loaded),
+                "failed": c.failed,
+                "pending_completed": c.pending_completed,
+                "batches": c.batches,
+                "hops": c.hops,
+                "loads": c.loads,
+                "reload_hits": c.reload_hits,
+            }
+            for c in fw.chips
+        ],
+        "channel_accels": [
+            (ch.batches, ch.hops, ch.range_queries) for ch in fw.channels
+        ],
+        # hardware occupancy + byte counters
+        "chip_hw": [
+            _chip_hw_state(fw.ssd.chip_flat(i))
+            for i in range(fw.cfg.ssd.total_chips)
+        ],
+        "channel_buses": [_link_state(ch.bus) for ch in fw.ssd.channels],
+        "dram_bus": _link_state(fw.ssd.dram.bus),
+        "board_pipe": _fcfs_state(fw._board_pipe),
+        # fault model
+        "faults": (
+            None
+            if fm is None
+            else {
+                "failed_chips": set(fm.failed_chips),
+                "read_faults": fm.read_faults,
+                "read_retries": fm.read_retries,
+                "reads_exhausted": fm.reads_exhausted,
+                "bad_block_remaps": fm.bad_block_remaps,
+                "crc_errors": fm.crc_errors,
+                "crc_retries": fm.crc_retries,
+                "crc_resets": fm.crc_resets,
+                "chip_failures": fm.chip_failures,
+            }
+        ),
+    }
+    if fw.scheduler is not None:
+        sc = fw.scheduler
+        data["scheduler"] = {
+            "pwb": sc.pwb.copy(),
+            "fl": sc.fl.copy(),
+            "inserts": sc._inserts_since_update.copy(),
+            "block_chip": sc.block_chip.copy(),
+            "top": {c: list(v) for c, v in sc._top.items()},
+            "dirty": set(sc._dirty),
+            "refreshes": sc.topn_refreshes,
+            "deferred": sc.topn_updates_deferred,
+        }
+    if fw.pwb is not None:
+        data["pwb_entries"] = {
+            int(block): (
+                [_pack_batch(b) for b in e.buffered],
+                [_pack_batch(b) for b in e.spilled],
+            )
+            for block, e in fw.pwb._entries.items()
+        }
+        data["pwb_spills"] = (fw.pwb.spill_events, fw.pwb.walks_spilled)
+    return Checkpoint(time=t, data=data)
+
+
+# ------------------------------------------------------------------- restore
+
+
+def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
+    """Rebuild ``fw``'s run state from ``ckpt``; the caller re-arms the
+    event loop (kick chips + barrier check) and calls ``sim.run()``."""
+    from ..core.advance import AdvanceContext
+    from ..core.buffers import BlockEntry, PartitionWalkBuffer
+    from ..core.mapping import RangeTable, SubgraphMappingTable
+    from ..core.scheduler import SubgraphScheduler
+    from ..walks.sampling import make_sampler
+
+    d = ckpt.data
+    fw.spec = d["spec"]
+    fw._reset_run_state()
+    # RNG streams become exactly the snapshot's set: streams first created
+    # after the checkpoint in the crashed run must not leak advanced state
+    # into the resumed run.
+    fw.rngs._streams = {}
+    for name, state in d["rng"].items():
+        fw.rngs.stream(name).bit_generator.state = copy.deepcopy(state)
+    if fw.fault_model is not None:
+        fw.fault_model.rng = fw.rngs.stream("faults")
+        fs = d["faults"]
+        fm = fw.fault_model
+        fm.failed_chips = set(fs["failed_chips"])
+        fm.read_faults = fs["read_faults"]
+        fm.read_retries = fs["read_retries"]
+        fm.reads_exhausted = fs["reads_exhausted"]
+        fm.bad_block_remaps = fs["bad_block_remaps"]
+        fm.crc_errors = fs["crc_errors"]
+        fm.crc_retries = fs["crc_retries"]
+        fm.crc_resets = fs["crc_resets"]
+        fm.chip_failures = fs["chip_failures"]
+    # clock + walk accounting (quiescent: nothing in transit)
+    fw.sim.now = ckpt.time
+    fw.total_walks = d["total_walks"]
+    fw.completed_walks = d["completed_walks"]
+    fw.in_transit = 0
+    fw.entry_capacity = d["entry_capacity"]
+    fw.dense_entry_capacity = d["dense_entry_capacity"]
+    fw._flush_cursor = d["flush_cursor"]
+    fw._next_checkpoint = d["next_checkpoint"]
+    fw.block_chip[:] = d["block_chip"]
+    fw._rebuilding_blocks = set(d["rebuilding_blocks"])
+    fw._finals = (
+        None
+        if d["finals"] is None
+        else [_unpack_walks(w) for w in d["finals"]]
+    )
+    # advance context (deterministic rebuild from graph + spec)
+    sampler = make_sampler(fw.graph)
+    fw.ctx = AdvanceContext.build(fw.graph, fw.part, fw.spec, sampler)
+    # metrics
+    _set_metrics(fw.metrics, d["metrics"])
+    # partition structures — rebuilt without re-charging the DRAM mapping
+    # stream (that traffic is already inside the restored metrics)
+    pid = d["current_partition"]
+    fw.current_partition = pid
+    first, last = fw.part.partition_block_range(
+        pid, fw.cfg.partition_subgraphs
+    )
+    fw.mapping = SubgraphMappingTable(fw.part, first, last)
+    fw.board.set_mapping(fw.mapping)
+    if fw.cfg.opt_walk_query:
+        table = RangeTable(fw.part, first, last, fw.cfg.range_subgraphs)
+        for ch in fw.channels:
+            ch.set_range_table(table)
+    else:
+        for ch in fw.channels:
+            ch.set_range_table(None)
+    sd = d["scheduler"]
+    if sd is not None:
+        fw.scheduler = SubgraphScheduler(
+            block_chip=fw.block_chip,
+            is_dense_block=fw.part.is_dense_block,
+            first_block=first,
+            last_block=last,
+            n_chips=len(fw.chips),
+            alpha=fw.cfg.alpha,
+            beta=fw.cfg.beta,
+            top_n=fw.cfg.top_n,
+            update_period_m=fw.cfg.score_update_period_m,
+            use_scores=fw.cfg.opt_subgraph_scheduling,
+        )
+        sc = fw.scheduler
+        sc.pwb[:] = sd["pwb"]
+        sc.fl[:] = sd["fl"]
+        sc._inserts_since_update[:] = sd["inserts"]
+        sc.block_chip[:] = sd["block_chip"]
+        sc._top = {c: list(v) for c, v in sd["top"].items()}
+        sc._dirty = set(sd["dirty"])
+        sc.topn_refreshes = sd["refreshes"]
+        sc.topn_updates_deferred = sd["deferred"]
+    if d["pwb_entries"] is not None:
+        fw.pwb = PartitionWalkBuffer(
+            first,
+            last,
+            fw.entry_capacity,
+            fw.dense_entry_capacity,
+            fw.part.is_dense_block,
+        )
+        for block, (buffered, spilled) in d["pwb_entries"].items():
+            e = BlockEntry()
+            for b in buffered:
+                batch = _unpack_batch(b)
+                e.buffered.append(batch)
+                e.buffered_count += len(batch)
+            for b in spilled:
+                batch = _unpack_batch(b)
+                e.spilled.append(batch)
+                e.spilled_count += len(batch)
+            fw.pwb._entries[int(block)] = e
+        fw.pwb.spill_events, fw.pwb.walks_spilled = d["pwb_spills"]
+    # foreigner pools
+    for pid_i, pool in d["foreign"].items():
+        ws_list = [_unpack_walks(w) for w in pool]
+        fw.foreign._pools[int(pid_i)] = ws_list
+        fw.foreign._counts[int(pid_i)] = sum(len(w) for w in ws_list)
+    # board accelerator (set_mapping above invalidated the caches; refill)
+    b = d["board"]
+    fw.board.completed_pending_bytes = b["completed_pending_bytes"]
+    fw.board.foreigner_pending_bytes = b["foreigner_pending_bytes"]
+    fw.board.batches = b["batches"]
+    fw.board.hops = b["hops"]
+    fw.board.directed_walks = b["directed_walks"]
+    fw.board.completed_flushes = b["completed_flushes"]
+    fw.board.foreigner_flushes = b["foreigner_flushes"]
+    if fw.board.caches is not None and b["caches"] is not None:
+        for cache, (keys, hits, misses) in zip(
+            fw.board.caches.caches, b["caches"]
+        ):
+            cache._lru = OrderedDict((k, None) for k in keys)
+            cache.hits = hits
+            cache.misses = misses
+    (
+        fw.dense_table.bloom_queries,
+        fw.dense_table.bloom_positives,
+        fw.dense_table.false_positives,
+        fw.dense_table.hash_probes,
+    ) = d["dense"]
+    # accelerators
+    for chip, cs in zip(fw.chips, d["chips"]):
+        chip.loaded = list(cs["loaded"])
+        chip.failed = cs["failed"]
+        chip.busy = False
+        chip.pending_rove = []
+        chip.pending_rove_count = 0
+        chip.pending_completed = cs["pending_completed"]
+        chip.batches = cs["batches"]
+        chip.hops = cs["hops"]
+        chip.loads = cs["loads"]
+        chip.reload_hits = cs["reload_hits"]
+    for ch, (batches, hops, range_queries) in zip(
+        fw.channels, d["channel_accels"]
+    ):
+        ch.batches = batches
+        ch.hops = hops
+        ch.range_queries = range_queries
+        ch.collect_scheduled = False
+    # hardware occupancy horizons + byte counters
+    for i, hw in enumerate(d["chip_hw"]):
+        _set_chip_hw(fw.ssd.chip_flat(i), hw)
+    for ch_hw, bus_state in zip(fw.ssd.channels, d["channel_buses"]):
+        _set_link(ch_hw.bus, bus_state)
+    _set_link(fw.ssd.dram.bus, d["dram_bus"])
+    _set_fcfs(fw._board_pipe, d["board_pipe"])

@@ -11,7 +11,7 @@ byte counters feed the Fig. 8 channel-bandwidth timeline.
 from __future__ import annotations
 
 from ..common.config import SSDConfig
-from ..common.errors import FlashAddressError, FlashError
+from ..common.errors import FaultExhaustedError, FlashAddressError, FlashError
 from ..sim.resources import BandwidthLink
 from .nand import FlashChip
 
@@ -35,6 +35,8 @@ class FlashChannel:
         self.bus = BandwidthLink(
             f"channel{channel_id}.bus", cfg.channel_bytes_per_sec
         )
+        #: Optional :class:`~repro.faults.FaultModel`; None = clean bus.
+        self.fault_model = None
 
     def chip(self, index: int) -> FlashChip:
         if not 0 <= index < len(self.chips):
@@ -47,12 +49,47 @@ class FlashChannel:
     # -- bus operations -----------------------------------------------------------
 
     def send_command(self, now: float) -> float:
-        """Transfer one command frame; returns completion time."""
+        """Transfer one command frame; returns completion time.
+
+        Command frames are CRC-protected but tiny, so the fault model
+        only corrupts *data* transfers; a corrupted command would be
+        re-issued at negligible extra cost.
+        """
         return self.bus.transfer(now, ONFI_COMMAND_BYTES)
 
-    def transfer_data(self, now: float, nbytes: int | float) -> float:
-        """Move ``nbytes`` of data over the bus; returns completion time."""
-        return self.bus.transfer(now, nbytes)
+    def transfer_data(
+        self, now: float, nbytes: int | float, *, recover: bool = True
+    ) -> float:
+        """Move ``nbytes`` of data over the bus; returns completion time.
+
+        With a fault model attached, a transfer that arrives corrupted is
+        retransmitted (after an exponentially backed-off pause) up to
+        ``max_crc_retries`` times, each retransmission paying full bus
+        time again.  If every retransmission is also corrupted,
+        ``recover=True`` (the engine default) performs a link reset and
+        one final clean transfer; ``recover=False`` raises
+        :class:`FaultExhaustedError`.
+        """
+        end = self.bus.transfer(now, nbytes)
+        fm = self.fault_model
+        if fm is None:
+            return end
+        attempts = fm.draw_transfer()
+        if attempts == 0:
+            return end
+        n = attempts if attempts > 0 else fm.cfg.max_crc_retries
+        for k in range(1, n + 1):
+            end = self.bus.transfer(end + fm.crc_delay(k), nbytes)
+        if attempts < 0:
+            if not recover:
+                raise FaultExhaustedError(
+                    f"channel {self.channel_id}: transfer of {nbytes} B "
+                    f"corrupted after {fm.cfg.max_crc_retries} retransmissions",
+                    at=end,
+                )
+            fm.note_crc_reset()
+            end = self.bus.transfer(end + fm.cfg.crc_reset_latency, nbytes)
+        return end
 
     def read_page_to_controller(self, now: float, chip: int, die: int, plane: int) -> float:
         """Full channel read: array sense then bus transfer of the page.
@@ -61,13 +98,13 @@ class FlashChannel:
         do for every page); chip-level accelerators skip the bus half.
         """
         sensed = self.chip(chip).read_page(now, die, plane)
-        return self.bus.transfer(sensed, self.cfg.page_bytes)
+        return self.transfer_data(sensed, self.cfg.page_bytes)
 
     def write_page_from_controller(
         self, now: float, chip: int, die: int, plane: int
     ) -> float:
         """Full channel write: bus transfer of the page then array program."""
-        arrived = self.bus.transfer(now, self.cfg.page_bytes)
+        arrived = self.transfer_data(now, self.cfg.page_bytes)
         return self.chip(chip).program_page(arrived, die, plane)
 
     # -- accounting ----------------------------------------------------------------

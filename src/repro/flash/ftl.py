@@ -108,6 +108,10 @@ class FTL:
         self._gc_victim: dict[int, int] = {}
         self.gc_runs = 0
         self.gc_moved_pages = 0
+        # Grown-bad blocks per flat plane: permanently out of circulation.
+        self._bad_blocks: list[set[int]] = [set() for _ in range(n_planes)]
+        self.bad_block_count = 0
+        self.bad_block_moved_pages = 0
 
     # -- geometry helpers ------------------------------------------------------
 
@@ -247,6 +251,50 @@ class FTL:
         self._gc_victim.pop(flat, None)
         self.gc_runs += 1
 
+    # -- bad-block management ------------------------------------------------------------
+
+    def retire_active_block(self, flat: int) -> int:
+        """Mark the plane's active block grown-bad and retire it.
+
+        The behavioral read path senses pages by plane without an FTL
+        lookup, so the failing *block* identity is not available; the FTL
+        retires a deterministic victim — the block under the plane's
+        write cursor — which preserves the properties that matter: the
+        plane permanently loses one block of capacity, surviving pages
+        are copy-forwarded, and :meth:`wear_stats` counts the damage.
+        Returns the retired block id.
+        """
+        if not 0 <= flat < self.cfg.total_planes:
+            raise FlashAddressError(f"flat plane {flat} out of range")
+        victim = int(self._active_block[flat])
+        # Move the write cursor off the bad block before relocating into
+        # the plane (mirrors the _allocate_page advance path).
+        if len(self._free_list[flat]) <= self.gc_threshold:
+            self._garbage_collect(flat)
+        self._advance_block(flat)
+        # Copy-forward the victim's surviving pages, GC-style.
+        base = self._ppa(flat, victim, 0)
+        for page in range(self.cfg.pages_per_block):
+            ppa = base + page
+            lpn = self.p2l.get(ppa)
+            if lpn is None:
+                continue
+            del self.p2l[ppa]
+            new_ppa = self._allocate_page(flat)
+            self.l2p[lpn] = new_ppa
+            self.p2l[new_ppa] = lpn
+            self.bad_block_moved_pages += 1
+        # The victim never re-enters the free list: with all its pages
+        # unmapped and its invalid count cleared, GC can't select it and
+        # the allocator can't reach it.
+        self._invalid[flat, victim] = 0
+        self._bad_blocks[flat].add(victim)
+        self.bad_block_count += 1
+        return victim
+
+    def bad_blocks_on(self, flat: int) -> frozenset[int]:
+        return frozenset(self._bad_blocks[flat])
+
     # -- placement used by FlashWalker ---------------------------------------------------
 
     def place_striped(
@@ -289,6 +337,8 @@ class FTL:
             "mean_erase": float(ec.mean()),
             "gc_runs": float(self.gc_runs),
             "gc_moved_pages": float(self.gc_moved_pages),
+            "bad_blocks": float(self.bad_block_count),
+            "bad_block_moved_pages": float(self.bad_block_moved_pages),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

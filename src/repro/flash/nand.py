@@ -17,7 +17,7 @@ FlashWalker's design.
 from __future__ import annotations
 
 from ..common.config import SSDConfig
-from ..common.errors import FlashAddressError, FlashError
+from ..common.errors import FaultExhaustedError, FlashAddressError, FlashError
 from ..sim.resources import FcfsResource
 
 __all__ = ["Plane", "Die", "FlashChip"]
@@ -91,6 +91,13 @@ class FlashChip:
         self.bytes_read = 0
         self.bytes_programmed = 0
         self._prog_cursor = 0
+        #: Optional :class:`~repro.faults.FaultModel`; None = ideal NAND
+        #: and the exact pre-fault-layer code path.
+        self.fault_model = None
+        #: Called as ``on_bad_block(chip_id, die, plane)`` when a read
+        #: exhausts its retry ladder and the page's block is remapped
+        #: (wired to the FTL by :meth:`repro.flash.ssd.SSD.attach_fault_model`).
+        self.on_bad_block = None
 
     # -- addressing -----------------------------------------------------------
 
@@ -132,14 +139,56 @@ class FlashChip:
         _, end = pl.occupy(start, latency)
         return end
 
-    def read_page(self, now: float, die: int, plane: int) -> float:
-        """Sense one page into the plane's page register; returns end time."""
+    def read_page(
+        self, now: float, die: int, plane: int, *, recover: bool = True
+    ) -> float:
+        """Sense one page into the plane's page register; returns end time.
+
+        With a fault model attached, a failing read climbs an escalating
+        read-retry ladder (each rung a slower re-sense of the same page,
+        charged as extra plane/dispatcher occupancy).  If the ladder runs
+        dry, ``recover=True`` (the engine default) remaps the page's
+        block — last-ditch decode plus a program into a fresh block, with
+        the victim retired through :attr:`on_bad_block` — while
+        ``recover=False`` raises :class:`FaultExhaustedError` carrying
+        the time the final rung failed.
+        """
         end = self._array_op(now, die, plane, self.cfg.read_latency)
         pl = self.plane(die, plane)
         pl.reads += 1
         pl.bytes_read += self.cfg.page_bytes
         self.reads += 1
         self.bytes_read += self.cfg.page_bytes
+        fm = self.fault_model
+        if fm is not None:
+            attempts = fm.draw_read()
+            if attempts != 0:
+                n = attempts if attempts > 0 else fm.cfg.max_read_retries
+                # Re-senses of the same page: extra occupancy, no new data.
+                extra = fm.read_retry_latency(self.cfg.read_latency, n)
+                end = self._array_op(end, die, plane, extra)
+                if attempts < 0:
+                    end = self._remap_bad_page(end, die, plane, recover)
+        return end
+
+    def _remap_bad_page(
+        self, now: float, die: int, plane: int, recover: bool
+    ) -> float:
+        """Recovery of last resort after an exhausted read-retry ladder."""
+        fm = self.fault_model
+        if not recover or not fm.cfg.remap_on_exhaustion:
+            raise FaultExhaustedError(
+                f"chip {self.chip_id} die {die} plane {plane}: page read "
+                f"failed after {fm.cfg.max_read_retries} retries",
+                at=now,
+            )
+        fm.note_remap()
+        # Heroic decode (one more full sense worth of soft-decision
+        # reads) then copy-out into a fresh block.
+        end = self._array_op(now, die, plane, self.cfg.read_latency)
+        end = self.program_page(end, die, plane)
+        if self.on_bad_block is not None:
+            self.on_bad_block(self.chip_id, die, plane)
         return end
 
     def program_page(self, now: float, die: int, plane: int) -> float:

@@ -31,6 +31,28 @@ class SSD:
         self.ftl = FTL(self.cfg)
         self.dram = DRAM(dram_cfg or DRAMConfig())
         self.host = HostInterface(self.cfg)
+        self.fault_model = None
+
+    def attach_fault_model(self, fault_model) -> None:
+        """Wire a :class:`~repro.faults.FaultModel` through the device.
+
+        Every chip and channel bus starts drawing fault outcomes, and
+        exhausted page reads retire blocks through the FTL's bad-block
+        machinery.  Pass ``None`` to detach (ideal hardware again).
+        """
+        self.fault_model = fault_model
+        for ch in self.channels:
+            ch.fault_model = fault_model
+            for chip in ch.chips:
+                chip.fault_model = fault_model
+                chip.on_bad_block = (
+                    self._on_bad_block if fault_model is not None else None
+                )
+
+    def _on_bad_block(self, chip_id: int, die: int, plane: int) -> None:
+        cpc = self.cfg.chips_per_channel
+        flat = self.ftl.flat_plane(chip_id // cpc, chip_id % cpc, die, plane)
+        self.ftl.retire_active_block(flat)
 
     # -- topology ------------------------------------------------------------
 

@@ -126,12 +126,14 @@ class TestPartitionWalkBuffer:
 
     def test_out_of_partition_rejected(self):
         pwb = self.make(n_blocks=4)
-        with pytest.raises(ReproError):
+        with pytest.raises(BufferOverflowError):
             pwb.push(10, WalkBatch(walks(1)))
 
     def test_validation(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(BufferOverflowError):
             PartitionWalkBuffer(0, 3, 0, 1, np.zeros(4, dtype=bool))
+        with pytest.raises(BufferOverflowError):
+            PartitionWalkBuffer(4, 3, 1, 1, np.zeros(4, dtype=bool))
 
 
 class TestForeignerStore:
@@ -167,5 +169,5 @@ class TestForeignerStore:
             fs.push(5, walks(1))
         with pytest.raises(ReproError):
             fs.drain(-1)
-        with pytest.raises(ReproError):
+        with pytest.raises(BufferOverflowError):
             ForeignerStore(0)

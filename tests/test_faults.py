@@ -1,0 +1,397 @@
+"""Fault-injection layer: NAND retries, CRC retransmits, bad blocks,
+chip failures, and checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ConfigError,
+    FaultConfig,
+    FaultExhaustedError,
+    FlashWalkerConfig,
+    RngRegistry,
+    SimulationError,
+)
+from repro.common.config import SSDConfig
+from repro.core import FlashWalker
+from repro.faults import FaultModel
+from repro.flash.channel import FlashChannel
+from repro.flash.nand import FlashChip
+from repro.flash.ssd import SSD
+from repro.graph import rmat
+from repro.walks import WalkSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(10, 8, RngRegistry(55).fresh("g"))
+
+
+def result_key(res):
+    """Everything a RunResult asserts equality on, hashable."""
+    return (
+        res.elapsed,
+        res.hops,
+        res.flash_read_bytes,
+        res.flash_write_bytes,
+        res.channel_bytes,
+        res.dram_bytes,
+        tuple(sorted(res.counters.items())),
+    )
+
+
+class TestFaultConfig:
+    def test_default_disabled(self):
+        cfg = FlashWalkerConfig()
+        assert cfg.faults.enabled is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(page_error_rate=1.5),
+            dict(page_error_rate=-0.1),
+            dict(retry_success_prob=0.0),
+            dict(max_read_retries=0),
+            dict(retry_backoff=0.0),
+            dict(crc_error_rate=2.0),
+            dict(max_crc_retries=0),
+            dict(crc_retry_delay=-1.0),
+            dict(rebuild_read_factor=0.5),
+            dict(failover_latency=-1.0),
+            dict(checkpoint_interval=-1.0),
+            dict(chip_failures=((-1.0, 0),)),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultConfig(enabled=True, **kwargs).validate()
+
+    def test_chip_failure_out_of_range_rejected(self):
+        cfg = FlashWalkerConfig().replace(
+            faults=FaultConfig(enabled=True, chip_failures=((1e-3, 10**6),))
+        )
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+
+class TestFaultModel:
+    def make(self, seed=0, **kwargs):
+        cfg = FaultConfig(enabled=True, **kwargs).validate()
+        return FaultModel(cfg, np.random.default_rng(seed))
+
+    def test_zero_rate_never_faults(self):
+        fm = self.make(page_error_rate=0.0, crc_error_rate=0.0)
+        assert all(fm.draw_read() == 0 for _ in range(200))
+        assert all(fm.draw_transfer() == 0 for _ in range(200))
+        assert fm.read_faults == 0 and fm.crc_errors == 0
+
+    def test_certain_fault_certain_recovery(self):
+        fm = self.make(page_error_rate=1.0, retry_success_prob=0.999999)
+        assert fm.draw_read() == 1
+        assert fm.read_faults == 1 and fm.read_retries == 1
+
+    def test_exhaustion(self):
+        fm = self.make(
+            page_error_rate=1.0, retry_success_prob=1e-12, max_read_retries=3
+        )
+        assert fm.draw_read() == -1
+        assert fm.read_retries == 3 and fm.reads_exhausted == 1
+
+    def test_retry_latency_escalates(self):
+        fm = self.make(retry_backoff=2.0)
+        base = 35e-6
+        assert fm.read_retry_latency(base, 1) == pytest.approx(base * 2)
+        assert fm.read_retry_latency(base, 3) == pytest.approx(base * (2 + 4 + 8))
+
+    def test_crc_delay_backoff(self):
+        fm = self.make(crc_retry_delay=1e-6, crc_backoff=2.0)
+        assert fm.crc_delay(1) == pytest.approx(1e-6)
+        assert fm.crc_delay(3) == pytest.approx(4e-6)
+
+    def test_determinism_same_seed(self):
+        draws1 = [self.make(seed=7, page_error_rate=0.5).draw_read() for _ in [0]]
+        draws2 = [self.make(seed=7, page_error_rate=0.5).draw_read() for _ in [0]]
+        assert draws1 == draws2
+
+    def test_fail_chip_idempotent(self):
+        fm = self.make()
+        assert fm.fail_chip(3) is True
+        assert fm.fail_chip(3) is False
+        assert fm.is_failed(3) and not fm.is_failed(4)
+        assert fm.chip_failures == 1
+
+    def test_stats_keys(self):
+        s = self.make().stats()
+        assert set(s) == {
+            "fault_read_faults",
+            "fault_read_retries",
+            "fault_reads_exhausted",
+            "fault_bad_block_remaps",
+            "fault_crc_errors",
+            "fault_crc_retries",
+            "fault_crc_resets",
+            "fault_chip_failures",
+        }
+
+
+class TestNandRetries:
+    def chip(self, fault_cfg, seed=0):
+        c = FlashChip(0, SSDConfig())
+        c.fault_model = FaultModel(
+            fault_cfg.validate(), np.random.default_rng(seed)
+        )
+        return c
+
+    def test_retry_charges_extra_latency(self):
+        clean = FlashChip(0, SSDConfig())
+        t_clean = clean.read_page(0.0, 0, 0)
+        faulty = self.chip(
+            FaultConfig(
+                enabled=True, page_error_rate=1.0, retry_success_prob=0.999999
+            )
+        )
+        t_faulty = faulty.read_page(0.0, 0, 0)
+        assert t_faulty > t_clean
+        # one rung at backoff 1.5: extra = read_latency * 1.5
+        assert t_faulty == pytest.approx(
+            t_clean + SSDConfig().read_latency * 1.5
+        )
+
+    def test_exhaustion_raises_without_recovery(self):
+        faulty = self.chip(
+            FaultConfig(
+                enabled=True,
+                page_error_rate=1.0,
+                retry_success_prob=1e-12,
+                remap_on_exhaustion=False,
+            )
+        )
+        with pytest.raises(FaultExhaustedError) as ei:
+            faulty.read_page(0.0, 0, 0)
+        assert ei.value.at > 0.0
+
+    def test_exhaustion_remaps_and_notifies(self):
+        faulty = self.chip(
+            FaultConfig(
+                enabled=True, page_error_rate=1.0, retry_success_prob=1e-12
+            )
+        )
+        seen = []
+        faulty.on_bad_block = lambda cid, die, pl: seen.append((cid, die, pl))
+        t = faulty.read_page(0.0, 0, 0)
+        assert seen == [(0, 0, 0)]
+        assert faulty.fault_model.bad_block_remaps == 1
+        # remap charges a heroic decode + a program on top of the ladder
+        assert t > SSDConfig().read_latency * 2
+
+    def test_retries_do_not_inflate_byte_counters(self):
+        faulty = self.chip(
+            FaultConfig(
+                enabled=True, page_error_rate=1.0, retry_success_prob=0.999999
+            )
+        )
+        faulty.read_page(0.0, 0, 0)
+        assert faulty.reads == 1
+        assert faulty.bytes_read == SSDConfig().page_bytes
+
+
+class TestChannelCrc:
+    def channel(self, fault_cfg, seed=0):
+        ch = FlashChannel(0, SSDConfig())
+        ch.fault_model = FaultModel(
+            fault_cfg.validate(), np.random.default_rng(seed)
+        )
+        return ch
+
+    def test_retransmit_charges_bus_twice(self):
+        clean = FlashChannel(0, SSDConfig())
+        t_clean = clean.transfer_data(0.0, 4096)
+        faulty = self.channel(
+            FaultConfig(
+                enabled=True, crc_error_rate=1.0, crc_retry_success_prob=0.999999
+            )
+        )
+        t_faulty = faulty.transfer_data(0.0, 4096)
+        assert t_faulty > 2 * t_clean  # full retransmission + pause
+        assert faulty.fault_model.crc_errors == 1
+        assert faulty.fault_model.crc_retries == 1
+
+    def test_exhaustion_resets_link(self):
+        faulty = self.channel(
+            FaultConfig(
+                enabled=True,
+                crc_error_rate=1.0,
+                crc_retry_success_prob=1e-12,
+                max_crc_retries=2,
+            )
+        )
+        t = faulty.transfer_data(0.0, 4096)
+        assert faulty.fault_model.crc_resets == 1
+        assert t > FaultConfig().crc_reset_latency
+
+    def test_exhaustion_raises_without_recovery(self):
+        faulty = self.channel(
+            FaultConfig(
+                enabled=True, crc_error_rate=1.0, crc_retry_success_prob=1e-12
+            )
+        )
+        with pytest.raises(FaultExhaustedError):
+            faulty.transfer_data(0.0, 4096, recover=False)
+
+    def test_commands_stay_clean(self):
+        faulty = self.channel(
+            FaultConfig(enabled=True, crc_error_rate=1.0)
+        )
+        faulty.send_command(0.0)
+        assert faulty.fault_model.crc_errors == 0
+
+
+class TestFtlBadBlocks:
+    def test_retire_active_block(self):
+        ssd = SSD(SSDConfig())
+        ftl = ssd.ftl
+        # Map some pages so the copy-forward path has work.
+        ftl.place_striped(2, 4)
+        free_before = len(ftl._free_list[0])
+        victim = ftl.retire_active_block(0)
+        stats = ftl.wear_stats()
+        assert stats["bad_blocks"] == 1
+        assert victim in ftl.bad_blocks_on(0)
+        # The victim never returns: one block permanently gone.
+        assert len(ftl._free_list[0]) <= free_before
+        assert victim not in ftl._free_list[0]
+        assert ftl.bad_block_count == 1
+
+    def test_wear_stats_has_new_keys(self):
+        ssd = SSD(SSDConfig())
+        stats = ssd.ftl.wear_stats()
+        assert stats["bad_blocks"] == 0
+        assert stats["bad_block_moved_pages"] == 0
+
+
+class TestEngineWithFaults:
+    def test_page_errors_complete_and_slow_down(self, graph):
+        base = FlashWalker(graph, seed=9).run(
+            num_walks=600, spec=WalkSpec(length=5)
+        )
+        cfg = FlashWalkerConfig().replace(
+            faults=FaultConfig(enabled=True, page_error_rate=0.5)
+        )
+        res = FlashWalker(graph, cfg, seed=9).run(
+            num_walks=600, spec=WalkSpec(length=5)
+        )
+        assert int(res.counters["walks_completed"]) == 600
+        assert res.counters["fault_read_faults"] > 0
+        assert res.elapsed > base.elapsed
+
+    def test_crc_errors_complete(self, graph):
+        cfg = FlashWalkerConfig().replace(
+            faults=FaultConfig(enabled=True, crc_error_rate=0.2)
+        )
+        res = FlashWalker(graph, cfg, seed=9).run(
+            num_walks=600, spec=WalkSpec(length=5)
+        )
+        assert int(res.counters["walks_completed"]) == 600
+        assert res.counters["fault_crc_errors"] > 0
+
+    def test_chip_failure_migrates_blocks(self, graph):
+        probe = FlashWalker(graph, seed=9)
+        victim = int(probe.block_chip[0])
+        cfg = FlashWalkerConfig().replace(
+            faults=FaultConfig(enabled=True, chip_failures=((50e-6, victim),))
+        )
+        fw = FlashWalker(graph, cfg, seed=9)
+        res = fw.run(num_walks=800, spec=WalkSpec(length=5))
+        assert int(res.counters["walks_completed"]) == 800
+        assert res.counters["chips_failed"] == 1
+        assert res.counters["fault_chip_failures"] == 1
+        # No block remains on the dead chip, and its accelerator is off.
+        assert not np.any(fw.block_chip == victim)
+        assert fw.chips[victim].failed
+
+    def test_failure_run_deterministic(self, graph):
+        probe = FlashWalker(graph, seed=9)
+        victim = int(probe.block_chip[0])
+        cfg = FlashWalkerConfig().replace(
+            faults=FaultConfig(
+                enabled=True,
+                page_error_rate=0.2,
+                chip_failures=((50e-6, victim),),
+            )
+        )
+        r1 = FlashWalker(graph, cfg, seed=9).run(
+            num_walks=600, spec=WalkSpec(length=5)
+        )
+        r2 = FlashWalker(graph, cfg, seed=9).run(
+            num_walks=600, spec=WalkSpec(length=5)
+        )
+        assert result_key(r1) == result_key(r2)
+
+
+class TestCheckpointResume:
+    CFG = dict(page_error_rate=0.2, checkpoint_interval=50e-6)
+    # Force walks through the chip path (and across partitions) so the
+    # run spans many events — a board-hot-resident graph collapses into
+    # one synchronous cascade that max_events cannot interrupt.
+    ENGINE = dict(
+        partition_subgraphs=4, board_hot_subgraphs=1, channel_hot_subgraphs=0
+    )
+
+    def run_full(self, graph, **spec_kw):
+        cfg = FlashWalkerConfig().replace(
+            **self.ENGINE, faults=FaultConfig(enabled=True, **self.CFG)
+        )
+        fw = FlashWalker(graph, cfg, seed=9)
+        res = fw.run(num_walks=800, spec=WalkSpec(length=5), **spec_kw)
+        assert res.counters["checkpoints_taken"] >= 1
+        # Kill a replay a handful of events before the finish line, well
+        # past the last checkpoint.
+        return cfg, res, fw.sim.events_executed - 5
+
+    def crash(self, graph, cfg, max_events, **spec_kw):
+        fw = FlashWalker(graph, cfg, seed=9)
+        with pytest.raises(SimulationError):
+            fw.run(
+                num_walks=800,
+                spec=WalkSpec(length=5),
+                max_events=max_events,
+                **spec_kw,
+            )
+        assert fw.latest_checkpoint is not None
+        return fw
+
+    def test_checkpoints_taken(self, graph):
+        _, res, _ = self.run_full(graph)
+        assert res.counters["checkpoints_taken"] >= 1
+
+    def test_resume_reproduces_uninterrupted_run(self, graph):
+        cfg, full, cut = self.run_full(graph)
+        fw = self.crash(graph, cfg, cut)
+        resumed = fw.resume()
+        assert result_key(resumed) == result_key(full)
+
+    def test_resume_on_fresh_instance(self, graph):
+        cfg, full, cut = self.run_full(graph)
+        crashed = self.crash(graph, cfg, cut)
+        fresh = FlashWalker(graph, cfg, seed=9)
+        resumed = fresh.resume(checkpoint=crashed.latest_checkpoint)
+        assert result_key(resumed) == result_key(full)
+
+    def test_resume_preserves_finals(self, graph):
+        cfg, full, cut = self.run_full(graph, record_finals=True)
+        fw = self.crash(graph, cfg, cut, record_finals=True)
+        resumed = fw.resume()
+        np.testing.assert_array_equal(full.finals.src, resumed.finals.src)
+        np.testing.assert_array_equal(full.finals.cur, resumed.finals.cur)
+        np.testing.assert_array_equal(full.finals.hop, resumed.finals.hop)
+
+    def test_resume_without_checkpoint_raises(self, graph):
+        fw = FlashWalker(graph, seed=9)
+        with pytest.raises(SimulationError):
+            fw.resume()
+
+    def test_checkpointing_off_by_default(self, graph):
+        res = FlashWalker(graph, seed=9).run(
+            num_walks=300, spec=WalkSpec(length=4)
+        )
+        assert res.counters["checkpoints_taken"] == 0

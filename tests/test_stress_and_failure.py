@@ -8,7 +8,7 @@ must stay exact in every regime.
 import numpy as np
 import pytest
 
-from repro.common import FlashWalkerConfig, RngRegistry, SSDConfig
+from repro.common import FaultConfig, FlashWalkerConfig, RngRegistry, SSDConfig
 from repro.core import FlashWalker
 from repro.graph import (
     CSRGraph,
@@ -188,3 +188,62 @@ class TestExtremeParameters:
         fw = FlashWalker(graph, seed=9)
         res = completes(fw, 500, length=1)
         assert res.hops <= 500
+
+
+class TestFaultInjection:
+    """The engine under injected NAND/channel faults: walk accounting
+    stays exact and fault draws are fully reproducible."""
+
+    LEAN = dict(board_hot_subgraphs=1, channel_hot_subgraphs=0)
+
+    def result_key(self, res):
+        return (res.elapsed, res.hops, tuple(sorted(res.counters.items())))
+
+    def test_disabled_faults_identical_to_baseline(self, graph):
+        base = FlashWalker(
+            graph, FlashWalkerConfig().replace(**self.LEAN), seed=11
+        )
+        gated = FlashWalker(
+            graph,
+            FlashWalkerConfig().replace(
+                **self.LEAN, faults=FaultConfig(enabled=False)
+            ),
+            seed=11,
+        )
+        r1 = completes(base, 800)
+        r2 = completes(gated, 800)
+        assert self.result_key(r1) == self.result_key(r2)
+
+    @pytest.mark.parametrize("rate", [0.1, 0.3, 0.6])
+    def test_all_walks_complete_under_page_errors(self, graph, rate):
+        cfg = FlashWalkerConfig().replace(
+            **self.LEAN,
+            faults=FaultConfig(enabled=True, page_error_rate=rate),
+        )
+        fw = FlashWalker(graph, cfg, seed=11)
+        res = completes(fw, 800)
+        assert res.counters["fault_read_faults"] > 0
+
+    def test_fault_run_deterministic(self, graph):
+        cfg = FlashWalkerConfig().replace(
+            **self.LEAN,
+            faults=FaultConfig(
+                enabled=True, page_error_rate=0.3, crc_error_rate=0.1
+            ),
+        )
+        keys = [
+            self.result_key(
+                completes(FlashWalker(graph, cfg, seed=11), 800)
+            )
+            for _ in range(2)
+        ]
+        assert keys[0] == keys[1]
+
+    def test_faults_slow_the_run_down(self, graph):
+        clean_cfg = FlashWalkerConfig().replace(**self.LEAN)
+        faulty_cfg = clean_cfg.replace(
+            faults=FaultConfig(enabled=True, page_error_rate=0.6)
+        )
+        clean = completes(FlashWalker(graph, clean_cfg, seed=11), 800)
+        faulty = completes(FlashWalker(graph, faulty_cfg, seed=11), 800)
+        assert faulty.elapsed > clean.elapsed
