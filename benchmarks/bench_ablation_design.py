@@ -8,7 +8,6 @@ extreme settings do not break the engine) — the interesting output is
 the table in ``extra_info``.
 """
 
-import numpy as np
 
 from repro.experiments.harness import format_table
 from repro.walks import WalkSpec

@@ -7,20 +7,96 @@ suite finishes in minutes; set ``REPRO_FULL=1`` for paper-scaled runs.
 pytest-benchmark is used in pedantic single-round mode: these are
 simulation *campaigns*, not microbenchmarks, and the quantity of
 interest is the produced rows (attached via ``benchmark.extra_info``).
+
+Every experiment routed through :func:`run_once` is additionally
+captured into a machine-readable artifact: one ``BENCH_<name>.json``
+per bench module (``name`` is the module stem minus the ``bench_``
+prefix), written at session end to ``benchmarks/results/`` (override
+with ``REPRO_BENCH_DIR``).  The artifact carries wall-clock elapsed,
+the experiment's returned rows, each test's ``extra_info``, and the
+context's scale fingerprint, so CI can archive and diff benchmark
+outputs across commits without scraping logs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.harness import ExperimentContext
+from repro.obs.report import _jsonable, config_fingerprint
+
+#: nodeid-keyed records accumulated by run_once during the session.
+_RECORDS: dict[str, dict] = {}
+_CTX_INFO: dict = {}
 
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext.quick(seed=3)
+    c = ExperimentContext.quick(seed=3)
+    _CTX_INFO.update(
+        seed=c.seed, size_factor=c.size_factor, walk_factor=c.walk_factor
+    )
+    return c
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Also records the call into this module's ``BENCH_<name>.json``
+    artifact (wall seconds + returned rows when JSON-representable).
+    """
+    t0 = time.perf_counter()
+    out = benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+    wall = time.perf_counter() - t0
+    rec = _RECORDS.setdefault(
+        benchmark.fullname, {"wall_seconds": 0.0, "calls": 0, "rows": []}
+    )
+    rec["wall_seconds"] += wall
+    rec["calls"] += 1
+    rec["_extra_info"] = benchmark.extra_info  # live dict; snapshot at write
+    try:
+        rec["rows"].append(_jsonable(out))
+    except (TypeError, ValueError, RecursionError):  # pragma: no cover
+        rec["rows"].append(repr(out))
+    return out
+
+
+def bench_artifact_dir() -> Path:
+    return Path(
+        os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent / "results")
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<name>.json`` per bench module that ran."""
+    if not _RECORDS:
+        return
+    by_module: dict[str, dict] = {}
+    for nodeid, rec in _RECORDS.items():
+        path, _, testname = nodeid.partition("::")
+        stem = Path(path).stem.removeprefix("bench_")
+        tests = by_module.setdefault(stem, {})
+        extra = rec.pop("_extra_info", {})
+        tests[testname] = dict(rec, extra_info=_jsonable(dict(extra)))
+    out_dir = bench_artifact_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    fingerprint = config_fingerprint(_CTX_INFO) if _CTX_INFO else None
+    for stem, tests in sorted(by_module.items()):
+        artifact = {
+            "schema": "repro.obs.bench-artifact",
+            "schema_version": 1,
+            "bench": stem,
+            "context": dict(_CTX_INFO),
+            "config_fingerprint": fingerprint,
+            "wall_seconds": sum(t["wall_seconds"] for t in tests.values()),
+            "tests": tests,
+        }
+        path = out_dir / f"BENCH_{stem}.json"
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")

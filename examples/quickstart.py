@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 
 from repro import FlashWalker, GraphWalker, WalkSpec
-from repro.common import RngRegistry, fmt_bandwidth, fmt_bytes, fmt_time
+from repro.common import fmt_bandwidth, fmt_bytes, fmt_time
 from repro.experiments.harness import ExperimentContext
 from repro.graph import compute_stats, dataset_names
 

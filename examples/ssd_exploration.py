@@ -11,7 +11,7 @@ and garbage collection) directly.
 
 from __future__ import annotations
 
-from repro.common import MB, SSDConfig, fmt_bandwidth, fmt_bytes, fmt_time
+from repro.common import MB, SSDConfig, fmt_bandwidth, fmt_time
 from repro.flash import FTL, SSD
 
 

@@ -23,7 +23,6 @@ breakdown *is* Fig. 1.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -42,6 +42,8 @@ class BoardAccelerator:
         self.completed_pending_bytes = 0
         #: Bytes accumulated toward the next foreigner flush.
         self.foreigner_pending_bytes = 0
+        #: Optional :class:`~repro.obs.Tracer`; None = no recording.
+        self.tracer = None
         # statistics
         self.batches = 0
         self.hops = 0
@@ -70,7 +72,11 @@ class BoardAccelerator:
         gid = result.guide_ops * self.acc.guider_cycle / self.acc.n_guiders
         self.batches += 1
         self.hops += result.hops
-        return upd + gid
+        t = upd + gid
+        tr = self.tracer
+        if tr is not None:
+            tr.latency("board_batch", t)
+        return t
 
     def query_and_direct(
         self, block_ids: np.ndarray, scoped: bool
@@ -124,6 +130,9 @@ class BoardAccelerator:
         if n_walks < 0:
             raise ReproError(f"negative walk count {n_walks}")
         self.completed_pending_bytes += n_walks * self.cfg.walk_bytes
+        tr = self.tracer
+        if tr is not None:
+            tr.highwater("buf.completed_bytes", self.completed_pending_bytes)
         if self.completed_pending_bytes >= self.cfg.completed_buffer_bytes:
             out = self.completed_pending_bytes
             self.completed_pending_bytes = 0
@@ -136,6 +145,9 @@ class BoardAccelerator:
         if n_walks < 0:
             raise ReproError(f"negative walk count {n_walks}")
         self.foreigner_pending_bytes += n_walks * self.cfg.walk_bytes
+        tr = self.tracer
+        if tr is not None:
+            tr.highwater("buf.foreigner_bytes", self.foreigner_pending_bytes)
         if self.foreigner_pending_bytes >= self.cfg.foreigner_buffer_bytes:
             out = self.foreigner_pending_bytes
             self.foreigner_pending_bytes = 0

@@ -29,6 +29,8 @@ class ChannelAccelerator:
         #: The partition's subgraph-range table (set at partition start).
         self.range_table: RangeTable | None = None
         self.collect_scheduled = False
+        #: Optional :class:`~repro.obs.Tracer`; None = no recording.
+        self.tracer = None
         # statistics
         self.batches = 0
         self.hops = 0
@@ -52,7 +54,11 @@ class ChannelAccelerator:
         gid = result.guide_ops * self.cfg.guider_cycle / self.cfg.n_guiders
         self.batches += 1
         self.hops += result.hops
-        return upd + gid
+        t = upd + gid
+        tr = self.tracer
+        if tr is not None:
+            tr.latency("channel_batch", t)
+        return t
 
     def range_query_time(self, n_walks: int) -> float:
         """Approximate walk search time for ``n_walks`` roving walks."""
@@ -62,7 +68,11 @@ class ChannelAccelerator:
             return 0.0
         steps = self.range_table.search_steps()
         self.range_queries += n_walks
-        return n_walks * steps * self.cfg.guider_cycle / self.cfg.n_guiders
+        t = n_walks * steps * self.cfg.guider_cycle / self.cfg.n_guiders
+        tr = self.tracer
+        if tr is not None:
+            tr.latency("range_query", t)
+        return t
 
     def guide_time(self, n_ops: int) -> float:
         """Plain guider operations (membership compares, moves)."""

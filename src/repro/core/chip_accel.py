@@ -53,6 +53,8 @@ class ChipAccelerator:
         #: Completed walks awaiting write-back (count only: the record
         #: content no longer matters, just the flush traffic).
         self.pending_completed = 0
+        #: Optional :class:`~repro.obs.Tracer`; None = no recording.
+        self.tracer = None
         # statistics
         self.batches = 0
         self.hops = 0
@@ -80,6 +82,11 @@ class ChipAccelerator:
         if len(walks):
             self.pending_rove.append(walks)
             self.pending_rove_count += len(walks)
+            tr = self.tracer
+            if tr is not None:
+                tr.highwater(
+                    "buf.roving_bytes", self.pending_rove_count * self.walk_bytes
+                )
 
     def take_roving(self) -> WalkSet:
         walks = WalkSet.concat(self.pending_rove)
@@ -121,7 +128,11 @@ class ChipAccelerator:
         gid = result.guide_ops * self.cfg.guider_cycle / self.cfg.n_guiders
         self.batches += 1
         self.hops += result.hops
-        return upd + gid
+        t = upd + gid
+        tr = self.tracer
+        if tr is not None:
+            tr.latency("chip_batch", t)
+        return t
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,17 @@ from ..flash.channel import ONFI_COMMAND_BYTES
 from ..flash.ssd import SSD
 from ..graph.csr import CSRGraph
 from ..graph.partition import GraphPartitioning, partition_graph
+from ..obs.profile import EventLoopProfiler
+from ..obs.report import config_fingerprint
+from ..obs.tracer import (
+    PID_BOARD,
+    PID_CHANNEL_ACCEL,
+    PID_CHIP_ACCEL,
+    PID_FAULTS,
+    PID_RUN,
+    TraceConfig,
+    Tracer,
+)
 from ..sim.engine import Simulator
 from ..sim.resources import FcfsResource
 from ..walks.sampling import make_sampler
@@ -62,6 +73,11 @@ class FlashWalker:
         hardware + design parameters; defaults are the paper's.
     seed:
         root seed for all stochastic components.
+    trace:
+        optional :class:`~repro.obs.TraceConfig`; when given, every run
+        records span traces, utilization timelines and latency
+        histograms into ``RunResult.trace``.  The tracer is a passive
+        observer — enabling it never changes simulated timestamps.
     """
 
     def __init__(
@@ -69,9 +85,12 @@ class FlashWalker:
         graph: CSRGraph,
         config: FlashWalkerConfig | None = None,
         seed: int = 0,
+        trace: TraceConfig | None = None,
     ):
         self.cfg = (config or FlashWalkerConfig()).validate()
         self.graph = graph
+        self._seed = int(seed)
+        self._trace_cfg = trace.validate() if trace is not None else None
         self.rngs = RngRegistry(seed)
         self.part: GraphPartitioning = partition_graph(
             graph, self.cfg.subgraph_bytes, self.cfg.vid_bytes
@@ -168,6 +187,21 @@ class FlashWalker:
     def _reset_run_state(self) -> None:
         self.sim = Simulator()
         self.metrics = RunMetrics()
+        # Tracing is per run: a fresh Tracer so back-to-back runs never
+        # mix spans.  The bound clock reads self.sim dynamically, so it
+        # survives the engine re-creation on resume().
+        tcfg = self._trace_cfg
+        if tcfg is not None:
+            self.tracer = Tracer(tcfg)
+            self.tracer.bind_clock(lambda: self.sim.now)
+            if tcfg.profile_event_loop:
+                prof = EventLoopProfiler()
+                self.sim.profiler = prof
+                self.tracer.profile = prof
+        else:
+            self.tracer = None
+        self.ssd.attach_tracer(self.tracer)
+        self.board.tracer = self.tracer
         self.scheduler: SubgraphScheduler | None = None
         self.pwb: PartitionWalkBuffer | None = None
         self.mapping: SubgraphMappingTable | None = None
@@ -188,6 +222,8 @@ class FlashWalker:
         self.fault_model = (
             FaultModel(fcfg, self.rngs.fresh("faults")) if fcfg.enabled else None
         )
+        if self.fault_model is not None:
+            self.fault_model.tracer = self.tracer
         self.ssd.attach_fault_model(self.fault_model)
         self._rebuilding_blocks: set[int] = set()
         self._board_inflight = 0
@@ -205,8 +241,10 @@ class FlashWalker:
             chip.pending_rove = []
             chip.pending_rove_count = 0
             chip.pending_completed = 0
+            chip.tracer = self.tracer
         for ch in self.channels:
             ch.collect_scheduled = False
+            ch.tracer = self.tracer
 
     # ------------------------------------------------------------------- run
 
@@ -294,6 +332,11 @@ class FlashWalker:
             finals = WalkSet.concat(self._finals)
             result.counters["finals_recorded"] = float(len(finals))
             result.finals = finals
+        result.seed = self._seed
+        result.config_fingerprint = config_fingerprint(self.cfg)
+        if self.tracer is not None:
+            self.tracer.instant("run", PID_RUN, 0, "run_end", end)
+            result.trace = self.tracer
         return result
 
     # --------------------------------------------------------- partition setup
@@ -318,6 +361,10 @@ class FlashWalker:
             t_bus = ch_hw.transfer_data(t, nbytes)
             self._record_bus(ch_hw.bus, t, nbytes, t_bus)
             done = max(done, t_read, t_bus)
+        tr = self.tracer
+        if tr is not None and all_hot:
+            tr.span("run", PID_RUN, 0, "preload_hot_blocks", t, done,
+                    args={"blocks": len(all_hot)})
         return done
 
     def _install_partition(self, pid: int, t: float) -> None:
@@ -348,6 +395,12 @@ class FlashWalker:
             update_period_m=self.cfg.score_update_period_m,
             use_scores=self.cfg.opt_subgraph_scheduling,
         )
+        self.scheduler.tracer = self.tracer
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("run", PID_RUN, 0, "install_partition", t,
+                       args={"partition": pid, "first_block": first,
+                             "last_block": last})
         self.pwb = PartitionWalkBuffer(
             first,
             last,
@@ -375,6 +428,10 @@ class FlashWalker:
         # Foreigner walks come back from flash (scattered pages).
         nbytes = len(walks) * self.cfg.walk_bytes
         t_ready = self._read_scattered(t, nbytes)
+        tr = self.tracer
+        if tr is not None:
+            tr.span("run", PID_RUN, 0, "partition_switch", t, t_ready,
+                    args={"partition": pid, "walks": len(walks)})
         self.sim.at(t_ready, lambda: self._board_direct(walks, scoped=False))
 
 
@@ -548,6 +605,11 @@ class FlashWalker:
         m = self.metrics
         m.board_busy.add(busy)
         t_done = self._board_pipe.acquire_for(t, busy)
+        tr = self.tracer
+        if tr is not None and busy > 0:
+            # The pipe is FCFS: the batch occupies its tail window.
+            tr.span("accel", PID_BOARD, 0, "board_batch", t_done - busy, t_done)
+            tr.busy("board_accel", t_done - busy, t_done)
         if t_done > t:
             self._board_inflight += 1
             self.sim.at(t_done, lambda: self._board_batch_done())
@@ -595,6 +657,9 @@ class FlashWalker:
                 self.metrics.spilled_walks.add(spilled)
                 # Overflowed entry flushes through the block's chip.
                 self._spill_write(t, block, spilled)
+        tr = self.tracer
+        if tr is not None:
+            tr.highwater("buf.pwb_pending_walks", self.scheduler.total_pending)
         self.in_transit -= n
 
     def _spill_write(self, t: float, block: int, n_walks: int) -> None:
@@ -627,6 +692,9 @@ class FlashWalker:
         for pid in np.unique(pids):
             sel = pids == pid
             self.foreign.push(int(pid), walks.select(sel))
+        tr = self.tracer
+        if tr is not None:
+            tr.highwater("buf.foreigner_store_walks", self.foreign.total)
         flush = self.board.add_foreigners(n)
         if flush:
             self._flush_to_flash(t, flush)
@@ -758,6 +826,12 @@ class FlashWalker:
             self._record_bus(ch_hw.bus, t, nbytes, t_bus)
             t_walks = max(t_cmd, t_dram, t_bus)
         t_ready = max(t_pages, t_walks)
+        tr = self.tracer
+        if tr is not None:
+            tr.span("accel", PID_CHIP_ACCEL, chip.index, "subgraph_load",
+                    t, t_ready,
+                    args={"block": int(block), "buffered": nb, "spilled": ns})
+            tr.latency("subgraph_load", t_ready - t)
         self.sim.at(t_ready, lambda: self._chip_process(chip, batch))
 
     def _chip_process(self, chip: ChipAccelerator, batch: WalkBatch) -> None:
@@ -771,6 +845,11 @@ class FlashWalker:
             walks = batch.walks
             if len(walks):
                 self.metrics.walks_rerouted.add(len(walks))
+                tr = self.tracer
+                if tr is not None:
+                    tr.span("fault", PID_FAULTS, chip.index, "failover_reroute",
+                            t, t + self.cfg.faults.failover_latency,
+                            args={"walks": len(walks)})
                 self.sim.at(
                     t + self.cfg.faults.failover_latency,
                     lambda: self._board_direct(walks, scoped=False),
@@ -789,6 +868,18 @@ class FlashWalker:
         self.metrics.stall_time.add(stall)
         self.metrics.roving_walks.add(len(res.roving))
         t_end = t + busy + stall
+        tr = self.tracer
+        if tr is not None:
+            if busy > 0:
+                tr.span("accel", PID_CHIP_ACCEL, chip.index, "chip_batch",
+                        t, t + busy,
+                        args={"hops": int(res.hops),
+                              "completed": int(res.n_completed),
+                              "roving": len(res.roving)})
+                tr.busy("chip_accel", t, t + busy)
+            if stall > 0:
+                tr.span("accel", PID_CHIP_ACCEL, chip.index, "rove_stall",
+                        t + busy, t_end)
         if res.n_completed:
             self._complete_walks(
                 t_end, res.n_completed, sink="chip", walks=res.completed
@@ -850,6 +941,7 @@ class FlashWalker:
         walks = WalkSet.concat(parts)
         if len(walks) == 0:
             return
+        n_collected = len(walks)
         busy = 0.0
         # Hot-subgraph updates at the channel level.
         if self.cfg.opt_hot_subgraphs and ch.hot_blocks:
@@ -881,6 +973,11 @@ class FlashWalker:
         busy += ch.guide_time(len(walks))
         self.metrics.channel_busy.add(busy)
         t_done = t_arr + busy
+        tr = self.tracer
+        if tr is not None and busy > 0:
+            tr.span("accel", PID_CHANNEL_ACCEL, channel_id, "channel_collect",
+                    t_arr, t_done, args={"walks": n_collected})
+            tr.busy("channel_accel", t_arr, t_done)
         if len(walks):
             self.sim.at(t_done, lambda: self._board_direct(walks, scoped=scoped))
         else:
@@ -929,6 +1026,12 @@ class FlashWalker:
         # only (their completion is already accounted).
         rerouted = chip.take_roving()
         chip.pending_completed = 0
+        tr = self.tracer
+        if tr is not None:
+            tr.span("fault", PID_FAULTS, int(chip_flat), "chip_failover",
+                    t, t + self.cfg.faults.failover_latency,
+                    args={"rerouted": len(rerouted),
+                          "blocks_remapped": int(mine.size)})
         if len(rerouted):
             self.metrics.walks_rerouted.add(len(rerouted))
             self.sim.at(
@@ -963,6 +1066,9 @@ class FlashWalker:
         if self._ckpt_interval > 0 and not self._done:
             if not self._draining and t >= self._next_checkpoint:
                 self._draining = True
+                tr = self.tracer
+                if tr is not None:
+                    tr.instant("ckpt", PID_RUN, 0, "ckpt_drain_start", t)
             if self._draining and self._quiescent():
                 self._draining = False
                 self._take_checkpoint(t)
@@ -977,6 +1083,10 @@ class FlashWalker:
         self.metrics.checkpoints.add()
         self._next_checkpoint = t + self._ckpt_interval
         self._checkpoints.save(capture_checkpoint(self, t))
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("ckpt", PID_RUN, 0, "checkpoint", t,
+                       args={"index": int(self.metrics.checkpoints.total)})
 
     def resume(
         self,

@@ -115,6 +115,13 @@ class RunResult:
     #: Completed walks' (src, cur=final, hop) records; populated only
     #: when the engine ran with ``record_finals=True``.
     finals: object | None = None
+    #: Root seed of the run (stamped by the engine; None for baselines
+    #: that do not report one).
+    seed: int | None = None
+    #: Short hash naming the configuration that produced this result.
+    config_fingerprint: str | None = None
+    #: The run's :class:`~repro.obs.Tracer` when tracing was enabled.
+    trace: object | None = None
 
     @property
     def flash_read_bandwidth(self) -> float:
@@ -168,6 +175,43 @@ class RunResult:
         frac = np.cumsum(rebin(self.metrics.progress)) / max(self.total_walks, 1)
         out["progress"] = (np.arange(rebins) * width, frac)
         return out
+
+    def utilization(self) -> dict[str, dict[str, float]]:
+        """Per-component utilization summary.
+
+        ``mean_busy`` is busy-seconds per elapsed second — the average
+        number of concurrently busy units, so the (single) board
+        accelerator stays in [0, 1] while chip/channel aggregates can
+        exceed 1.  When the run was traced, the tracer's per-resource
+        timelines (planes, buses, ...) contribute mean and peak levels
+        too.
+        """
+        el = self.elapsed
+        out: dict[str, dict[str, float]] = {}
+        for key, counter in (
+            ("board_accel", "board_accel_busy_time"),
+            ("channel_accel", "channel_accel_busy_time"),
+            ("chip_accel", "chip_busy_time"),
+        ):
+            busy = self.counters.get(counter, 0.0)
+            out[key] = {"mean_busy": busy / el if el > 0 else 0.0}
+        if self.trace is not None:
+            for name, (_, level) in self.trace.utilization_timelines().items():
+                entry = out.setdefault(name, {})
+                total = self.trace.stats.series[f"util.{name}"].total
+                entry["mean_busy"] = total / el if el > 0 else 0.0
+                entry["peak_busy"] = float(level.max()) if level.size else 0.0
+        return out
+
+    def to_report(self, *, extra: dict | None = None) -> dict:
+        """Versioned, JSON-round-trippable report of this run.
+
+        See :mod:`repro.obs.report` for the schema; trace-derived
+        sections appear only when the run was traced.
+        """
+        from ..obs.report import build_report
+
+        return build_report(self, extra=extra)
 
     def summary(self) -> str:
         from ..common.units import fmt_bandwidth, fmt_bytes, fmt_time

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..common.errors import SchedulingError
+from ..obs.tracer import PID_BOARD as _PID_BOARD
 
 __all__ = ["SubgraphScheduler"]
 
@@ -73,6 +74,9 @@ class SubgraphScheduler:
         self._dirty: set[int] = set(range(n_chips))
         self.topn_refreshes = 0
         self.topn_updates_deferred = 0
+        #: Optional :class:`~repro.obs.Tracer` (with a bound clock, since
+        #: the scheduler itself is timeless); None = no recording.
+        self.tracer = None
 
     # -- index helpers ------------------------------------------------------------
 
@@ -152,6 +156,12 @@ class SubgraphScheduler:
             self._top[chip] = candidates[order][: self.top_n].tolist()
         self.topn_refreshes += 1
         self._dirty.discard(chip)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "sched", _PID_BOARD, chip, "topn_refresh",
+                args={"entries": len(self._top[chip])},
+            )
 
     def next_subgraph(self, chip: int, exclude: set[int] | None = None) -> int | None:
         """Best block for ``chip`` to load next (global ID), or None.
@@ -196,6 +206,12 @@ class SubgraphScheduler:
             self.block_chip[idx] = chip
             self._dirty.add(old)
             self._dirty.add(int(chip))
+            tr = self.tracer
+            if tr is not None:
+                tr.instant(
+                    "sched", _PID_BOARD, int(chip), "block_reassigned",
+                    args={"block": int(bid), "from_chip": old},
+                )
 
     def chips_with_work(self) -> np.ndarray:
         """Chip indices that currently own blocks with pending walks."""

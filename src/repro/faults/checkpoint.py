@@ -27,7 +27,6 @@ import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..walks.state import WalkSet
 
@@ -410,6 +409,7 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
             update_period_m=fw.cfg.score_update_period_m,
             use_scores=fw.cfg.opt_subgraph_scheduling,
         )
+        fw.scheduler.tracer = fw.tracer
         sc = fw.scheduler
         sc.pwb[:] = sd["pwb"]
         sc.fl[:] = sd["fl"]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..common.config import FaultConfig
+from ..obs.tracer import PID_FAULTS as _PID_FAULTS
 
 __all__ = ["FaultModel"]
 
@@ -28,6 +29,9 @@ class FaultModel:
         self.rng = rng
         #: Flat chip ids (channel * chips_per_channel + chip) declared dead.
         self.failed_chips: set[int] = set()
+        #: Optional :class:`~repro.obs.Tracer` (with a bound clock — the
+        #: oracle itself is timeless); None = no recording.
+        self.tracer = None
         # -- counters (merged into RunResult.counters as "fault_*") --
         self.read_faults = 0
         self.read_retries = 0
@@ -102,6 +106,12 @@ class FaultModel:
             return False
         self.failed_chips.add(chip_flat)
         self.chip_failures += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "fault", _PID_FAULTS, chip_flat, "chip_failure",
+                args={"chip": int(chip_flat), "total_failed": len(self.failed_chips)},
+            )
         return True
 
     def is_failed(self, chip_flat: int) -> bool:

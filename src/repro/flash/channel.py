@@ -11,7 +11,8 @@ byte counters feed the Fig. 8 channel-bandwidth timeline.
 from __future__ import annotations
 
 from ..common.config import SSDConfig
-from ..common.errors import FaultExhaustedError, FlashAddressError, FlashError
+from ..common.errors import FaultExhaustedError, FlashAddressError
+from ..obs.tracer import PID_BUS as _PID_BUS
 from ..sim.resources import BandwidthLink
 from .nand import FlashChip
 
@@ -37,6 +38,8 @@ class FlashChannel:
         )
         #: Optional :class:`~repro.faults.FaultModel`; None = clean bus.
         self.fault_model = None
+        #: Optional :class:`~repro.obs.Tracer`; None = no recording.
+        self.tracer = None
 
     def chip(self, index: int) -> FlashChip:
         if not 0 <= index < len(self.chips):
@@ -55,7 +58,11 @@ class FlashChannel:
         only corrupts *data* transfers; a corrupted command would be
         re-issued at negligible extra cost.
         """
-        return self.bus.transfer(now, ONFI_COMMAND_BYTES)
+        end = self.bus.transfer(now, ONFI_COMMAND_BYTES)
+        tr = self.tracer
+        if tr is not None:
+            self._trace_bus_busy(tr, end, ONFI_COMMAND_BYTES)
+        return end
 
     def transfer_data(
         self, now: float, nbytes: int | float, *, recover: bool = True
@@ -71,25 +78,57 @@ class FlashChannel:
         :class:`FaultExhaustedError`.
         """
         end = self.bus.transfer(now, nbytes)
+        tr = self.tracer
         fm = self.fault_model
         if fm is None:
+            if tr is not None:
+                self._trace_transfer(tr, now, end, end, nbytes)
             return end
+        first_end = end
         attempts = fm.draw_transfer()
-        if attempts == 0:
-            return end
-        n = attempts if attempts > 0 else fm.cfg.max_crc_retries
-        for k in range(1, n + 1):
-            end = self.bus.transfer(end + fm.crc_delay(k), nbytes)
-        if attempts < 0:
-            if not recover:
-                raise FaultExhaustedError(
-                    f"channel {self.channel_id}: transfer of {nbytes} B "
-                    f"corrupted after {fm.cfg.max_crc_retries} retransmissions",
-                    at=end,
+        if attempts != 0:
+            n = attempts if attempts > 0 else fm.cfg.max_crc_retries
+            for k in range(1, n + 1):
+                end = self.bus.transfer(end + fm.crc_delay(k), nbytes)
+                if tr is not None:
+                    self._trace_bus_busy(tr, end, nbytes)
+            if tr is not None:
+                tr.span(
+                    "fault", _PID_BUS, self.channel_id, "crc_retransmit",
+                    first_end, end,
+                    args={"bytes": int(nbytes), "retransmissions": n,
+                          "recovered": attempts > 0},
                 )
-            fm.note_crc_reset()
-            end = self.bus.transfer(end + fm.cfg.crc_reset_latency, nbytes)
+            if attempts < 0:
+                if not recover:
+                    raise FaultExhaustedError(
+                        f"channel {self.channel_id}: transfer of {nbytes} B "
+                        f"corrupted after {fm.cfg.max_crc_retries} retransmissions",
+                        at=end,
+                    )
+                fm.note_crc_reset()
+                end = self.bus.transfer(end + fm.cfg.crc_reset_latency, nbytes)
+                if tr is not None:
+                    tr.instant("fault", _PID_BUS, self.channel_id, "link_reset", end)
+                    self._trace_bus_busy(tr, end, nbytes)
+        if tr is not None:
+            self._trace_transfer(tr, now, first_end, end, nbytes)
         return end
+
+    def _trace_bus_busy(self, tr, end: float, nbytes: int | float) -> None:
+        """Attribute one raw transfer's bus occupancy ending at ``end``."""
+        duration = float(nbytes) / self.bus.bytes_per_sec
+        tr.busy("bus", end - duration, end)
+        tr.busy(f"bus.ch{self.channel_id}", end - duration, end)
+
+    def _trace_transfer(
+        self, tr, issued: float, first_end: float, end: float, nbytes: int | float
+    ) -> None:
+        """Record a data transfer's span (queueing included) + stats."""
+        self._trace_bus_busy(tr, first_end, nbytes)
+        tr.span("bus", _PID_BUS, self.channel_id, "xfer", issued, end,
+                args={"bytes": int(nbytes)})
+        tr.latency("bus_transfer", end - issued)
 
     def read_page_to_controller(self, now: float, chip: int, die: int, plane: int) -> float:
         """Full channel read: array sense then bus transfer of the page.

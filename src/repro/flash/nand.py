@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..common.config import SSDConfig
 from ..common.errors import FaultExhaustedError, FlashAddressError, FlashError
+from ..obs.tracer import PID_FLASH as _PID_FLASH
 from ..sim.resources import FcfsResource
 
 __all__ = ["Plane", "Die", "FlashChip"]
@@ -94,6 +95,11 @@ class FlashChip:
         #: Optional :class:`~repro.faults.FaultModel`; None = ideal NAND
         #: and the exact pre-fault-layer code path.
         self.fault_model = None
+        #: Optional :class:`~repro.obs.Tracer`; None (default) keeps array
+        #: ops at one attribute check of overhead.  The tracer only
+        #: observes completion times already computed — it never feeds
+        #: back into timing.
+        self.tracer = None
         #: Called as ``on_bad_block(chip_id, die, plane)`` when a read
         #: exhausts its retry ladder and the page's block is remapped
         #: (wired to the FTL by :meth:`repro.flash.ssd.SSD.attach_fault_model`).
@@ -137,6 +143,11 @@ class FlashChip:
         slot_end = self._op_slots.acquire_for(now, latency)
         start = max(now, slot_end - latency, pl.busy_until)
         _, end = pl.occupy(start, latency)
+        tr = self.tracer
+        if tr is not None:
+            # [end - latency, end] is the exact plane-occupancy window
+            # (plane ops are serial, end = start + latency).
+            tr.busy("planes", end - latency, end)
         return end
 
     def read_page(
@@ -159,6 +170,7 @@ class FlashChip:
         pl.bytes_read += self.cfg.page_bytes
         self.reads += 1
         self.bytes_read += self.cfg.page_bytes
+        first_sense_end = end
         fm = self.fault_model
         if fm is not None:
             attempts = fm.draw_read()
@@ -167,8 +179,21 @@ class FlashChip:
                 # Re-senses of the same page: extra occupancy, no new data.
                 extra = fm.read_retry_latency(self.cfg.read_latency, n)
                 end = self._array_op(end, die, plane, extra)
+                tr = self.tracer
+                if tr is not None:
+                    tr.span(
+                        "fault", _PID_FLASH, self.chip_id, "read_retry_ladder",
+                        first_sense_end, end,
+                        args={"die": die, "plane": plane, "rungs": n,
+                              "recovered": attempts > 0},
+                    )
                 if attempts < 0:
                     end = self._remap_bad_page(end, die, plane, recover)
+        tr = self.tracer
+        if tr is not None:
+            tr.span("flash", _PID_FLASH, self.chip_id, "page_read", now, end,
+                    args={"die": die, "plane": plane})
+            tr.latency("page_read", end - now)
         return end
 
     def _remap_bad_page(
@@ -189,6 +214,10 @@ class FlashChip:
         end = self.program_page(end, die, plane)
         if self.on_bad_block is not None:
             self.on_bad_block(self.chip_id, die, plane)
+        tr = self.tracer
+        if tr is not None:
+            tr.span("fault", _PID_FLASH, self.chip_id, "bad_block_remap", now, end,
+                    args={"die": die, "plane": plane})
         return end
 
     def program_page(self, now: float, die: int, plane: int) -> float:
@@ -206,6 +235,11 @@ class FlashChip:
         pl.bytes_programmed += self.cfg.page_bytes
         self.programs += 1
         self.bytes_programmed += self.cfg.page_bytes
+        tr = self.tracer
+        if tr is not None:
+            tr.span("flash", _PID_FLASH, self.chip_id, "page_program", now, end,
+                    args={"die": die, "plane": plane})
+            tr.busy("planes", end - self.cfg.program_latency, end)
         return end
 
     def erase_block(self, now: float, die: int, plane: int) -> float:

@@ -15,7 +15,7 @@ from ..common.config import DRAMConfig, SSDConfig
 from ..common.errors import FlashAddressError, FlashError
 from .channel import FlashChannel
 from .dram import DRAM
-from .ftl import FTL, FlashAddress
+from .ftl import FTL
 from .hostif import HostInterface
 from .nand import FlashChip
 
@@ -32,6 +32,7 @@ class SSD:
         self.dram = DRAM(dram_cfg or DRAMConfig())
         self.host = HostInterface(self.cfg)
         self.fault_model = None
+        self.tracer = None
 
     def attach_fault_model(self, fault_model) -> None:
         """Wire a :class:`~repro.faults.FaultModel` through the device.
@@ -48,6 +49,19 @@ class SSD:
                 chip.on_bad_block = (
                     self._on_bad_block if fault_model is not None else None
                 )
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire a :class:`~repro.obs.Tracer` through the device.
+
+        Every chip and channel bus starts recording spans and busy
+        windows.  Pass ``None`` to detach; detached is the default and
+        leaves the timing paths at one attribute check of overhead.
+        """
+        self.tracer = tracer
+        for ch in self.channels:
+            ch.tracer = tracer
+            for chip in ch.chips:
+                chip.tracer = tracer
 
     def _on_bad_block(self, chip_id: int, die: int, plane: int) -> None:
         cpc = self.cfg.chips_per_channel

@@ -1,0 +1,81 @@
+"""Observability layer: span tracing, run reports, event-loop profiling.
+
+This package turns a simulation run from a bag of whole-run counters
+into an inspectable artifact, in three pieces:
+
+* :mod:`repro.obs.tracer` — an opt-in **span tracer**
+  (:class:`TraceConfig` + :class:`Tracer`) that hardware models and the
+  engine feed begin/end spans (page reads, bus transfers, accelerator
+  busy periods, scheduler decisions, fault events).  Traces export as
+  Chrome trace-event JSON, openable directly in ``ui.perfetto.dev``.
+* :mod:`repro.obs.report` — a versioned, machine-readable **run
+  report** (:func:`build_report`, surfaced as
+  :meth:`repro.core.metrics.RunResult.to_report`), plus
+  :func:`diff_reports` for comparing two runs and
+  :func:`config_fingerprint` for identifying the configuration that
+  produced them.
+* :mod:`repro.obs.profile` — **wall-clock profiling** of the event
+  loop (:class:`EventLoopProfiler`): per-callback-category timing and
+  events/sec, for finding host-side hotspots.
+
+Tracing is strictly opt-in: with no tracer attached every hot path sees
+a single ``is None`` check, and a traced run's *simulated* timestamps
+are identical to an untraced one — the tracer only observes.
+
+The CLI entry point ``python -m repro.obs.cli`` exports traces, dumps
+and diffs reports, and validates trace files (used by CI).
+"""
+
+from .profile import EventLoopProfiler
+from .report import (
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    config_fingerprint,
+    diff_reports,
+)
+from .tracer import (
+    CAT_ACCEL,
+    CAT_BUS,
+    CAT_CHECKPOINT,
+    CAT_FAULT,
+    CAT_FLASH,
+    CAT_RUN,
+    CAT_SCHED,
+    PID_BOARD,
+    PID_BUS,
+    PID_CHANNEL_ACCEL,
+    PID_CHIP_ACCEL,
+    PID_FAULTS,
+    PID_FLASH,
+    PID_RUN,
+    TraceConfig,
+    Tracer,
+    validate_trace,
+)
+
+__all__ = [
+    "CAT_ACCEL",
+    "CAT_BUS",
+    "CAT_CHECKPOINT",
+    "CAT_FAULT",
+    "CAT_FLASH",
+    "CAT_RUN",
+    "CAT_SCHED",
+    "PID_BOARD",
+    "PID_BUS",
+    "PID_CHANNEL_ACCEL",
+    "PID_CHIP_ACCEL",
+    "PID_FAULTS",
+    "PID_FLASH",
+    "PID_RUN",
+    "EventLoopProfiler",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "TraceConfig",
+    "Tracer",
+    "build_report",
+    "config_fingerprint",
+    "diff_reports",
+    "validate_trace",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` == ``python -m repro.obs.cli``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

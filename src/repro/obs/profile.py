@@ -1,0 +1,94 @@
+"""Wall-clock profiling of the event loop.
+
+The simulator's hot path is ``heappop -> callback``; when campaigns get
+slow it is almost always one callback *category* (chip batches, board
+direction, channel collection) dominating host time.  The profiler
+times every callback with ``perf_counter`` and aggregates by the
+callback's qualified name, so ``RunResult.to_report()`` can answer
+"where did the host's wall clock go?" without an external profiler.
+
+Strictly opt-in: :class:`~repro.sim.engine.Simulator` holds
+``profiler = None`` and the only disabled-path cost is that attribute
+check per event.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["EventLoopProfiler"]
+
+
+def _category(fn) -> str:
+    """Stable aggregation key for a callback.
+
+    Bound methods and lambdas both carry a ``__qualname__`` naming the
+    defining scope (``FlashWalker._start_load.<locals>.<lambda>``); the
+    lambda suffix is stripped so the category names the scheduling site.
+    """
+    name = getattr(fn, "__qualname__", None) or repr(fn)
+    return name.removesuffix(".<locals>.<lambda>")
+
+
+class EventLoopProfiler:
+    """Per-category wall-clock accounting for simulator callbacks."""
+
+    __slots__ = ("_wall", "_calls", "_t_start", "wall_elapsed", "events")
+
+    def __init__(self):
+        self._wall: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        self._t_start: float | None = None
+        self.wall_elapsed = 0.0
+        self.events = 0
+
+    # -- hooks called by Simulator -------------------------------------------
+
+    def loop_started(self) -> None:
+        self._t_start = perf_counter()
+
+    def loop_stopped(self) -> None:
+        if self._t_start is not None:
+            self.wall_elapsed += perf_counter() - self._t_start
+            self._t_start = None
+
+    def record(self, fn, dt: float) -> None:
+        cat = _category(fn)
+        self._wall[cat] = self._wall.get(cat, 0.0) + dt
+        self._calls[cat] = self._calls.get(cat, 0) + 1
+        self.events += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_elapsed if self.wall_elapsed > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Machine-readable summary, categories sorted by wall time."""
+        cats = sorted(self._wall, key=self._wall.get, reverse=True)
+        return {
+            "wall_seconds": self.wall_elapsed,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "categories": {
+                c: {"calls": self._calls[c], "wall_seconds": self._wall[c]}
+                for c in cats
+            },
+        }
+
+    def format(self) -> str:
+        """Aligned text rendering of :meth:`summary` for CLI output."""
+        s = self.summary()
+        lines = [
+            f"event loop: {s['events']} events in {s['wall_seconds']:.3f}s wall "
+            f"({s['events_per_sec']:,.0f} events/s)"
+        ]
+        for cat, row in s["categories"].items():
+            lines.append(
+                f"  {row['wall_seconds']:8.4f}s  {row['calls']:>8} calls  {cat}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLoopProfiler(events={self.events}, wall={self.wall_elapsed:.3f}s)"

@@ -1,0 +1,172 @@
+"""Structured, versioned run reports.
+
+A report is a plain-JSON summary of one run: schema version, config
+fingerprint, seed, headline rates, all counters (totals *and* event
+counts), per-component utilization, and latency percentiles when the
+run was traced.  Reports are what CI archives, what ``cli diff``
+compares across PRs, and what downstream tooling parses instead of
+scraping ``RunResult.summary()`` strings.
+
+The schema is versioned: any field removal or meaning change bumps
+``REPORT_SCHEMA_VERSION``; additions are backwards-compatible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "build_report",
+    "config_fingerprint",
+    "diff_reports",
+]
+
+REPORT_SCHEMA = "repro.obs.run-report"
+REPORT_SCHEMA_VERSION = 1
+
+#: Percentiles quoted for every latency histogram.
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays and other oddballs to JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return _jsonable(value.item())
+        except (AttributeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return _jsonable(value.tolist())
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def config_fingerprint(config) -> str:
+    """Stable short hash of a configuration.
+
+    Accepts a dataclass (e.g. :class:`~repro.common.config.FlashWalkerConfig`)
+    or any JSON-serializable mapping.  Two configs fingerprint equal iff
+    their canonical JSON forms match, so a report unambiguously names
+    the configuration that produced it without embedding all of it.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        obj = dataclasses.asdict(config)
+    else:
+        obj = config
+    canonical = json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _percentile_block(hist) -> dict:
+    block = {
+        "n": int(hist.total),
+        "mean": float(hist.mean),
+        "min": float(hist.min) if hist.total else 0.0,
+        "max": float(hist.max) if hist.total else 0.0,
+    }
+    for q in _PERCENTILES:
+        block[f"p{q:g}"] = float(hist.percentile(q))
+    return block
+
+
+def build_report(result, *, extra: dict | None = None) -> dict:
+    """Build the versioned report dict for a ``RunResult``.
+
+    Works on any result carrying the core fields; trace-derived sections
+    (latency percentiles, utilization timelines' peaks, profile) appear
+    only when the run was traced.  The output round-trips through
+    ``json.dumps``/``loads`` unchanged.
+    """
+    elapsed = result.elapsed
+    counters = {name: float(v) for name, v in sorted(result.counters.items())}
+    report: dict = {
+        "schema": REPORT_SCHEMA,
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": type(result).__name__,
+        "seed": getattr(result, "seed", None),
+        "config_fingerprint": getattr(result, "config_fingerprint", None),
+        "elapsed": elapsed,
+        "total_walks": result.total_walks,
+        "hops": result.hops,
+        "walks_per_sec": result.total_walks / elapsed if elapsed > 0 else 0.0,
+        "hops_per_sec": result.hops / elapsed if elapsed > 0 else 0.0,
+        "traffic": {
+            "flash_read_bytes": result.flash_read_bytes,
+            "flash_write_bytes": result.flash_write_bytes,
+            "channel_bytes": result.channel_bytes,
+            "dram_bytes": result.dram_bytes,
+        },
+        "counters": counters,
+        "utilization": _jsonable(getattr(result, "utilization", lambda: {})()),
+    }
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        report["latency_percentiles"] = {
+            name: _percentile_block(hist)
+            for name, hist in sorted(trace.latency_histograms().items())
+        }
+        report["buffer_highwater"] = _jsonable(trace.highwaters)
+        report["trace"] = {
+            "events": len(trace.events),
+            "dropped": trace.dropped,
+            "span_counts": trace.span_counts(),
+        }
+        if trace.profile is not None:
+            report["event_loop_profile"] = _jsonable(trace.profile.summary())
+    if extra:
+        report["extra"] = _jsonable(extra)
+    return _jsonable(report)
+
+
+# -- diffing ----------------------------------------------------------------
+
+#: Scalar top-level fields compared by diff_reports.
+_DIFF_SCALARS = ("elapsed", "total_walks", "hops", "walks_per_sec", "hops_per_sec")
+
+
+def diff_reports(a: dict, b: dict, rel_tol: float = 0.0) -> dict:
+    """Compare two reports; returns {key: {"a":, "b":, "rel":}} of changes.
+
+    ``rel_tol`` suppresses relative changes at or below the tolerance
+    (useful for noisy wall-clock-derived fields).  Counters present in
+    only one report diff against 0.
+    """
+    changes: dict[str, dict] = {}
+
+    def _compare(key: str, va, vb) -> None:
+        if va == vb:
+            return
+        try:
+            fa, fb = float(va), float(vb)
+        except (TypeError, ValueError):
+            changes[key] = {"a": va, "b": vb, "rel": None}
+            return
+        base = max(abs(fa), abs(fb))
+        rel = (fb - fa) / base if base else 0.0
+        if abs(rel) > rel_tol:
+            changes[key] = {"a": fa, "b": fb, "rel": rel}
+
+    for key in _DIFF_SCALARS:
+        _compare(key, a.get(key), b.get(key))
+    for key in ("seed", "config_fingerprint", "schema_version"):
+        if a.get(key) != b.get(key):
+            changes[key] = {"a": a.get(key), "b": b.get(key), "rel": None}
+    ca, cb = a.get("counters", {}), b.get("counters", {})
+    for name in sorted(set(ca) | set(cb)):
+        _compare(f"counters.{name}", ca.get(name, 0.0), cb.get(name, 0.0))
+    ta, tb = a.get("traffic", {}), b.get("traffic", {})
+    for name in sorted(set(ta) | set(tb)):
+        _compare(f"traffic.{name}", ta.get(name, 0.0), tb.get(name, 0.0))
+    return changes

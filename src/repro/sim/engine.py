@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable
 
 from ..common.errors import SimulationError
@@ -69,6 +70,9 @@ class Simulator:
         self._seq = itertools.count()
         self._events_executed = 0
         self._running = False
+        #: Optional :class:`~repro.obs.profile.EventLoopProfiler`; None
+        #: (the default) keeps the hot path to a single attribute check.
+        self.profiler = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -102,7 +106,13 @@ class Simulator:
                 )
             self.now = ev.time
             self._events_executed += 1
-            ev.fn()
+            prof = self.profiler
+            if prof is None:
+                ev.fn()
+            else:
+                t0 = perf_counter()
+                ev.fn()
+                prof.record(ev.fn, perf_counter() - t0)
             return True
         return False
 
@@ -115,6 +125,8 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        if self.profiler is not None:
+            self.profiler.loop_started()
         try:
             executed = 0
             while self._queue:
@@ -134,6 +146,8 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            if self.profiler is not None:
+                self.profiler.loop_stopped()
 
     def _peek(self) -> Event | None:
         while self._queue and self._queue[0].cancelled:

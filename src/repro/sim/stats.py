@@ -207,7 +207,16 @@ class StatsRegistry:
         return h
 
     def snapshot(self) -> dict[str, float]:
-        """Flat {name: total} view of all counters and series."""
+        """Flat {name: total} view of all counters and series.
+
+        Counters additionally contribute ``"<name>.events"`` entries:
+        the *number of add() calls* behind each total.  Totals alone
+        cannot distinguish one 4 MB flush from a thousand 4 KB ones, and
+        that event count used to be dropped at finalize.
+        """
         out = {name: c.total for name, c in self.counters.items()}
+        out.update(
+            {f"{name}.events": float(c.events) for name, c in self.counters.items()}
+        )
         out.update({name: s.total for name, s in self.series.items()})
         return out

@@ -53,6 +53,77 @@ class TestRunMetrics:
         assert res.counters["walk_queries"] == 5
 
 
+class TestBandwidthSeriesEdgeCases:
+    """Degenerate and awkward inputs to RunResult.bandwidth_series."""
+
+    def test_zero_elapsed_run(self):
+        m = RunMetrics()
+        res = m.finalize(elapsed=0.0, total_walks=0)
+        series = res.bandwidth_series(rebins=10)
+        for name, (t, v) in series.items():
+            assert t.size == v.size >= 1
+            assert np.isfinite(v).all(), name
+
+    def test_zero_elapsed_with_instant_traffic(self):
+        # Bytes recorded at t=0 of a zero-length run must not divide by
+        # zero nor be silently dropped from the (single-bucket) series.
+        m = RunMetrics()
+        m.record_channel(0.0, 4096)
+        res = m.finalize(elapsed=0.0, total_walks=0)
+        t, rate = res.bandwidth_series(rebins=10)["channel"]
+        assert np.isfinite(rate).all()
+        width = t[1] - t[0] if t.size > 1 else m.channel.bucket
+        assert (rate * width).sum() == pytest.approx(4096)
+
+    def test_single_bucket_run(self):
+        # Run shorter than one raw bucket: everything lands in bin 0.
+        m = RunMetrics()
+        raw = m.channel.bucket
+        m.record_channel(raw / 4, 1000)
+        res = m.finalize(elapsed=raw / 2, total_walks=1)
+        t, rate = res.bandwidth_series(rebins=50)["channel"]
+        assert rate[0] > 0
+        assert (rate[1:] == 0).all()
+        width = t[1] - t[0] if t.size > 1 else raw
+        assert (rate * width).sum() == pytest.approx(1000)
+
+    @pytest.mark.parametrize("rebins", [3, 7, 13, 50, 1000])
+    def test_non_dividing_rebin_widths_conserve_bytes(self, rebins):
+        # elapsed / rebins is generally not a multiple of the raw bucket;
+        # the rebin must round up to a whole multiple and keep totals.
+        m = RunMetrics()
+        raw = m.flash_read.bucket
+        rng = np.random.default_rng(7)
+        total = 0
+        for i in range(137):
+            nbytes = int(rng.integers(1, 5000))
+            m.record_flash_read(i * raw * 0.61803, nbytes)
+            total += nbytes
+        elapsed = 137 * raw * 0.61803
+        res = m.finalize(elapsed=elapsed, total_walks=1)
+        t, rate = res.bandwidth_series(rebins=rebins)["flash_read"]
+        width = t[1] - t[0] if t.size > 1 else raw
+        # Width is a whole multiple of the raw bucket.
+        assert width / raw == pytest.approx(round(width / raw))
+        assert (rate * width).sum() == pytest.approx(total)
+
+    def test_rate_never_exceeds_bus_rate(self):
+        # Saturate a 1 GB/s bus with back-to-back spread transfers; no
+        # rebin granularity may report a rate above the physical rate.
+        m = RunMetrics()
+        bus = 1e9
+        t = 0.0
+        for _ in range(40):
+            nbytes = 256 * 1024
+            dur = nbytes / bus
+            m.record_channel(t, nbytes, t_end=t + dur)
+            t += dur
+        res = m.finalize(elapsed=t, total_walks=1)
+        for rebins in (1, 2, 5, 17, 100):
+            _, rate = res.bandwidth_series(rebins=rebins)["channel"]
+            assert rate.max() <= bus * (1 + 1e-9), rebins
+
+
 class TestRunResult:
     def make(self, **kw):
         defaults = dict(

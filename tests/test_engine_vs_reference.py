@@ -8,7 +8,6 @@ subgraphs) never distorts walk semantics.
 """
 
 import numpy as np
-import pytest
 
 from repro.common import FlashWalkerConfig, RngRegistry
 from repro.core import FlashWalker

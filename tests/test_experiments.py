@@ -1,6 +1,5 @@
 """Tests for the experiment harness and drivers (tiny scale)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import fig1, fig5, fig6, fig7, fig8, fig9, tables

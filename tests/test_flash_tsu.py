@@ -4,7 +4,7 @@ import pytest
 
 from repro.common import FlashError, SSDConfig
 from repro.flash import FlashChannel
-from repro.flash.tsu import Transaction, TransactionScheduler, TransactionType
+from repro.flash.tsu import TransactionScheduler, TransactionType
 
 
 @pytest.fixture

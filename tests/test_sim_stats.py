@@ -147,4 +147,16 @@ class TestStatsRegistry:
         s.counter("a").add(2)
         s.timeseries("b").add(0.0, 3)
         snap = s.snapshot()
-        assert snap == {"a": 2.0, "b": 3.0}
+        assert snap == {"a": 2.0, "a.events": 1.0, "b": 3.0}
+
+    def test_snapshot_counter_events_distinguish_granularity(self):
+        # One 4 MB flush vs a thousand 4 KB ones: same total, different
+        # event counts — snapshot() must preserve the distinction.
+        coarse = StatsRegistry()
+        coarse.counter("bytes").add(4_194_304)
+        fine = StatsRegistry()
+        for _ in range(1024):
+            fine.counter("bytes").add(4096)
+        assert coarse.snapshot()["bytes"] == fine.snapshot()["bytes"]
+        assert coarse.snapshot()["bytes.events"] == 1.0
+        assert fine.snapshot()["bytes.events"] == 1024.0
