@@ -6,8 +6,8 @@ from repro.experiments.harness import format_table
 from conftest import run_once
 
 
-def test_fig5_speedup_sweep(benchmark, ctx):
-    rows = run_once(benchmark, fig5.run, ctx)
+def test_fig5_speedup_sweep(benchmark, ctx, jobs):
+    rows = run_once(benchmark, fig5.run, ctx, jobs=jobs)
     s = fig5.summary(rows)
     # Paper shape: FlashWalker wins at every point.
     assert s["all_above_one"], f"speedups must exceed 1x everywhere: {rows}"

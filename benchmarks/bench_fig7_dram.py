@@ -6,8 +6,8 @@ from repro.experiments.harness import format_table
 from conftest import run_once
 
 
-def test_fig7_dram_projection(benchmark, ctx):
-    rows = run_once(benchmark, fig7.run, ctx)
+def test_fig7_dram_projection(benchmark, ctx, jobs):
+    rows = run_once(benchmark, fig7.run, ctx, jobs=jobs)
     benchmark.extra_info["table"] = format_table(rows)
     for name in ctx.datasets:
         sub = [r for r in rows if r["dataset"] == name]

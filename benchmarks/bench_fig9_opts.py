@@ -6,8 +6,10 @@ from repro.experiments.harness import format_table
 from conftest import run_once
 
 
-def test_fig9_optimization_increments(benchmark, ctx):
-    rows = run_once(benchmark, fig9.run, ctx, datasets=["TT", "FS", "R2B"], n_seeds=2)
+def test_fig9_optimization_increments(benchmark, ctx, jobs):
+    rows = run_once(
+        benchmark, fig9.run, ctx, datasets=["TT", "FS", "R2B"], n_seeds=2, jobs=jobs
+    )
     benchmark.extra_info["table"] = format_table(rows)
     by = {(r["dataset"], r["config"]): r["speedup_vs_none"] for r in rows}
     # Paper shape: the full optimization stack never loses to the

@@ -1,0 +1,40 @@
+"""Hot-path profile: where event-loop wall time goes after optimization.
+
+Wall-clock-profiles a traced FlashWalker run (per-category callback
+accounting from :class:`repro.obs.profile.EventLoopProfiler`) and
+records the top categories plus the scheduler score-cache hit counter
+into the BENCH artifact, so before/after comparisons of the hot-path
+work (cached scheduler scores, searchsorted membership tests, reduced
+advance-loop temporaries) are archived with each run.
+"""
+
+from repro.core import FlashWalker
+from repro.obs import TraceConfig
+
+from conftest import run_once
+
+
+def test_hot_path_profile(benchmark, ctx):
+    g = ctx.graph("TT")
+    cfg = ctx.flashwalker_config("TT")
+
+    def profiled_run():
+        fw = FlashWalker(
+            g, cfg, seed=3, trace=TraceConfig(profile_event_loop=True)
+        )
+        res = fw.run(num_walks=ctx.default_walks("TT"))
+        return res
+
+    res = run_once(benchmark, profiled_run)
+    prof = res.trace.profile.summary()
+    assert prof["events"] > 0
+
+    top = dict(list(prof["categories"].items())[:5])
+    cache_hits = res.counters.get("sched_score_cache_hits", 0)
+    benchmark.extra_info.update(
+        events=prof["events"],
+        events_per_sec=prof["events_per_sec"],
+        wall_seconds=prof["wall_seconds"],
+        top_categories=top,
+        sched_score_cache_hits=cache_hits,
+    )

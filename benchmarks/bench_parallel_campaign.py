@@ -1,0 +1,73 @@
+"""Parallel campaign runner: wall-clock speedup and bit-equivalence.
+
+Runs the same fig5-style sweep serially and across a worker pool,
+asserts the per-point run reports are identical, and records both wall
+clocks (plus the achieved speedup and the host's CPU count) into the
+BENCH artifact.  On a multi-core host a 4-worker sweep should land well
+above 2x; on constrained runners the artifact still documents what the
+host could do.
+"""
+
+import os
+
+from repro.experiments import fig5
+from repro.experiments.harness import ExperimentContext
+from repro.parallel import diff_campaign_reports, run_campaign
+
+from conftest import run_once
+
+#: Workers for the parallel leg (the acceptance sweep uses 4).
+PARALLEL_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def _campaign_ctx() -> ExperimentContext:
+    # Smaller than the quick `ctx` fixture: this bench runs the sweep
+    # twice (serial + parallel), and the quantity of interest is the
+    # scheduling overhead ratio, not the simulated values themselves.
+    return ExperimentContext(seed=3, size_factor=0.25, walk_factor=0.05)
+
+
+def test_parallel_campaign_speedup(benchmark):
+    ctx = _campaign_ctx()
+    points = fig5.points(ctx)
+
+    serial = run_campaign(points, context=ctx, jobs=1)
+
+    cell = {}
+
+    def parallel_leg():
+        cell["res"] = run_campaign(
+            points, context=_campaign_ctx(), jobs=PARALLEL_JOBS
+        )
+        return cell["res"].rows  # rows land in the artifact; not the reports
+
+    run_once(benchmark, parallel_leg)
+    parallel = cell["res"]
+
+    # Bit-identical results regardless of how the campaign was fanned.
+    assert serial.rows == parallel.rows
+    assert diff_campaign_reports(serial, parallel) == {}
+
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds
+        if parallel.wall_seconds > 0
+        else 0.0
+    )
+    benchmark.extra_info.update(
+        points=len(points),
+        serial_wall_seconds=serial.wall_seconds,
+        parallel_wall_seconds=parallel.wall_seconds,
+        speedup=speedup,
+        jobs=parallel.jobs,
+        start_method=parallel.start_method,
+        cpu_count=os.cpu_count(),
+        effective_parallelism=parallel.effective_parallelism,
+        reports_identical=True,
+    )
+    # The >= 2x acceptance bar only binds where the host can provide it.
+    if (os.cpu_count() or 1) >= 4 and parallel.jobs >= 4:
+        assert speedup >= 2.0, (
+            f"4-worker sweep only {speedup:.2f}x faster than serial "
+            f"(serial {serial.wall_seconds:.2f}s, "
+            f"parallel {parallel.wall_seconds:.2f}s)"
+        )

@@ -44,6 +44,20 @@ def ctx() -> ExperimentContext:
     return c
 
 
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Worker processes for campaign-style benches (``REPRO_BENCH_JOBS``).
+
+    Defaults to 1 (serial) so local runs stay deterministic-by-
+    construction; CI sets ``REPRO_BENCH_JOBS`` to exercise the parallel
+    path.  Campaign results are bit-identical either way — the value
+    only changes wall-clock, which the artifact records.
+    """
+    n = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    _CTX_INFO["bench_jobs"] = n
+    return n
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 

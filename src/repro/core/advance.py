@@ -28,7 +28,21 @@ from ..walks.spec import WalkSpec
 from ..walks.state import WalkSet
 from .buffers import WalkBatch
 
-__all__ = ["AdvanceContext", "AdvanceResult", "advance_batch"]
+__all__ = ["AdvanceContext", "AdvanceResult", "advance_batch", "in_sorted"]
+
+
+def in_sorted(sorted_arr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership test against a *sorted* array via binary search.
+
+    Equivalent to ``np.isin(values, sorted_arr)`` but O(n log m) with no
+    per-call sort or broadcast temporaries — the guider membership check
+    is on the advancement hot path.
+    """
+    if sorted_arr.size == 0:
+        return np.zeros(np.shape(values), dtype=bool)
+    idx = np.searchsorted(sorted_arr, values)
+    np.minimum(idx, sorted_arr.size - 1, out=idx)
+    return sorted_arr[idx] == values
 
 
 @dataclass
@@ -103,28 +117,36 @@ def advance_batch(
     bias_steps = 0
     n_cmp = max(1, loaded.size)  # guider compares against each loaded range
 
+    biased = ctx.spec.biased
+    sampler = ctx.sampler
     active = np.arange(n, dtype=np.int64)
     first_iteration = True
     while active.size:
         acur = cur[active]
-        if first_iteration:
-            # Resolve pre-walked dense hops; sample the rest normally.
+        # Pre-walked dense hops exist only on the first iteration; the
+        # common later iterations sample directly with no mask/temporary
+        # allocations (this loop dominates chip-batch host time).
+        if first_iteration and (pre[active] >= 0).any():
             has_pre = pre[active] >= 0
-        else:
-            has_pre = np.zeros(active.size, dtype=bool)
-        nxt = np.empty(active.size, dtype=np.int64)
-        if has_pre.any():
+            nxt = np.empty(active.size, dtype=np.int64)
             pa = active[has_pre]
             eidx = offsets[cur[pa]] + pre[pa]
             if (pre[pa] >= (offsets[cur[pa] + 1] - offsets[cur[pa]])).any():
                 raise ReproError("pre-walked edge index beyond vertex degree")
             nxt[has_pre] = edges[eidx]
-        plain = ~has_pre
-        if plain.any():
-            pcur = acur[plain]
-            nxt[plain] = ctx.sampler(pcur, rng)
-            if ctx.spec.biased:
-                degs = offsets[pcur + 1] - offsets[pcur]
+            plain = ~has_pre
+            if plain.any():
+                pcur = acur[plain]
+                nxt[plain] = sampler(pcur, rng)
+                if biased:
+                    degs = offsets[pcur + 1] - offsets[pcur]
+                    bias_steps += int(
+                        np.sum(its_search_steps(np.maximum(degs, 1)))
+                    )
+        else:
+            nxt = sampler(acur, rng)
+            if biased:
+                degs = offsets[acur + 1] - offsets[acur]
                 bias_steps += int(np.sum(its_search_steps(np.maximum(degs, 1))))
         first_iteration = False
 
@@ -162,7 +184,7 @@ def advance_batch(
         # vertex is not dense (dense landings need board pre-walking).
         v = cur[cont]
         blocks = part.block_of_vertex(v)
-        stays = np.isin(blocks, loaded) & ~ctx.is_dense_vertex[v]
+        stays = in_sorted(loaded, blocks) & ~ctx.is_dense_vertex[v]
         rove_idx = cont[~stays]
         if rove_idx.size:
             roving_parts.append(WalkSet(src[rove_idx], cur[rove_idx], hop[rove_idx]))

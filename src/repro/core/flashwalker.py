@@ -49,7 +49,7 @@ from ..sim.resources import FcfsResource
 from ..walks.sampling import make_sampler
 from ..walks.spec import WalkSpec, start_vertices
 from ..walks.state import WalkSet
-from .advance import AdvanceContext, advance_batch
+from .advance import AdvanceContext, advance_batch, in_sorted
 from .board_accel import BoardAccelerator
 from .buffers import ForeignerStore, PartitionWalkBuffer, WalkBatch
 from .channel_accel import ChannelAccelerator
@@ -167,7 +167,8 @@ class FlashWalker:
         order = np.argsort(blk_indeg, kind="stable")[::-1]
         board_hot = [int(b) for b in order[:k_board] if blk_indeg[b] > 0]
         self.board.set_hot_blocks(board_hot)
-        self._board_hot = np.asarray(board_hot, dtype=np.int64)
+        # Sorted: membership checks on the direct path use binary search.
+        self._board_hot = np.sort(np.asarray(board_hot, dtype=np.int64))
         cpc = self.cfg.ssd.chips_per_channel
         block_channel = self.block_chip // cpc
         taken = set(board_hot)
@@ -325,6 +326,13 @@ class FlashWalker:
         if tail:
             end = self._flush_to_flash(self.sim.now, tail)
         result = self.metrics.finalize(end, self.total_walks)
+        if self.scheduler is not None:
+            result.counters["sched_score_cache_hits"] = float(
+                self.scheduler.score_cache_hits
+            )
+            result.counters["sched_topn_refreshes"] = float(
+                self.scheduler.topn_refreshes
+            )
         if self.fault_model is not None:
             for name, value in self.fault_model.stats().items():
                 result.counters[name] = float(value)
@@ -464,8 +472,8 @@ class FlashWalker:
                 break
             # 1. Update walks landing in board-resident hot subgraphs.
             if self.cfg.opt_hot_subgraphs and self._board_hot.size:
-                in_hot = np.isin(
-                    self.part.block_of_vertex(walks.cur), self._board_hot
+                in_hot = in_sorted(
+                    self._board_hot, self.part.block_of_vertex(walks.cur)
                 ) & ~self.ctx.is_dense_vertex[walks.cur]
                 if in_hot.any():
                     hot_walks, walks = walks.split(in_hot)
@@ -503,7 +511,7 @@ class FlashWalker:
                 # 3a. Hot dense vertices: every slice is board-resident,
                 # so the pre-walked hop resolves right here.
                 if self._hot_dense_verts.size:
-                    at_hot = np.isin(dense_walks.cur, self._hot_dense_verts)
+                    at_hot = in_sorted(self._hot_dense_verts, dense_walks.cur)
                 else:
                     at_hot = np.zeros(len(dense_walks), dtype=bool)
                 if at_hot.any():
@@ -945,9 +953,8 @@ class FlashWalker:
         busy = 0.0
         # Hot-subgraph updates at the channel level.
         if self.cfg.opt_hot_subgraphs and ch.hot_blocks:
-            hot_arr = np.asarray(ch.hot_blocks, dtype=np.int64)
-            in_hot = np.isin(
-                self.part.block_of_vertex(walks.cur), hot_arr
+            in_hot = in_sorted(
+                ch.hot_blocks_sorted, self.part.block_of_vertex(walks.cur)
             ) & ~self.ctx.is_dense_vertex[walks.cur]
             if in_hot.any():
                 hot_walks, walks = walks.split(in_hot)

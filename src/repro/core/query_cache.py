@@ -8,9 +8,13 @@ work: upper-level binary-search-tree nodes recur, and power-law graphs
 concentrate walks in few hot subgraphs.
 
 The cache is modeled at *entry granularity with LRU replacement*: keys
-are subgraph (block) IDs.  Batched queries are processed in
-first-appearance order over the unique blocks in the batch, which is
-accurate for the engine's batch-arrival pattern while staying O(unique).
+are subgraph (block) IDs.  Batched queries are *exactly* equivalent to
+probing each element in arrival order: hit/miss counts, evictions and
+final recency all match the sequential :meth:`WalkQueryCache.probe`
+oracle.  When the batch's unique blocks fit in the cache this is done
+in O(unique) (no batch entry can be evicted mid-batch, so every repeat
+is a hit); otherwise the batch is replayed element-by-element, since
+interleaved installs may evict a block before its repeat arrives.
 """
 
 from __future__ import annotations
@@ -48,26 +52,66 @@ class WalkQueryCache:
         return False
 
     def probe_batch(self, block_ids: np.ndarray) -> tuple[int, int]:
-        """Query a batch; returns (hits, misses).
+        """Query a batch in arrival order; returns (hits, misses).
 
-        All repeats of a block within the batch after its first probe are
-        hits (the entry was just installed or refreshed).
+        Semantically identical to ``for b in block_ids: self.probe(b)``.
+        The fast path processes unique blocks in first-appearance order:
+        while the batch's distinct blocks fit in the cache, a batch entry
+        is always more recently used than any pre-existing entry, so no
+        batch block can be evicted mid-batch and every repeat is a hit.
+        If the distinct blocks exceed capacity that invariant breaks (an
+        install may evict a block before its repeat arrives), so the
+        batch is replayed element-by-element instead.
         """
         block_ids = np.asarray(block_ids, dtype=np.int64)
-        if block_ids.size == 0:
+        n = int(block_ids.size)
+        if n == 0:
             return 0, 0
-        uniq, counts = np.unique(block_ids, return_counts=True)
+        uniq, first_idx = np.unique(block_ids, return_index=True)
+        if uniq.size > self.n_entries:
+            # Exact sequential replay; consecutive duplicates are
+            # collapsed first (the entry was touched by the immediately
+            # preceding probe, so they are guaranteed hits that change
+            # neither membership nor recency).
+            keep = np.empty(n, dtype=bool)
+            keep[0] = True
+            np.not_equal(block_ids[1:], block_ids[:-1], out=keep[1:])
+            dup_hits = n - int(keep.sum())
+            hits = dup_hits
+            misses = 0
+            self.hits += dup_hits
+            for b in block_ids[keep].tolist():
+                if self.probe(b):
+                    hits += 1
+                else:
+                    misses += 1
+            return hits, misses
         hits = 0
         misses = 0
-        for b, c in zip(uniq.tolist(), counts.tolist()):
+        for b in uniq[np.argsort(first_idx, kind="stable")].tolist():
             if self.probe(b):  # probe() counts this first query
                 hits += 1
             else:
                 misses += 1
-            if c > 1:  # repeats in the batch hit the fresh entry
-                self.hits += c - 1
-                hits += c - 1
+        n_repeats = n - int(uniq.size)
+        if n_repeats:
+            # Every repeat hits its (still resident) entry.
+            self.hits += n_repeats
+            hits += n_repeats
+            # Recency must reflect each block's *last* appearance, as the
+            # sequential oracle's repeat probes would have refreshed it.
+            last_idx = (n - 1) - np.unique(block_ids[::-1], return_index=True)[1]
+            for b in uniq[np.argsort(last_idx, kind="stable")].tolist():
+                self._lru.move_to_end(b)
         return hits, misses
+
+    def __contains__(self, block_id: int) -> bool:
+        """Non-mutating residency check (no LRU refresh, no counters)."""
+        return block_id in self._lru
+
+    def entries(self) -> list[int]:
+        """Resident block IDs in LRU-to-MRU order (for tests/debugging)."""
+        return list(self._lru)
 
     def invalidate(self) -> None:
         self._lru.clear()
@@ -97,19 +141,23 @@ class QueryCacheArray:
         self.caches = [WalkQueryCache(entries_per_cache) for _ in range(n_caches)]
 
     def probe_batch(self, block_ids: np.ndarray) -> tuple[int, int]:
-        """Shard a batch across the caches; returns (hits, misses)."""
+        """Shard a batch across the caches; returns (hits, misses).
+
+        Each shard's sub-batch keeps the batch's arrival order (boolean
+        selection is order-preserving), and the caches are independent,
+        so the result is identical to probing every element sequentially
+        against its cache.
+        """
         block_ids = np.asarray(block_ids, dtype=np.int64)
         if block_ids.size == 0:
             return 0, 0
         shard = block_ids % len(self.caches)
         hits = 0
         misses = 0
-        for i, cache in enumerate(self.caches):
-            sub = block_ids[shard == i]
-            if sub.size:
-                h, m = cache.probe_batch(sub)
-                hits += h
-                misses += m
+        for i in np.unique(shard).tolist():
+            h, m = self.caches[i].probe_batch(block_ids[shard == i])
+            hits += h
+            misses += m
         return hits, misses
 
     def invalidate(self) -> None:

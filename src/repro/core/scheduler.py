@@ -69,6 +69,13 @@ class SubgraphScheduler:
         self.pwb = np.zeros(self.n_blocks, dtype=np.int64)
         self.fl = np.zeros(self.n_blocks, dtype=np.int64)
         self._inserts_since_update = np.zeros(self.n_blocks, dtype=np.int64)
+        # scores()/walk_counts() are recomputed only after a scoreboard
+        # mutation; next_subgraph() and _refresh_top() otherwise share
+        # the cached arrays (event-loop hotspot per the obs profiler).
+        self._scores_cache: np.ndarray | None = None
+        self._counts_cache: np.ndarray | None = None
+        #: Times scores()/walk_counts() served the cached array.
+        self.score_cache_hits = 0
         # Per-chip topN caches: local block indices, lazily refreshed.
         self._top: dict[int, list[int]] = {c: [] for c in range(n_chips)}
         self._dirty: set[int] = set(range(n_chips))
@@ -91,11 +98,17 @@ class SubgraphScheduler:
 
     # -- scoreboard updates ---------------------------------------------------------
 
+    def _touch(self) -> None:
+        """Invalidate derived-array caches after a scoreboard mutation."""
+        self._scores_cache = None
+        self._counts_cache = None
+
     def add_buffered(self, block_id: int, count: int = 1) -> None:
         """Walks inserted into the partition walk buffer for ``block_id``."""
         if count < 0:
             raise SchedulingError(f"negative count {count}")
         idx = self._local(block_id)
+        self._touch()
         self.pwb[idx] += count
         self._inserts_since_update[idx] += count
         # Amortized topN maintenance: only mark dirty every M insertions.
@@ -114,6 +127,7 @@ class SubgraphScheduler:
             raise SchedulingError(
                 f"spilling {count} walks but only {self.pwb[idx]} buffered"
             )
+        self._touch()
         self.pwb[idx] -= count
         self.fl[idx] += count
         self._dirty.add(int(self.block_chip[idx]))
@@ -122,6 +136,7 @@ class SubgraphScheduler:
         """Claim all of a block's walks for loading; returns (pwb, fl)."""
         idx = self._local(block_id)
         pwb, fl = int(self.pwb[idx]), int(self.fl[idx])
+        self._touch()
         self.pwb[idx] = 0
         self.fl[idx] = 0
         self._inserts_since_update[idx] = 0
@@ -131,12 +146,25 @@ class SubgraphScheduler:
     # -- scores ---------------------------------------------------------------------
 
     def scores(self) -> np.ndarray:
-        """Eq. 1 over all blocks of the partition (vectorized)."""
-        base = self.pwb * self.alpha + self.fl
-        return np.where(self.is_dense, base, base * self.beta)
+        """Eq. 1 over all blocks of the partition (vectorized).
+
+        The returned array is cached until the next scoreboard mutation;
+        callers must treat it as read-only.
+        """
+        if self._scores_cache is None:
+            base = self.pwb * self.alpha + self.fl
+            self._scores_cache = np.where(self.is_dense, base, base * self.beta)
+        else:
+            self.score_cache_hits += 1
+        return self._scores_cache
 
     def walk_counts(self) -> np.ndarray:
-        return self.pwb + self.fl
+        """Pending walks per block (cached; treat as read-only)."""
+        if self._counts_cache is None:
+            self._counts_cache = self.pwb + self.fl
+        else:
+            self.score_cache_hits += 1
+        return self._counts_cache
 
     @property
     def total_pending(self) -> int:
@@ -152,7 +180,11 @@ class SubgraphScheduler:
             self._top[chip] = []
         else:
             key = self.scores() if self.use_scores else counts
-            order = np.argsort(key[candidates], kind="stable")[::-1]
+            # Stable sort on the negated key: descending by score, ties
+            # broken by *lowest* local block ID.  (A reversed ascending
+            # stable sort would break ties by highest index, making topN
+            # order depend on candidate layout rather than block ID.)
+            order = np.argsort(-key[candidates], kind="stable")
             self._top[chip] = candidates[order][: self.top_n].tolist()
         self.topn_refreshes += 1
         self._dirty.discard(chip)

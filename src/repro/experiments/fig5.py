@@ -7,41 +7,73 @@ graphs gaining more.  We sweep fractions of the scaled default count.
 Expected shapes: speedup > 1 everywhere; speedup grows (or saturates)
 with walk count; larger graphs (CW, R8B) sit at or above the smaller
 in-memory-friendly ones at the default point.
+
+The sweep is a campaign of independent (dataset, fraction) points, so
+``run(..., jobs=N)`` fans it across a process pool (see
+:mod:`repro.parallel.campaign`); jobs=1 runs the same points in-process
+with bit-identical results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.campaign import CampaignPoint, point_runner, run_campaign
 from .harness import ExperimentContext, format_table
 
-__all__ = ["run", "main", "DEFAULT_FRACTIONS"]
+__all__ = ["run", "main", "points", "run_point", "DEFAULT_FRACTIONS"]
 
 #: Walk-count sweep as fractions of each dataset's scaled default.
 DEFAULT_FRACTIONS = (0.0625, 0.25, 1.0)
+
+
+def points(
+    ctx: ExperimentContext,
+    datasets: list[str] | None = None,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+) -> list[CampaignPoint]:
+    return [
+        CampaignPoint.make("fig5", name, frac=float(frac))
+        for name in (datasets or ctx.datasets)
+        for frac in fractions
+    ]
+
+
+@point_runner("fig5")
+def run_point(ctx: ExperimentContext, point: CampaignPoint):
+    name = point.dataset
+    frac = point.param("frac")
+    seed_offset = int(point.param("seed_offset", 0))
+    n = max(256, int(ctx.default_walks(name) * frac))
+    fw = ctx.run_flashwalker(name, num_walks=n, seed_offset=seed_offset)
+    gw = ctx.run_graphwalker(name, num_walks=n, seed_offset=seed_offset)
+    row = {
+        "dataset": name,
+        "walks": n,
+        "fw_ms": fw.elapsed * 1e3,
+        "gw_ms": gw.elapsed * 1e3,
+        "speedup": gw.elapsed / fw.elapsed,
+    }
+    report = fw.to_report(
+        extra={"point": point.key, "gw_elapsed": gw.elapsed, "walks": n}
+    )
+    return row, report
 
 
 def run(
     ctx: ExperimentContext,
     datasets: list[str] | None = None,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    jobs: int = 1,
+    report_dir: str | None = None,
 ) -> list[dict]:
-    rows = []
-    for name in datasets or ctx.datasets:
-        for frac in fractions:
-            n = max(256, int(ctx.default_walks(name) * frac))
-            fw = ctx.run_flashwalker(name, num_walks=n)
-            gw = ctx.run_graphwalker(name, num_walks=n)
-            rows.append(
-                {
-                    "dataset": name,
-                    "walks": n,
-                    "fw_ms": fw.elapsed * 1e3,
-                    "gw_ms": gw.elapsed * 1e3,
-                    "speedup": gw.elapsed / fw.elapsed,
-                }
-            )
-    return rows
+    res = run_campaign(
+        points(ctx, datasets, fractions),
+        context=ctx,
+        jobs=jobs,
+        report_dir=report_dir,
+    )
+    return res.rows
 
 
 def summary(rows: list[dict]) -> dict:
@@ -54,9 +86,9 @@ def summary(rows: list[dict]) -> dict:
     }
 
 
-def main() -> str:
+def main(jobs: int = 1, report_dir: str | None = None) -> str:
     ctx = ExperimentContext()
-    rows = run(ctx)
+    rows = run(ctx, jobs=jobs, report_dir=report_dir)
     s = summary(rows)
     return (
         "Figure 5: FlashWalker speedup over GraphWalker vs #walks\n"

@@ -8,47 +8,79 @@ the 16 GB column downward.  Scaled equivalents: 2, 4, 8 MB.
 Expected shapes: speedup decreases monotonically (or near-) as
 GraphWalker memory grows; the drop is mild for CW (graph still >> any
 memory) and for TT (already fits at the default).
+
+Each (dataset, memory) cell is an independent campaign point; the
+FlashWalker side re-runs per point, which is deterministic (same seed,
+same walks) and therefore produces the same ``fw_ms`` in every cell of
+a dataset, exactly as the former shared-run loop did.
 """
 
 from __future__ import annotations
 
 from ..common.config import GraphWalkerConfig, PAPER_SCALE
 from ..common.units import GB
+from ..parallel.campaign import CampaignPoint, point_runner, run_campaign
 from .harness import ExperimentContext, format_table
 
-__all__ = ["run", "main", "PAPER_MEMORY_GB"]
+__all__ = ["run", "main", "points", "run_point", "PAPER_MEMORY_GB"]
 
 #: GraphWalker memory points from the paper, in (unscaled) GB.
 PAPER_MEMORY_GB = (4, 8, 16)
+
+
+def points(
+    ctx: ExperimentContext,
+    datasets: list[str] | None = None,
+    memory_gb: tuple[int, ...] = PAPER_MEMORY_GB,
+) -> list[CampaignPoint]:
+    return [
+        CampaignPoint.make("fig7", name, gw_memory_gb=int(gb))
+        for name in (datasets or ctx.datasets)
+        for gb in memory_gb
+    ]
+
+
+@point_runner("fig7")
+def run_point(ctx: ExperimentContext, point: CampaignPoint):
+    name = point.dataset
+    gb = point.param("gw_memory_gb")
+    seed_offset = int(point.param("seed_offset", 0))
+    fw = ctx.run_flashwalker(name, seed_offset=seed_offset)
+    scaled = max(128 * 1024, gb * GB // PAPER_SCALE)
+    cfg = GraphWalkerConfig(memory_bytes=scaled)
+    gw = ctx.run_graphwalker(name, config=cfg, seed_offset=seed_offset)
+    row = {
+        "dataset": name,
+        "gw_memory_GB(paper)": gb,
+        "fw_ms": fw.elapsed * 1e3,
+        "gw_ms": gw.elapsed * 1e3,
+        "speedup": gw.elapsed / fw.elapsed,
+    }
+    report = fw.to_report(
+        extra={"point": point.key, "gw_elapsed": gw.elapsed, "gw_memory_gb": gb}
+    )
+    return row, report
 
 
 def run(
     ctx: ExperimentContext,
     datasets: list[str] | None = None,
     memory_gb: tuple[int, ...] = PAPER_MEMORY_GB,
+    jobs: int = 1,
+    report_dir: str | None = None,
 ) -> list[dict]:
-    rows = []
-    for name in datasets or ctx.datasets:
-        fw = ctx.run_flashwalker(name)
-        for gb in memory_gb:
-            scaled = max(128 * 1024, gb * GB // PAPER_SCALE)
-            cfg = GraphWalkerConfig(memory_bytes=scaled)
-            gw = ctx.run_graphwalker(name, config=cfg)
-            rows.append(
-                {
-                    "dataset": name,
-                    "gw_memory_GB(paper)": gb,
-                    "fw_ms": fw.elapsed * 1e3,
-                    "gw_ms": gw.elapsed * 1e3,
-                    "speedup": gw.elapsed / fw.elapsed,
-                }
-            )
-    return rows
+    res = run_campaign(
+        points(ctx, datasets, memory_gb),
+        context=ctx,
+        jobs=jobs,
+        report_dir=report_dir,
+    )
+    return res.rows
 
 
-def main() -> str:
+def main(jobs: int = 1, report_dir: str | None = None) -> str:
     ctx = ExperimentContext()
-    rows = run(ctx)
+    rows = run(ctx, jobs=jobs, report_dir=report_dir)
     out = (
         "Figure 7: FlashWalker speedup over GraphWalker with varied DRAM\n"
         + format_table(rows)

@@ -13,16 +13,20 @@ brings the cumulative gain to 18.3-21.5 % on non-CW graphs; CW barely
 moves (straggler-bound).
 
 Runs are averaged over ``n_seeds`` because scheduling noise at this
-scale is comparable to the smaller increments.
+scale is comparable to the smaller increments.  Each (dataset, stage,
+seed replica) triple is an independent campaign point; ``run``
+aggregates replicas back into per-stage means after the (possibly
+parallel) campaign returns, preserving seed order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.campaign import CampaignPoint, point_runner, run_campaign
 from .harness import ExperimentContext, format_table
 
-__all__ = ["run", "main", "STAGES"]
+__all__ = ["run", "main", "points", "run_point", "STAGES"]
 
 #: (label, (walk query, hot subgraphs, subgraph scheduling))
 STAGES = (
@@ -33,23 +37,63 @@ STAGES = (
 )
 
 
+def points(
+    ctx: ExperimentContext,
+    datasets: list[str] | None = None,
+    n_seeds: int = 2,
+) -> list[CampaignPoint]:
+    return [
+        CampaignPoint.make("fig9", name, stage=label, rep=s)
+        for name in (datasets or ctx.datasets)
+        for label, _flags in STAGES
+        for s in range(n_seeds)
+    ]
+
+
+@point_runner("fig9")
+def run_point(ctx: ExperimentContext, point: CampaignPoint):
+    name = point.dataset
+    label = point.param("stage")
+    s = int(point.param("rep"))
+    wq, hs, ss = dict(STAGES)[label]
+    cfg = ctx.flashwalker_config(name, alpha=0.4).with_optimizations(
+        wq=wq, hs=hs, ss=ss
+    )
+    fw = ctx.run_flashwalker(name, config=cfg, seed_offset=100 * s)
+    row = {
+        "dataset": name,
+        "config": label,
+        "rep": s,
+        "elapsed": fw.elapsed,
+    }
+    report = fw.to_report(extra={"point": point.key, "stage": label, "rep": s})
+    return row, report
+
+
 def run(
     ctx: ExperimentContext,
     datasets: list[str] | None = None,
     n_seeds: int = 2,
+    jobs: int = 1,
+    report_dir: str | None = None,
 ) -> list[dict]:
+    res = run_campaign(
+        points(ctx, datasets, n_seeds),
+        context=ctx,
+        jobs=jobs,
+        report_dir=report_dir,
+    )
+    # aggregate seed replicas -> per-(dataset, stage) mean, in seed order
+    times: dict[tuple[str, str], list[float]] = {}
+    for raw in res.rows:
+        times.setdefault((raw["dataset"], raw["config"]), []).append(
+            raw["elapsed"]
+        )
     rows = []
     for name in datasets or ctx.datasets:
         base_elapsed = None
-        for label, (wq, hs, ss) in STAGES:
-            cfg = ctx.flashwalker_config(name, alpha=0.4).with_optimizations(
-                wq=wq, hs=hs, ss=ss
-            )
-            times = [
-                ctx.run_flashwalker(name, config=cfg, seed_offset=100 * s).elapsed
-                for s in range(n_seeds)
-            ]
-            elapsed = float(np.mean(times))
+        for label, _flags in STAGES:
+            elapsed = float(np.mean(times[(name, label)]))
             if label == "none":
                 base_elapsed = elapsed
             rows.append(
@@ -63,9 +107,9 @@ def run(
     return rows
 
 
-def main() -> str:
+def main(jobs: int = 1, report_dir: str | None = None) -> str:
     ctx = ExperimentContext()
-    rows = run(ctx)
+    rows = run(ctx, jobs=jobs, report_dir=report_dir)
     out = "Figure 9: speedup of proposed optimizations (vs no-opt baseline)\n"
     out += format_table(rows)
     out += (

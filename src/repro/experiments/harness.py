@@ -54,6 +54,29 @@ class ExperimentContext:
             return cls(seed=seed)
         return cls(seed=seed, size_factor=0.5, walk_factor=0.125)
 
+    # -- campaign parameters ---------------------------------------------------
+
+    def campaign_params(self) -> tuple:
+        """Picklable parameter tuple a worker can rebuild this context
+        from (graphs rebuild deterministically from the seed, so an
+        equal-params context produces bit-identical runs)."""
+        return (
+            self.seed,
+            self.size_factor,
+            self.walk_factor,
+            tuple(self.datasets),
+        )
+
+    @classmethod
+    def from_params(cls, params: tuple) -> "ExperimentContext":
+        seed, size_factor, walk_factor, datasets = params
+        return cls(
+            seed=seed,
+            size_factor=size_factor,
+            walk_factor=walk_factor,
+            datasets=list(datasets),
+        )
+
     # -- graphs ---------------------------------------------------------------
 
     def graph(self, name: str) -> CSRGraph:

@@ -4,15 +4,23 @@ Usage::
 
     python -m repro.experiments.runner            # everything
     python -m repro.experiments.runner fig5 fig9  # selected experiments
+    python -m repro.experiments.runner fig5 --jobs 4
     REPRO_FULL=1 python -m repro.experiments.runner fig8
 
 Quick mode (the default when ``REPRO_FULL`` is unset) shrinks graphs and
 walk counts; full mode runs the paper-scaled defaults.
+
+``--jobs N`` fans campaign-style experiments (fig5/fig7/fig9) across N
+worker processes via :mod:`repro.parallel`; experiments that don't take
+a ``jobs`` parameter simply run serially.  ``--report-dir`` writes one
+:mod:`repro.obs.report` JSON per campaign point, named after the point
+key, which the CI equivalence gate diffs against a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -32,6 +40,17 @@ EXPERIMENTS = {
 }
 
 
+def _call(fn, jobs: int, report_dir: str | None):
+    """Invoke an experiment main, passing only the kwargs it accepts."""
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if "jobs" in params:
+        kwargs["jobs"] = jobs
+    if "report_dir" in params:
+        kwargs["report_dir"] = report_dir
+    return fn(**kwargs)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
@@ -44,6 +63,17 @@ def main(argv: list[str] | None = None) -> int:
         default=["all"],
         help="which experiments to run (default: all)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for campaign experiments (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--report-dir",
+        default=None,
+        help="write per-point run reports here (campaign experiments only)",
+    )
     args = parser.parse_args(argv)
     chosen = args.experiments
     if not chosen or "all" in chosen:
@@ -51,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in chosen:
         t0 = time.time()
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(EXPERIMENTS[name]())
+        print(_call(EXPERIMENTS[name], args.jobs, args.report_dir))
         print(f"\n[{name} finished in {time.time() - t0:.1f}s]")
     return 0
 

@@ -1,0 +1,25 @@
+"""Parallel campaign-execution layer (process-pool experiment sweeps)."""
+
+from .campaign import (
+    CampaignPoint,
+    CampaignResult,
+    derive_seed,
+    diff_campaign_reports,
+    multi_seed_points,
+    point_runner,
+    report_filename,
+    resolve_runner,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "derive_seed",
+    "diff_campaign_reports",
+    "multi_seed_points",
+    "point_runner",
+    "report_filename",
+    "resolve_runner",
+    "run_campaign",
+]

@@ -1,0 +1,342 @@
+"""Parallel campaign execution.
+
+The paper's headline results are sweeps — datasets x walk counts x DRAM
+sizes x optimization flags x seeds — whose points are *independent*
+simulations.  This module fans those points across a process pool:
+
+* **Points are pure.**  A :class:`CampaignPoint` names an experiment, a
+  dataset and its cell parameters; a registered *point runner* executes
+  it against an :class:`~repro.experiments.harness.ExperimentContext`
+  and returns a result row plus an optional
+  :mod:`repro.obs.report`-schema run report.  Point execution never
+  depends on shared mutable state, so serial and parallel campaigns
+  are bit-identical per point (the equivalence the CI gate checks with
+  ``repro.obs.cli diff --fail-on-change``).
+* **Seeds derive deterministically.**  :func:`derive_seed` hashes the
+  root seed with the point key, so every point's seed is a pure
+  function of ``(root_seed, key)`` — independent of worker assignment,
+  completion order, or how many jobs ran the campaign.
+* **Graphs build once per worker.**  Each worker memoizes its
+  ``ExperimentContext`` (whose graph cache is build-once per dataset);
+  with the default ``fork`` start method workers additionally inherit
+  the parent context's already-built graphs copy-on-write.
+* **Results collect in point order.**  ``Pool.map`` preserves input
+  order, so campaign rows are identical to a serial loop's.
+
+``jobs <= 1`` short-circuits to an in-process loop over the *same*
+point-runner code path — the serial and parallel campaigns differ only
+in where the work runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..common.errors import ReproError
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "derive_seed",
+    "diff_campaign_reports",
+    "multi_seed_points",
+    "point_runner",
+    "report_filename",
+    "resolve_runner",
+    "run_campaign",
+]
+
+
+# -- points -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One independent cell of an experiment sweep.
+
+    ``params`` is a sorted tuple of (name, value) pairs so points are
+    hashable, picklable, and have a stable :attr:`key` regardless of
+    keyword order at construction.
+    """
+
+    experiment: str
+    dataset: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, experiment: str, dataset: str, **params) -> "CampaignPoint":
+        return cls(experiment, dataset, tuple(sorted(params.items())))
+
+    def param(self, name: str, default=None):
+        for k, v in self.params:
+            if k == name:
+                return v
+        return default
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``fig5/TT/frac=0.25``."""
+        parts = [self.experiment, self.dataset]
+        parts.extend(f"{k}={v}" for k, v in self.params)
+        return "/".join(parts)
+
+
+def derive_seed(root_seed: int, key: str) -> int:
+    """Deterministic per-point seed from the campaign's root seed.
+
+    A SHA-256 of ``"{root_seed}:{key}"`` truncated to 63 bits: stable
+    across processes and Python versions (no ``hash()``), independent of
+    point enumeration order, and collision-free for practical sweeps.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def multi_seed_points(
+    points: list[CampaignPoint], n_seeds: int, root_seed: int
+) -> list[CampaignPoint]:
+    """Expand each point into ``n_seeds`` independently-seeded replicas.
+
+    Each replica carries a ``seed_offset`` param derived from the root
+    seed and the replica key, so multi-seed means are reproducible no
+    matter how the campaign is partitioned across workers.
+    """
+    if n_seeds < 1:
+        raise ReproError(f"need n_seeds >= 1, got {n_seeds}")
+    out = []
+    for p in points:
+        for s in range(n_seeds):
+            offset = derive_seed(root_seed, f"{p.key}#rep={s}") % (1 << 20)
+            out.append(
+                CampaignPoint(
+                    p.experiment,
+                    p.dataset,
+                    tuple(sorted((*p.params, ("rep", s), ("seed_offset", offset)))),
+                )
+            )
+    return out
+
+
+# -- point-runner registry --------------------------------------------------
+
+#: experiment name -> fn(ctx, point) -> (row dict, report dict | None)
+_POINT_RUNNERS: dict[str, Callable] = {}
+
+
+def point_runner(name: str):
+    """Register a point-execution function for ``name`` (decorator)."""
+
+    def deco(fn):
+        _POINT_RUNNERS[name] = fn
+        return fn
+
+    return deco
+
+
+def resolve_runner(name: str) -> Callable:
+    """Look up a registered point runner, importing the experiment
+    drivers on first use (they self-register at import)."""
+    if name not in _POINT_RUNNERS:
+        from ..experiments import runner  # noqa: F401 — registers fig runners
+    try:
+        return _POINT_RUNNERS[name]
+    except KeyError:
+        raise ReproError(
+            f"no point runner registered for experiment {name!r} "
+            f"(have: {sorted(_POINT_RUNNERS)})"
+        ) from None
+
+
+# -- results ----------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Ordered outcome of one campaign execution."""
+
+    points: list[CampaignPoint]
+    rows: list[dict]
+    #: point key -> run report (reports the runners chose to emit).
+    reports: dict[str, dict]
+    #: point key -> in-worker wall seconds for that point.
+    point_walls: dict[str, float]
+    #: Campaign wall-clock seconds (including pool setup).
+    wall_seconds: float
+    #: Worker processes used (1 = in-process serial).
+    jobs: int
+    start_method: str | None = None
+    report_paths: list[str] = field(default_factory=list)
+
+    @property
+    def points_wall_seconds(self) -> float:
+        """Aggregate in-worker compute time across all points."""
+        return sum(self.point_walls.values())
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Aggregate point compute time over campaign wall time."""
+        return (
+            self.points_wall_seconds / self.wall_seconds
+            if self.wall_seconds > 0
+            else 0.0
+        )
+
+
+def report_filename(key: str) -> str:
+    """Filesystem-safe artifact name for a point key."""
+    return re.sub(r"[^A-Za-z0-9._=-]+", "__", key) + ".json"
+
+
+def diff_campaign_reports(
+    a: CampaignResult | dict, b: CampaignResult | dict, rel_tol: float = 0.0
+) -> dict[str, dict]:
+    """Per-point :func:`~repro.obs.report.diff_reports` between two
+    campaigns; returns only the points that differ (empty == identical).
+
+    Accepts :class:`CampaignResult` objects or plain ``key -> report``
+    mappings.  A point present in only one campaign diffs against ``{}``.
+    """
+    from ..obs.report import diff_reports
+
+    ra = a.reports if isinstance(a, CampaignResult) else a
+    rb = b.reports if isinstance(b, CampaignResult) else b
+    out: dict[str, dict] = {}
+    for key in sorted(set(ra) | set(rb)):
+        changes = diff_reports(ra.get(key, {}), rb.get(key, {}), rel_tol=rel_tol)
+        if changes:
+            out[key] = changes
+    return out
+
+
+# -- worker side ------------------------------------------------------------
+
+#: Per-worker memoized context (built once per worker process).
+_WORKER_CTX = None
+#: Parent-side context template; visible to fork-children copy-on-write.
+_FORK_TEMPLATE = None
+
+
+def _init_worker(ctx_params: tuple) -> None:
+    global _WORKER_CTX
+    tmpl = _FORK_TEMPLATE
+    if tmpl is not None and tmpl.campaign_params() == ctx_params:
+        # fork start method: reuse the parent's context — its graph
+        # cache arrives pre-built, shared copy-on-write.
+        _WORKER_CTX = tmpl
+    else:
+        from ..experiments.harness import ExperimentContext
+
+        _WORKER_CTX = ExperimentContext.from_params(ctx_params)
+
+
+def _run_point(point: CampaignPoint) -> tuple[dict, dict | None, float]:
+    t0 = time.perf_counter()
+    row, report = resolve_runner(point.experiment)(_WORKER_CTX, point)
+    return row, report, time.perf_counter() - t0
+
+
+def _default_start_method() -> str:
+    env = os.environ.get("REPRO_MP_START", "")
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# -- campaign driver --------------------------------------------------------
+
+
+def run_campaign(
+    points,
+    context=None,
+    *,
+    jobs: int = 1,
+    report_dir: str | os.PathLike | None = None,
+    start_method: str | None = None,
+) -> CampaignResult:
+    """Execute campaign ``points``, serially or across a process pool.
+
+    Parameters
+    ----------
+    points:
+        iterable of :class:`CampaignPoint`; results keep this order.
+    context:
+        the campaign's :class:`~repro.experiments.harness.ExperimentContext`
+        (default: a fresh full-scale context).  With ``jobs > 1`` only
+        its parameters travel to workers; each worker memoizes its own
+        context (fork-children inherit this one's graph cache).
+    jobs:
+        worker processes.  ``<= 1`` runs in-process through the same
+        point-runner code path — results are bit-identical either way.
+    report_dir:
+        when given, every point's run report is written there as
+        pretty-printed JSON named by :func:`report_filename`.
+    start_method:
+        multiprocessing start method override (default: ``fork`` where
+        available, else ``spawn``; env ``REPRO_MP_START`` also applies).
+    """
+    global _FORK_TEMPLATE
+    points = list(points)
+    if context is None:
+        from ..experiments.harness import ExperimentContext
+
+        context = ExperimentContext()
+    t0 = time.perf_counter()
+    n_workers = max(1, min(int(jobs), len(points) or 1))
+    method = None
+    if n_workers <= 1:
+        results = []
+        for p in points:
+            t1 = time.perf_counter()
+            row, report = resolve_runner(p.experiment)(context, p)
+            results.append((row, report, time.perf_counter() - t1))
+    else:
+        method = start_method or _default_start_method()
+        mpc = multiprocessing.get_context(method)
+        _FORK_TEMPLATE = context if method == "fork" else None
+        try:
+            with mpc.Pool(
+                n_workers,
+                initializer=_init_worker,
+                initargs=(context.campaign_params(),),
+            ) as pool:
+                results = pool.map(_run_point, points)
+        finally:
+            _FORK_TEMPLATE = None
+    wall = time.perf_counter() - t0
+
+    rows = [r[0] for r in results]
+    reports = {p.key: r[1] for p, r in zip(points, results) if r[1] is not None}
+    point_walls = {p.key: r[2] for p, r in zip(points, results)}
+    out = CampaignResult(
+        points=points,
+        rows=rows,
+        reports=reports,
+        point_walls=point_walls,
+        wall_seconds=wall,
+        jobs=n_workers,
+        start_method=method,
+    )
+    if report_dir is not None and reports:
+        out.report_paths = _write_reports(reports, Path(report_dir))
+    return out
+
+
+def _write_reports(reports: dict[str, dict], out_dir: Path) -> list[str]:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for key in sorted(reports):
+        path = out_dir / report_filename(key)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(reports[key], f, indent=2, sort_keys=True)
+            f.write("\n")
+        paths.append(str(path))
+    return paths

@@ -1,0 +1,92 @@
+"""Campaign CLI: run a figure sweep across worker processes.
+
+::
+
+    python -m repro.parallel --experiment fig5 --jobs 4
+    python -m repro.parallel --experiment fig9 --datasets TT FS \
+        --size-factor 0.1 --walk-factor 0.02 --jobs 2 --report-dir reports/
+
+Per-point run reports written with ``--report-dir`` are
+:mod:`repro.obs.report`-schema JSON; the serial/parallel equivalence
+gate diffs them with ``python -m repro.obs.cli diff --fail-on-change``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaign import multi_seed_points, run_campaign
+
+__all__ = ["main"]
+
+#: Experiments that expose point enumerators (module.points(ctx, datasets)).
+PARALLEL_EXPERIMENTS = ("fig5", "fig7", "fig9")
+
+
+def _points_for(experiment: str, ctx, datasets):
+    from ..experiments import fig5, fig7, fig9
+
+    mod = {"fig5": fig5, "fig7": fig7, "fig9": fig9}[experiment]
+    return mod.points(ctx, datasets)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--experiment", choices=PARALLEL_EXPERIMENTS, default="fig5",
+        help="which sweep to run (default: fig5)",
+    )
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="dataset subset (default: all)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1 = serial)")
+    parser.add_argument("--seed", type=int, default=3, help="root seed")
+    parser.add_argument("--size-factor", type=float, default=1.0,
+                        help="graph size factor (see experiments.harness)")
+    parser.add_argument("--walk-factor", type=float, default=1.0,
+                        help="walk count factor")
+    parser.add_argument("--multi-seed", type=int, default=0, metavar="N",
+                        help="expand each point into N replicas with "
+                             "derive_seed()-derived seed offsets")
+    parser.add_argument("--report-dir", default=None,
+                        help="write one run-report JSON per point here")
+    args = parser.parse_args(argv)
+
+    from ..experiments.harness import ExperimentContext, format_table
+
+    kwargs = {}
+    if args.datasets:
+        kwargs["datasets"] = list(args.datasets)
+    ctx = ExperimentContext(
+        seed=args.seed,
+        size_factor=args.size_factor,
+        walk_factor=args.walk_factor,
+        **kwargs,
+    )
+    pts = _points_for(args.experiment, ctx, args.datasets)
+    if args.multi_seed > 0:
+        pts = multi_seed_points(pts, args.multi_seed, args.seed)
+    res = run_campaign(
+        pts, context=ctx, jobs=args.jobs, report_dir=args.report_dir
+    )
+    print(format_table(res.rows))
+    print(
+        f"\n{len(res.points)} points in {res.wall_seconds:.2f}s wall "
+        f"({res.points_wall_seconds:.2f}s aggregate point compute, "
+        f"effective parallelism {res.effective_parallelism:.2f}x, "
+        f"jobs={res.jobs}"
+        + (f", start={res.start_method}" if res.start_method else "")
+        + ")"
+    )
+    if res.report_paths:
+        print(f"wrote {len(res.report_paths)} run reports to {args.report_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

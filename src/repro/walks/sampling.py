@@ -83,7 +83,9 @@ def its_search_steps(out_degree: np.ndarray | int) -> np.ndarray | int:
     d = np.maximum(np.atleast_1d(np.asarray(out_degree, dtype=np.int64)), 1)
     steps = np.ceil(np.log2(np.maximum(d, 2))).astype(np.int64)
     steps = np.maximum(steps, 1)
-    if np.isscalar(out_degree):
+    # 0-d ndarrays are scalars too (np.isscalar(np.array(5)) is False, so
+    # dispatching on it would wrongly return a length-1 array for them).
+    if np.ndim(out_degree) == 0:
         return int(steps[0])
     return steps
 

@@ -56,6 +56,64 @@ class TestWalkQueryCache:
         with pytest.raises(ReproError):
             WalkQueryCache(0)
 
+    def test_batch_repeat_of_evicted_block_misses(self):
+        """Regression: a repeat whose block was evicted mid-batch must
+        not be credited as a hit.
+
+        Batch [9, 5, 1, 9] against a 2-entry cache, replayed
+        sequentially: 9 miss, 5 miss, 1 miss (evicts 9), 9 miss again.
+        The old implementation probed unique blocks in sorted order and
+        blanket-credited every repeat, reporting (1, 3) and leaving
+        {5, 9} resident instead of {1, 9}.
+        """
+        c = WalkQueryCache(2)
+        hits, misses = c.probe_batch(np.array([9, 5, 1, 9]))
+        assert (hits, misses) == (0, 4)
+        assert c.entries() == [1, 9]
+
+    def test_batch_first_appearance_order(self):
+        """Unique blocks are processed in first-appearance order, not
+        sorted order, so eviction picks the true LRU victim."""
+        c = WalkQueryCache(2)
+        c.probe_batch(np.array([3, 1]))  # LRU order: 3, 1
+        # 2 misses and evicts 3 (LRU); sorted-order processing would
+        # probe 1 first, refreshing it only by accident of block ID.
+        hits, misses = c.probe_batch(np.array([1, 2]))
+        assert (hits, misses) == (1, 1)
+        assert c.entries() == [1, 2]
+        assert 3 not in c
+
+    def test_batch_repeats_refresh_recency(self):
+        """A repeated block's recency reflects its *last* appearance."""
+        c = WalkQueryCache(2)
+        hits, misses = c.probe_batch(np.array([1, 2, 1]))
+        assert (hits, misses) == (1, 2)
+        # 1 was touched last -> 2 is the LRU victim.
+        assert c.entries() == [2, 1]
+        c.probe(3)
+        assert 1 in c and 2 not in c
+
+    @pytest.mark.parametrize("n_entries", [1, 2, 3, 8])
+    def test_batch_equals_sequential_probes(self, n_entries, rng):
+        """probe_batch is exactly equivalent to a per-element probe()
+        loop: same hit/miss totals and same final cache contents, for
+        batches both under and over the cache capacity."""
+        for trial in range(40):
+            ids = rng.integers(0, 12, size=int(rng.integers(1, 30)))
+            batched = WalkQueryCache(n_entries)
+            oracle = WalkQueryCache(n_entries)
+            # Shared warm-up so batches start from varied cache states.
+            warm = rng.integers(0, 12, size=4)
+            for b in warm:
+                batched.probe(int(b))
+                oracle.probe(int(b))
+            hits, misses = batched.probe_batch(ids)
+            o_hits = sum(oracle.probe(int(b)) for b in ids)
+            assert (hits, misses) == (o_hits, ids.size - o_hits)
+            assert batched.entries() == oracle.entries()
+            assert batched.hits == oracle.hits
+            assert batched.misses == oracle.misses
+
 
 class TestQueryCacheArray:
     def test_sharding_consistent(self):
@@ -80,6 +138,21 @@ class TestQueryCacheArray:
     def test_rejects_zero_caches(self):
         with pytest.raises(ReproError):
             QueryCacheArray(0, 4)
+
+    def test_sharded_batch_equals_sequential(self, rng):
+        """Array batch-probe matches per-element probing shard-wise."""
+        for _ in range(20):
+            ids = rng.integers(0, 40, size=int(rng.integers(1, 60)))
+            arr = QueryCacheArray(4, 2)
+            oracle = QueryCacheArray(4, 2)
+            hits, misses = arr.probe_batch(ids)
+            o_hits = o_misses = 0
+            for b in ids:
+                h, m = oracle.probe_batch(np.array([b]))
+                o_hits += h
+                o_misses += m
+            assert (hits, misses) == (o_hits, o_misses)
+            assert arr.hits == oracle.hits and arr.misses == oracle.misses
 
 
 @pytest.fixture

@@ -187,3 +187,58 @@ class TestTopNAmortization:
             make_scheduler(top_n=0)
         with pytest.raises(SchedulingError):
             make_scheduler(alpha=0)
+
+    def test_ties_break_to_lowest_block_id(self):
+        """Regression: equal scores must rank the lowest block ID first.
+
+        ``argsort(key)[::-1]`` reverses the stable order, putting the
+        *highest* index first among ties; sorting on the negated key
+        keeps ties in ascending-index order.
+        """
+        s = make_scheduler(n_blocks=8, n_chips=1, top_n=4)
+        for b in (6, 2, 4):
+            s.add_buffered(b, 5)  # identical scores
+        assert s.next_subgraph(0) == 2
+        assert s._top[0] == [2, 4, 6]
+
+    def test_topn_order_deterministic_across_runs(self):
+        """Same insertion history -> identical topN lists, repeatedly."""
+        def build():
+            s = make_scheduler(n_blocks=8, n_chips=1, top_n=8)
+            for b in (7, 1, 3, 5):
+                s.add_buffered(b, 4)
+            s.add_buffered(0, 9)
+            s.next_subgraph(0)
+            return list(s._top[0])
+        first = build()
+        assert first[0] == 0  # highest score first
+        assert first[1:] == [1, 3, 5, 7]  # ties ascending by block ID
+        for _ in range(5):
+            assert build() == first
+
+
+class TestScoreCache:
+    def test_scores_cached_between_mutations(self):
+        s = make_scheduler()
+        s.add_buffered(0, 3)
+        a = s.scores()
+        b = s.scores()
+        assert a is b  # same array object until the scoreboard changes
+        assert s.score_cache_hits >= 1
+
+    def test_mutation_invalidates(self):
+        s = make_scheduler()
+        s.add_buffered(0, 4)
+        a = s.scores()
+        s.add_spilled(0, 2)
+        b = s.scores()
+        assert a is not b
+        assert b[0] != a[0]
+
+    def test_take_walks_invalidates(self):
+        s = make_scheduler()
+        s.add_buffered(0, 4)
+        assert s.scores()[0] > 0
+        s.take_walks(0)
+        assert s.scores()[0] == 0
+        assert s.walk_counts()[0] == 0

@@ -1,0 +1,145 @@
+"""Tests for the parallel campaign runner (repro.parallel)."""
+
+import json
+
+import pytest
+
+from repro.common import ReproError
+from repro.experiments import fig5, fig9
+from repro.experiments.harness import ExperimentContext
+from repro.parallel import (
+    CampaignPoint,
+    derive_seed,
+    diff_campaign_reports,
+    multi_seed_points,
+    report_filename,
+    resolve_runner,
+    run_campaign,
+)
+
+
+def tiny_ctx() -> ExperimentContext:
+    return ExperimentContext(size_factor=0.1, walk_factor=0.02, datasets=["TT"])
+
+
+class TestCampaignPoint:
+    def test_key_stable_under_kwarg_order(self):
+        a = CampaignPoint.make("fig5", "TT", frac=0.25, rep=1)
+        b = CampaignPoint.make("fig5", "TT", rep=1, frac=0.25)
+        assert a == b
+        assert a.key == "fig5/TT/frac=0.25/rep=1"
+
+    def test_param_lookup(self):
+        p = CampaignPoint.make("fig5", "TT", frac=0.5)
+        assert p.param("frac") == 0.5
+        assert p.param("missing", 7) == 7
+
+    def test_hashable_and_picklable(self):
+        import pickle
+
+        p = CampaignPoint.make("fig9", "FS", stage="WQ", rep=0)
+        assert pickle.loads(pickle.dumps(p)) == p
+        assert len({p, p}) == 1
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "fig5/TT/frac=0.25") == derive_seed(
+            3, "fig5/TT/frac=0.25"
+        )
+
+    def test_varies_with_root_and_key(self):
+        seeds = {
+            derive_seed(3, "a"),
+            derive_seed(3, "b"),
+            derive_seed(4, "a"),
+        }
+        assert len(seeds) == 3
+
+    def test_fits_in_63_bits(self):
+        for k in ("x", "y", "z"):
+            assert 0 <= derive_seed(123, k) < 1 << 63
+
+    def test_multi_seed_points_expand(self):
+        pts = [CampaignPoint.make("fig5", "TT", frac=1.0)]
+        out = multi_seed_points(pts, 3, root_seed=3)
+        assert len(out) == 3
+        offsets = [p.param("seed_offset") for p in out]
+        assert len(set(offsets)) == 3
+        assert [p.param("rep") for p in out] == [0, 1, 2]
+        # replicas re-derive identically from the same root seed
+        again = multi_seed_points(pts, 3, root_seed=3)
+        assert out == again
+
+    def test_multi_seed_rejects_zero(self):
+        with pytest.raises(ReproError):
+            multi_seed_points([], 0, 3)
+
+
+class TestRegistry:
+    def test_resolves_fig_runners(self):
+        assert resolve_runner("fig5") is fig5.run_point
+        assert resolve_runner("fig9") is fig9.run_point
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="no point runner"):
+            resolve_runner("nope")
+
+
+class TestReportFiles:
+    def test_filename_sanitized(self):
+        assert report_filename("fig5/TT/frac=0.25") == "fig5__TT__frac=0.25.json"
+        assert "/" not in report_filename("a/b c:d")
+
+
+class TestSerialCampaign:
+    def test_rows_match_direct_run(self):
+        ctx = tiny_ctx()
+        pts = fig5.points(ctx, ["TT"], fractions=(0.25,))
+        res = run_campaign(pts, context=ctx, jobs=1)
+        assert res.jobs == 1 and res.start_method is None
+        assert [r["dataset"] for r in res.rows] == ["TT"]
+        assert res.reports[pts[0].key]["extra"]["point"] == pts[0].key
+        assert res.points_wall_seconds > 0
+
+    def test_report_dir_written(self, tmp_path):
+        ctx = tiny_ctx()
+        pts = fig5.points(ctx, ["TT"], fractions=(0.25,))
+        res = run_campaign(pts, context=ctx, jobs=1, report_dir=tmp_path)
+        assert len(res.report_paths) == 1
+        with open(res.report_paths[0]) as f:
+            on_disk = json.load(f)
+        assert on_disk == res.reports[pts[0].key]
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_bit_identical(self, tmp_path):
+        """The tentpole guarantee: same root seed -> identical rows and
+        per-point run reports, serial or fanned across workers."""
+        ctx = tiny_ctx()
+        pts = fig5.points(ctx, ["TT"])
+        serial = run_campaign(
+            pts, context=ctx, jobs=1, report_dir=tmp_path / "serial"
+        )
+        parallel = run_campaign(
+            pts, context=tiny_ctx(), jobs=2, report_dir=tmp_path / "parallel"
+        )
+        assert parallel.jobs == 2 and parallel.start_method is not None
+        assert serial.rows == parallel.rows
+        assert diff_campaign_reports(serial, parallel) == {}
+        # the on-disk artifacts are byte-identical too
+        for a, b in zip(serial.report_paths, parallel.report_paths):
+            with open(a) as fa, open(b) as fb:
+                assert fa.read() == fb.read()
+
+    def test_fig9_aggregation_matches(self):
+        ctx = tiny_ctx()
+        assert fig9.run(ctx, ["TT"], n_seeds=2, jobs=1) == fig9.run(
+            tiny_ctx(), ["TT"], n_seeds=2, jobs=2
+        )
+
+    def test_jobs_capped_by_points(self):
+        ctx = tiny_ctx()
+        pts = fig5.points(ctx, ["TT"], fractions=(0.25,))
+        res = run_campaign(pts, context=ctx, jobs=8)
+        assert res.jobs == 1  # one point -> no pool needed

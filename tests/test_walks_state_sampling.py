@@ -146,6 +146,14 @@ class TestITS:
             its_search_steps(np.array([1, 8, 1000])), [1, 3, 10]
         )
 
+    def test_search_steps_zero_dim_array(self):
+        """Regression: a 0-d ndarray (e.g. ``arr[i]`` of an int array)
+        is scalar-like and must return a scalar, not a length-1 array."""
+        out = its_search_steps(np.array(1024))
+        assert np.ndim(out) == 0
+        assert out == 10
+        assert its_search_steps(np.int64(8)) == 3
+
 
 class TestAliasSampler:
     def test_requires_weights(self, small_graph):
