@@ -1,0 +1,102 @@
+"""Service-SLO soak: sustained open-loop chaos serving per policy.
+
+Drives :class:`repro.service.WalkQueryService` with a much longer
+open-loop request schedule than the tier-1 tests (hundreds of queries
+vs a couple dozen), with fault injection and a mid-run chip failover,
+once per admission policy.  The online invariant auditor runs at a
+tight interval throughout; the soak gates on zero violations, exact
+query/walk conservation, and bit-identical SLO sections across two
+same-seed runs of the harshest policy.
+
+Marked ``soak`` so tier-1 (`pytest -q`) skips it; run explicitly with
+``pytest -m soak benchmarks/bench_service_slo.py``.
+"""
+
+import pytest
+
+from repro.core.flashwalker import FlashWalker
+from repro.experiments.harness import format_table
+from repro.service import ServiceConfig, WalkQueryService
+from repro.service.campaign import POLICIES, build_requests, chaos_faults, walk_budget
+
+from conftest import run_once
+
+DATASET = "TT"
+N_REQUESTS = 200
+RATE_QPS = 30e3
+
+pytestmark = pytest.mark.soak
+
+
+def _soak_point(ctx, policy: str, *, seed_offset: int = 0):
+    """One long chaos serving run; returns the SLO section of the report."""
+    graph = ctx.graph(DATASET)
+    cfg = ctx.flashwalker_config(DATASET)
+    probe = FlashWalker(graph, cfg, seed=ctx.seed)
+    cfg = ctx.flashwalker_config(DATASET, faults=chaos_faults(probe))
+    fw = FlashWalker(graph, cfg, seed=ctx.seed + 10 + seed_offset)
+
+    walks_per_query, _ = walk_budget(ctx, DATASET)
+    requests = build_requests(
+        ctx,
+        DATASET,
+        n_requests=N_REQUESTS,
+        rate_qps=RATE_QPS,
+        seed_offset=seed_offset,
+    )
+    svc_cfg = ServiceConfig(
+        admission_policy=policy,
+        rate_limit_qps=1.5 * RATE_QPS if policy == "token-bucket" else 0.0,
+        queue_capacity=8,
+        max_inflight_walks=max(64, 4 * walks_per_query),
+        breaker_cooldown=150e-6,
+        audit_interval_events=64,  # audit aggressively: this is the soak
+    )
+    outcome = WalkQueryService(fw, svc_cfg).run(requests)
+    return outcome.result.service
+
+
+def run(ctx):
+    """One soak run per policy plus a same-seed repeat of the first."""
+    rows = []
+    sections = {}
+    for policy in POLICIES:
+        svc = _soak_point(ctx, policy)
+        sections[policy] = svc
+        req = svc["requests"]
+        rows.append(
+            {
+                "policy": policy,
+                "arrivals": req["arrivals"],
+                "ok": req["ok"],
+                "timed_out": req["timed_out"],
+                "shed": req["shed"],
+                "shed_rate": round(svc["shed_rate"], 4),
+                "p99_ms": round(svc["latency"]["p99"] * 1e3, 4),
+                "audits": svc["audit"]["audits"],
+                "violations": svc["audit"]["violations"],
+                "breaker_trips": svc["breaker"]["trips"],
+            }
+        )
+    repeat = _soak_point(ctx, POLICIES[0])
+    return rows, sections, repeat
+
+
+def test_service_slo_soak(benchmark, ctx):
+    rows, sections, repeat = run_once(benchmark, run, ctx)
+    for row in rows:
+        svc = sections[row["policy"]]
+        req = svc["requests"]
+        # The auditor ran throughout and saw nothing.
+        assert row["audits"] > 0, row
+        assert row["violations"] == 0, row
+        # Query conservation: every arrival got exactly one response.
+        assert req["ok"] + req["timed_out"] + req["shed"] == N_REQUESTS, row
+        # The chip failover happened under load and tripped the breaker.
+        assert row["breaker_trips"] >= 1, row
+        # SLO percentiles exist whenever anything completed on time.
+        if req["ok"]:
+            assert svc["latency"]["p99"] >= svc["latency"]["p50"] > 0, row
+    # Same seed, same policy: the whole SLO section is bit-identical.
+    assert repeat == sections[POLICIES[0]]
+    benchmark.extra_info["table"] = format_table(rows)

@@ -48,11 +48,40 @@ class FaultExhaustedError(FaultError):
     escalates instead (bad-block remap / link reset) so campaigns keep
     every walk.  ``at`` carries the simulation time when the final
     attempt failed, so callers can keep charging the wasted latency.
+    The location fields (``channel``/``chip``/``die``/``plane``/
+    ``block``) name the hardware unit that exhausted its retries, so
+    service-layer circuit breakers and error logs can act on *where* a
+    fault cluster sits; fields not applicable to the raising component
+    stay None.  ``str(exc)`` keeps its original message prefix.
     """
 
-    def __init__(self, message: str, at: float = 0.0):
+    def __init__(
+        self,
+        message: str,
+        at: float = 0.0,
+        *,
+        channel: int | None = None,
+        chip: int | None = None,
+        die: int | None = None,
+        plane: int | None = None,
+        block: int | None = None,
+    ):
         super().__init__(message)
         self.at = at
+        self.channel = channel
+        self.chip = chip
+        self.die = die
+        self.plane = plane
+        self.block = block
+
+    def location(self) -> dict:
+        """Non-None location/time context as a plain dict (for logs)."""
+        out = {"at": self.at}
+        for name in ("channel", "chip", "die", "plane", "block"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
 
 
 class BufferOverflowError(ReproError):
@@ -60,8 +89,41 @@ class BufferOverflowError(ReproError):
 
     Note most FlashWalker buffers handle overflow by *flushing to flash*
     (modeled explicitly); this error only fires when a model invariant is
-    violated, i.e. a bug, not a workload condition.
+    violated, i.e. a bug, not a workload condition.  ``block``,
+    ``capacity``, ``occupancy`` and ``at`` localize the offending entry
+    when the raiser knows them; ``str(exc)`` keeps its message prefix.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        block: int | None = None,
+        capacity: int | None = None,
+        occupancy: int | None = None,
+        at: float | None = None,
+    ):
+        super().__init__(message)
+        self.block = block
+        self.capacity = capacity
+        self.occupancy = occupancy
+        self.at = at
+
+
+class InvariantViolation(SimulationError):
+    """The online auditor found engine state violating an invariant.
+
+    Carries the full list of failed checks plus a state dump captured at
+    detection time so the offending condition is debuggable post-mortem
+    (the simulation stops at the raise).
+    """
+
+    def __init__(self, message: str, *, violations: list[str] | None = None,
+                 state: dict | None = None, at: float = 0.0):
+        super().__init__(message)
+        self.violations = list(violations or [])
+        self.state = dict(state or {})
+        self.at = at
 
 
 class WalkError(ReproError):

@@ -60,6 +60,14 @@ class BoardAccelerator:
         if self.caches is not None:
             self.caches.invalidate()
 
+    def invalidate_cached_blocks(self, block_ids) -> int:
+        """Evict specific blocks from the query caches (chip failover:
+        the entries' physical placement is stale).  No-op without
+        caches; returns the number of entries removed."""
+        if self.caches is None:
+            return 0
+        return self.caches.invalidate_blocks(block_ids)
+
     # -- timing ----------------------------------------------------------------------
 
     def batch_time(self, result: AdvanceResult) -> float:

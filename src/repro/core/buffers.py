@@ -85,7 +85,11 @@ class BlockEntry:
         walk-overflow buffer ... then flushed to the flash memory".
         """
         if capacity < 0:
-            raise BufferOverflowError(f"negative entry capacity {capacity}")
+            raise BufferOverflowError(
+                f"negative entry capacity {capacity}",
+                capacity=capacity,
+                occupancy=self.buffered_count,
+            )
         spilled = 0
         while self.buffered_count > capacity and self.buffered:
             batch = self.buffered.pop(0)
@@ -130,7 +134,8 @@ class PartitionWalkBuffer:
         if not self.first_block <= block_id <= self.last_block:
             raise BufferOverflowError(
                 f"block {block_id} outside partition "
-                f"[{self.first_block}, {self.last_block}]"
+                f"[{self.first_block}, {self.last_block}]",
+                block=block_id,
             )
         e = self._entries.get(block_id)
         if e is None:
@@ -174,6 +179,29 @@ class PartitionWalkBuffer:
 
     def blocks_with_walks(self) -> list[int]:
         return [b for b, e in self._entries.items() if e.total > 0]
+
+    def occupancy_errors(self) -> list[str]:
+        """Declared-capacity violations, one message per bad entry.
+
+        ``push`` spills past-capacity batches immediately, so any entry
+        whose buffered side exceeds its capacity (or with a negative
+        count) indicates corrupted accounting.  Used by the service
+        layer's online invariant auditor.
+        """
+        errors = []
+        for block, e in self._entries.items():
+            cap = self.capacity_of(block)
+            if e.buffered_count > cap:
+                errors.append(
+                    f"pwb entry {block}: buffered {e.buffered_count} "
+                    f"exceeds capacity {cap}"
+                )
+            if e.buffered_count < 0 or e.spilled_count < 0:
+                errors.append(
+                    f"pwb entry {block}: negative counts "
+                    f"({e.buffered_count}, {e.spilled_count})"
+                )
+        return errors
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -215,6 +215,11 @@ class FlashWalker:
         self._flush_cursor = 0
         self._finals: list[WalkSet] | None = None
         self._done = False
+        # Optional completion observer fn(t, walks) used by the service
+        # layer (repro.service) to attribute finished walks to queries.
+        # None in batch runs: the default path never consults it beyond
+        # this one is-None check, keeping default behavior bit-identical.
+        self._on_completed = None
         # Fault-injection state.  Strictly opt-in: with faults disabled
         # no fault model exists, no RNG stream is registered, and every
         # hot path sees fault_model is None.
@@ -312,6 +317,65 @@ class FlashWalker:
                 )
         self.sim.run(max_events=max_events)
         return self._finalize_run()
+
+    # ------------------------------------------------------- service sessions
+
+    def start_session(
+        self, spec: WalkSpec | None = None, *, expected_walks: int = 0
+    ) -> float:
+        """Prepare the engine for an *open-ended* walk session.
+
+        Mirrors :meth:`run`'s setup — state reset, entry-capacity
+        sizing, hot-block preload, first partition install, scheduled
+        chip failures — but boards no walks: the service layer
+        (:mod:`repro.service`) injects them over time with
+        :meth:`inject_walks` while driving ``self.sim`` itself.
+        ``expected_walks`` sizes the partition-walk-buffer entries the
+        way a batch run's ``num_walks`` would.  Returns the simulated
+        time at which the system is ready (hot blocks preloaded).
+        """
+        self.spec = (spec or WalkSpec()).validate(self.graph)
+        self._reset_run_state()
+        self._checkpoints.clear()
+        sampler = make_sampler(self.graph)
+        self.ctx = AdvanceContext.build(self.graph, self.part, self.spec, sampler)
+        if self.cfg.pwb_entry_walks > 0:
+            self.entry_capacity = self.cfg.pwb_entry_walks
+        else:
+            mean = max(1, int(expected_walks)) / max(1, self.part.num_blocks)
+            self.entry_capacity = max(16, math.ceil(16 * mean))
+        self.dense_entry_capacity = max(
+            self.entry_capacity + 1, math.ceil(self.entry_capacity * self.cfg.beta)
+        )
+        t0 = self._preload_hot_blocks(0.0)
+        self._install_partition(0, t0)
+        if self.fault_model is not None:
+            for t_fail, chip_flat in self.cfg.faults.chip_failures:
+                self.sim.at(
+                    float(t_fail),
+                    lambda c=int(chip_flat): self._fail_chip(c),
+                )
+        return t0
+
+    def inject_walks(self, walks: WalkSet) -> None:
+        """Board new walks mid-session at the current simulated time.
+
+        Must be called from inside a simulator event (the service
+        layer's dispatch events); the walks enter through the normal
+        board-direct path and are accounted exactly like a batch run's.
+        """
+        n = len(walks)
+        if n == 0:
+            return
+        if walks.hop.size and int(walks.hop.max()) > self.spec.length:
+            raise SimulationError(
+                f"injected walk length {int(walks.hop.max())} exceeds the "
+                f"session spec length {self.spec.length}"
+            )
+        self.total_walks += n
+        self.in_transit += n
+        self._done = False
+        self._board_direct(walks, scoped=False)
 
     def _finalize_run(self) -> RunResult:
         """Shared completion path of run() and resume()."""
@@ -725,6 +789,9 @@ class FlashWalker:
             flush = self.board.add_completed(n)
             if flush:
                 self._flush_to_flash(t, flush)
+        cb = self._on_completed
+        if cb is not None and walks is not None:
+            cb(t, walks)
 
     def _flush_to_flash(self, t: float, nbytes: int) -> float:
         """Board-side write of sink contents, striped over channels."""
@@ -1028,6 +1095,10 @@ class FlashWalker:
                     self.scheduler.reassign_blocks(
                         in_part, self.block_chip[in_part]
                     )
+            # Cached mapping entries for the remapped blocks point at the
+            # dead chip's placement; drop them so post-failover queries
+            # re-resolve instead of serving stale hits.
+            self.board.invalidate_cached_blocks(mine)
         # Walks stranded in the chip's roving buffer fail over to the
         # board path; completed-walk bytes pending flush are lost traffic
         # only (their completion is already accounted).

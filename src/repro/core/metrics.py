@@ -122,6 +122,11 @@ class RunResult:
     config_fingerprint: str | None = None
     #: The run's :class:`~repro.obs.Tracer` when tracing was enabled.
     trace: object | None = None
+    #: SLO section attached by the service layer (:mod:`repro.service`):
+    #: query latency percentiles, shed/deadline-miss rates, queue and
+    #: breaker counters.  None for plain batch runs, in which case the
+    #: report carries no "service" section at all.
+    service: dict | None = None
 
     @property
     def flash_read_bandwidth(self) -> float:

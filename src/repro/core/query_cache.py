@@ -27,6 +27,9 @@ from ..common.errors import ReproError
 
 __all__ = ["WalkQueryCache", "QueryCacheArray"]
 
+#: Sentinel distinguishing "absent" from a stored None payload.
+_MISSING = object()
+
 
 class WalkQueryCache:
     """One LRU cache of subgraph mapping entries."""
@@ -116,6 +119,16 @@ class WalkQueryCache:
     def invalidate(self) -> None:
         self._lru.clear()
 
+    def invalidate_blocks(self, block_ids) -> int:
+        """Evict specific blocks (no counters); returns how many were
+        resident.  Used on chip failover: a failed chip's remapped
+        blocks must not serve stale mapping entries."""
+        removed = 0
+        for b in np.asarray(block_ids, dtype=np.int64).tolist():
+            if self._lru.pop(b, _MISSING) is not _MISSING:
+                removed += 1
+        return removed
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -164,6 +177,18 @@ class QueryCacheArray:
         """Drop all entries (partition switch: table contents change)."""
         for cache in self.caches:
             cache.invalidate()
+
+    def invalidate_blocks(self, block_ids) -> int:
+        """Evict specific blocks from their owning shards; returns the
+        number of entries actually removed."""
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return 0
+        shard = block_ids % len(self.caches)
+        removed = 0
+        for i in np.unique(shard).tolist():
+            removed += self.caches[i].invalidate_blocks(block_ids[shard == i])
+        return removed
 
     @property
     def hits(self) -> int:

@@ -250,6 +250,30 @@ class SubgraphScheduler:
         counts = self.walk_counts()
         return np.unique(self.block_chip[counts > 0])
 
+    def consistency_errors(self, pwb_buffer) -> list[str]:
+        """Scoreboard-vs-buffer divergences, one message per bad block.
+
+        The scoreboard's per-block (pwb, fl) counts must mirror the
+        :class:`~repro.core.buffers.PartitionWalkBuffer` exactly at
+        every event boundary (``_start_load`` enforces the same on the
+        drain path).  Used by the service layer's invariant auditor.
+        """
+        errors = []
+        if int(self.pwb.min(initial=0)) < 0 or int(self.fl.min(initial=0)) < 0:
+            errors.append("scheduler scoreboard has negative counts")
+        nonzero = np.flatnonzero((self.pwb != 0) | (self.fl != 0))
+        blocks = set((nonzero + self.first_block).tolist())
+        blocks.update(pwb_buffer.blocks_with_walks())
+        for block in sorted(blocks):
+            idx = block - self.first_block
+            sb, sf = int(self.pwb[idx]), int(self.fl[idx])
+            bb, bf = pwb_buffer.counts(block)
+            if (sb, sf) != (bb, bf):
+                errors.append(
+                    f"block {block}: scheduler ({sb},{sf}) vs buffer ({bb},{bf})"
+                )
+        return errors
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SubgraphScheduler(blocks={self.n_blocks}, pending="

@@ -199,8 +199,12 @@ def _set_metrics(metrics, state: dict) -> None:
 
 def capture_checkpoint(fw, t: float) -> Checkpoint:
     """Snapshot a quiescent :class:`~repro.core.flashwalker.FlashWalker`."""
+    from ..obs.report import config_fingerprint
+
     fm = fw.fault_model
     data = {
+        # provenance: restore refuses a snapshot from a different config
+        "config_fingerprint": config_fingerprint(fw.cfg),
         # walk accounting
         "spec": fw.spec,
         "total_walks": fw.total_walks,
@@ -334,9 +338,24 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
     from ..core.buffers import BlockEntry, PartitionWalkBuffer
     from ..core.mapping import RangeTable, SubgraphMappingTable
     from ..core.scheduler import SubgraphScheduler
+    from ..obs.report import config_fingerprint
     from ..walks.sampling import make_sampler
 
     d = ckpt.data
+    # A snapshot only replays correctly into the exact configuration
+    # that produced it (capacities, timings, fault schedule are all
+    # baked into the captured state).  Pre-fingerprint checkpoints
+    # (no field recorded) restore as before.
+    recorded = d.get("config_fingerprint")
+    if recorded is not None:
+        own = config_fingerprint(fw.cfg)
+        if recorded != own:
+            from ..common.errors import ConfigError
+
+            raise ConfigError(
+                "checkpoint does not match this engine's configuration: "
+                f"checkpoint {recorded}, engine {own}"
+            )
     fw.spec = d["spec"]
     fw._reset_run_state()
     # RNG streams become exactly the snapshot's set: streams first created

@@ -105,6 +105,7 @@ class FlashChannel:
                         f"channel {self.channel_id}: transfer of {nbytes} B "
                         f"corrupted after {fm.cfg.max_crc_retries} retransmissions",
                         at=end,
+                        channel=self.channel_id,
                     )
                 fm.note_crc_reset()
                 end = self.bus.transfer(end + fm.cfg.crc_reset_latency, nbytes)

@@ -206,6 +206,9 @@ class FlashChip:
                 f"chip {self.chip_id} die {die} plane {plane}: page read "
                 f"failed after {fm.cfg.max_read_retries} retries",
                 at=now,
+                chip=self.chip_id,
+                die=die,
+                plane=plane,
             )
         fm.note_remap()
         # Heroic decode (one more full sense worth of soft-decision

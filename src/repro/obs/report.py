@@ -27,7 +27,9 @@ __all__ = [
 ]
 
 REPORT_SCHEMA = "repro.obs.run-report"
-REPORT_SCHEMA_VERSION = 1
+#: v2 (additive): optional "service" section with query-serving SLO
+#: metrics when the run was driven through :mod:`repro.service`.
+REPORT_SCHEMA_VERSION = 2
 
 #: Percentiles quoted for every latency histogram.
 _PERCENTILES = (50.0, 90.0, 99.0)
@@ -111,6 +113,9 @@ def build_report(result, *, extra: dict | None = None) -> dict:
         "counters": counters,
         "utilization": _jsonable(getattr(result, "utilization", lambda: {})()),
     }
+    service = getattr(result, "service", None)
+    if service is not None:
+        report["service"] = _jsonable(service)
     trace = getattr(result, "trace", None)
     if trace is not None:
         report["latency_percentiles"] = {
@@ -169,4 +174,29 @@ def diff_reports(a: dict, b: dict, rel_tol: float = 0.0) -> dict:
     ta, tb = a.get("traffic", {}), b.get("traffic", {})
     for name in sorted(set(ta) | set(tb)):
         _compare(f"traffic.{name}", ta.get(name, 0.0), tb.get(name, 0.0))
+    sa, sb = a.get("service"), b.get("service")
+    if (sa is None) != (sb is None):
+        changes["service"] = {
+            "a": "present" if sa is not None else None,
+            "b": "present" if sb is not None else None,
+            "rel": None,
+        }
+    elif sa is not None:
+        fa, fb = _flatten(sa, "service"), _flatten(sb, "service")
+        for key in sorted(set(fa) | set(fb)):
+            _compare(key, fa.get(key), fb.get(key))
     return changes
+
+
+def _flatten(obj, prefix: str) -> dict:
+    """Flatten a nested report section to dotted scalar leaves."""
+    out: dict = {}
+    if isinstance(obj, dict):
+        for k in sorted(obj):
+            out.update(_flatten(obj[k], f"{prefix}.{k}"))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            out.update(_flatten(v, f"{prefix}[{i}]"))
+    else:
+        out[prefix] = obj
+    return out

@@ -146,6 +146,8 @@ def resolve_runner(name: str) -> Callable:
     drivers on first use (they self-register at import)."""
     if name not in _POINT_RUNNERS:
         from ..experiments import runner  # noqa: F401 — registers fig runners
+    if name not in _POINT_RUNNERS:
+        from ..service import campaign  # noqa: F401 — registers service_slo
     try:
         return _POINT_RUNNERS[name]
     except KeyError:

@@ -21,10 +21,14 @@ from .campaign import multi_seed_points, run_campaign
 __all__ = ["main"]
 
 #: Experiments that expose point enumerators (module.points(ctx, datasets)).
-PARALLEL_EXPERIMENTS = ("fig5", "fig7", "fig9")
+PARALLEL_EXPERIMENTS = ("fig5", "fig7", "fig9", "service_slo")
 
 
 def _points_for(experiment: str, ctx, datasets):
+    if experiment == "service_slo":
+        from ..service import campaign as service_campaign
+
+        return service_campaign.points(ctx, datasets)
     from ..experiments import fig5, fig7, fig9
 
     mod = {"fig5": fig5, "fig7": fig7, "fig9": fig9}[experiment]

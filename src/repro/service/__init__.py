@@ -1,0 +1,39 @@
+"""Always-on walk query service over the FlashWalker engine.
+
+Models a deployed in-storage accelerator under open-loop load in
+simulated time: bounded admission with configurable overload policy,
+per-query deadlines with partial-result semantics, a circuit breaker
+fed by the fault layer's degraded-mode signals, and an online invariant
+auditor that cross-checks walk/query conservation while the run
+progresses.  Entirely opt-in — batch runs through
+:meth:`~repro.core.flashwalker.FlashWalker.run` are untouched.
+
+Quick start::
+
+    from repro.service import ServiceConfig, WalkQueryService, open_loop_requests
+
+    svc = WalkQueryService(fw, ServiceConfig(admission_policy="shed-oldest"))
+    outcome = svc.run(open_loop_requests(32, 20e3, rng))
+    outcome.result.service["latency"]["p99"]
+
+or from the shell: ``python -m repro.service --chaos``.
+"""
+
+from .audit import ServiceAuditor
+from .breaker import CircuitBreaker
+from .config import ServiceConfig
+from .queue import AdmissionQueue
+from .request import QueryRequest, QueryResult, open_loop_requests
+from .service import ServiceOutcome, WalkQueryService
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "QueryRequest",
+    "QueryResult",
+    "ServiceAuditor",
+    "ServiceConfig",
+    "ServiceOutcome",
+    "WalkQueryService",
+    "open_loop_requests",
+]

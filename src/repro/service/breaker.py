@@ -1,0 +1,60 @@
+"""Circuit breaker fed by the fault layer's degraded-mode signals.
+
+The breaker watches the engine's :class:`~repro.faults.model.FaultModel`
+counters between service events.  A *new* chip failure, or
+``breaker_exhausted_threshold`` newly-exhausted read retries since the
+last check, trips the breaker open for ``breaker_cooldown`` simulated
+seconds.  While open, the service either sheds arrivals
+(``breaker_policy="shed"``) or holds dispatch and retries once the
+cooldown elapses (``"defer"``) — either way the degraded device is not
+piled onto.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Open/closed state machine over fault-model degradation counters."""
+
+    def __init__(self, cfg, engine):
+        self.cfg = cfg
+        # The engine rebuilds its fault model on every session reset, so
+        # hold the engine and read ``engine.fault_model`` per poll.
+        self.engine = engine
+        self.open_until = 0.0
+        self.trips = 0
+        self._seen_chip_failures = 0
+        self._seen_exhausted = 0
+
+    def is_open(self, now: float) -> bool:
+        """Poll degradation signals, then report whether the breaker is open."""
+        self._update(now)
+        return now < self.open_until
+
+    def _update(self, now: float) -> None:
+        if not self.cfg.breaker_enabled:
+            return
+        fm = self.engine.fault_model
+        if fm is None:
+            return
+        tripped = False
+        if fm.chip_failures > self._seen_chip_failures:
+            self._seen_chip_failures = fm.chip_failures
+            tripped = True
+        new_exhausted = fm.reads_exhausted - self._seen_exhausted
+        if new_exhausted >= self.cfg.breaker_exhausted_threshold:
+            self._seen_exhausted = fm.reads_exhausted
+            tripped = True
+        if tripped:
+            self.open_until = max(self.open_until, now + self.cfg.breaker_cooldown)
+            self.trips += 1
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.cfg.breaker_enabled,
+            "policy": self.cfg.breaker_policy,
+            "trips": self.trips,
+            "open_until": self.open_until,
+        }

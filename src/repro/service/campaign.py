@@ -1,0 +1,117 @@
+"""Service-SLO campaign points.
+
+One point = one seeded open-loop serving run under a chosen admission
+policy (optionally with chaos: NAND faults plus a mid-run chip
+failure).  Registered as the ``service_slo`` experiment so
+``python -m repro.parallel --experiment service_slo`` sweeps policies
+and datasets across workers with the usual per-point determinism
+guarantees.
+"""
+
+from __future__ import annotations
+
+from ..parallel.campaign import CampaignPoint, point_runner
+from .config import ServiceConfig
+from .request import open_loop_requests
+from .service import WalkQueryService
+
+__all__ = ["POLICIES", "points", "run_point", "build_requests", "chaos_faults"]
+
+#: Policies swept by the default campaign.
+POLICIES = ("reject", "shed-oldest", "token-bucket")
+
+
+def walk_budget(ctx, dataset: str) -> tuple[int, float]:
+    """(walks per query, deadline seconds) sized to the context scale."""
+    per_query = max(16, ctx.default_walks(dataset) // 32)
+    return per_query, 20e-3
+
+
+def chaos_faults(engine, *, failover_at: float = 400e-6):
+    """Fault schedule for a chaos run: background NAND read faults,
+    CRC noise, and one chip failure at ``failover_at``."""
+    from ..common.config import FaultConfig
+
+    victim = int(engine.block_chip[0])
+    return FaultConfig(
+        enabled=True,
+        page_error_rate=0.05,
+        crc_error_rate=0.02,
+        chip_failures=((failover_at, victim),),
+    ).validate()
+
+
+def build_requests(
+    ctx, dataset: str, *, n_requests: int, rate_qps: float, seed_offset: int = 0
+):
+    """Seeded open-loop request schedule sized to the context's scale."""
+    from ..common.rng import RngRegistry
+
+    walks_per_query, deadline = walk_budget(ctx, dataset)
+    rng = RngRegistry(ctx.seed + 10 + seed_offset).fresh("service_arrivals")
+    return open_loop_requests(
+        n_requests,
+        rate_qps,
+        rng,
+        walks_per_query=walks_per_query,
+        deadline=deadline,
+    )
+
+
+def points(
+    ctx, datasets: list[str] | None = None, policies=POLICIES
+) -> list[CampaignPoint]:
+    return [
+        CampaignPoint.make("service_slo", name, policy=policy)
+        for name in (datasets or ctx.datasets)
+        for policy in policies
+    ]
+
+
+@point_runner("service_slo")
+def run_point(ctx, point: CampaignPoint):
+    from ..core.flashwalker import FlashWalker
+
+    name = point.dataset
+    policy = point.param("policy", "reject")
+    seed_offset = int(point.param("seed_offset", 0))
+    chaos = bool(point.param("chaos", True))
+
+    graph = ctx.graph(name)
+    cfg = ctx.flashwalker_config(name)
+    if chaos:
+        # Probe the block->chip placement to pick a failover victim,
+        # then rebuild the config with the fault schedule baked in.
+        probe = FlashWalker(graph, cfg, seed=ctx.seed)
+        cfg = ctx.flashwalker_config(name, faults=chaos_faults(probe))
+    fw = FlashWalker(graph, cfg, seed=ctx.seed + 10 + seed_offset)
+
+    walks_per_query, _ = walk_budget(ctx, name)
+    requests = build_requests(
+        ctx,
+        name,
+        n_requests=int(point.param("n_requests", 24)),
+        rate_qps=float(point.param("rate_qps", 20e3)),
+        seed_offset=seed_offset,
+    )
+    svc_cfg = ServiceConfig(
+        admission_policy=policy,
+        rate_limit_qps=30e3 if policy == "token-bucket" else 0.0,
+        queue_capacity=8,
+        max_inflight_walks=max(64, 4 * walks_per_query),
+        breaker_cooldown=150e-6,
+    )
+    outcome = WalkQueryService(fw, svc_cfg).run(requests)
+    svc = outcome.result.service
+    row = {
+        "dataset": name,
+        "policy": policy,
+        "arrivals": svc["requests"]["arrivals"],
+        "ok": svc["requests"]["ok"],
+        "timed_out": svc["requests"]["timed_out"],
+        "shed": svc["requests"]["shed"],
+        "shed_rate": svc["shed_rate"],
+        "p99_ms": svc["latency"]["p99"] * 1e3,
+    }
+    report = outcome.result.to_report(extra={"point": point.key})
+    return row, report

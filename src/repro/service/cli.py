@@ -1,0 +1,117 @@
+"""Service CLI: one seeded open-loop serving scenario.
+
+::
+
+    python -m repro.service --dataset TT --requests 24 --rate 20000
+    python -m repro.service --chaos --seed 3 --out slo_report.json
+
+``--chaos`` layers fault injection on top of the open-loop load:
+background NAND read faults, CRC noise, and one chip failure mid-run.
+The online invariant auditor runs throughout; any violation exits
+nonzero with the violation list, which is what the CI chaos-soak job
+gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--dataset", default="TT", help="dataset name (default: TT)")
+    parser.add_argument("--requests", type=int, default=24,
+                        help="number of open-loop queries (default: 24)")
+    parser.add_argument("--rate", type=float, default=20e3,
+                        help="mean arrival rate, queries/sec of simulated "
+                             "time (default: 20000)")
+    parser.add_argument("--seed", type=int, default=3, help="root seed")
+    parser.add_argument("--policy", default="reject",
+                        choices=("reject", "shed-oldest", "token-bucket"),
+                        help="admission policy (default: reject)")
+    parser.add_argument("--quick", action="store_true",
+                        help="scale the dataset down (CI-sized run)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="enable fault injection + one chip failure")
+    parser.add_argument("--out", default=None,
+                        help="write the run report JSON here")
+    args = parser.parse_args(argv)
+
+    # Imports deferred so --help works in stripped environments.
+    from ..common.errors import InvariantViolation
+    from ..core.flashwalker import FlashWalker
+    from ..experiments.harness import ExperimentContext
+    from .campaign import build_requests, chaos_faults, walk_budget
+    from .config import ServiceConfig
+    from .service import WalkQueryService
+
+    ctx = (
+        ExperimentContext.quick(seed=args.seed)
+        if args.quick
+        else ExperimentContext(seed=args.seed)
+    )
+    graph = ctx.graph(args.dataset)
+    cfg = ctx.flashwalker_config(args.dataset)
+    if args.chaos:
+        probe = FlashWalker(graph, cfg, seed=ctx.seed)
+        cfg = ctx.flashwalker_config(args.dataset, faults=chaos_faults(probe))
+    fw = FlashWalker(graph, cfg, seed=ctx.seed + 10)
+
+    walks_per_query, _ = walk_budget(ctx, args.dataset)
+    requests = build_requests(
+        ctx, args.dataset, n_requests=args.requests, rate_qps=args.rate
+    )
+    svc_cfg = ServiceConfig(
+        admission_policy=args.policy,
+        rate_limit_qps=1.5 * args.rate if args.policy == "token-bucket" else 0.0,
+        queue_capacity=8,
+        max_inflight_walks=max(64, 4 * walks_per_query),
+        breaker_cooldown=150e-6,
+    )
+    svc = WalkQueryService(fw, svc_cfg)
+    try:
+        outcome = svc.run(requests)
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION at t={exc.at:.6g}s:", file=sys.stderr)
+        for v in exc.violations:
+            print(f"  - {v}", file=sys.stderr)
+        print(f"state: {json.dumps(exc.state, sort_keys=True)}", file=sys.stderr)
+        return 2
+
+    s = outcome.result.service
+    req, lat = s["requests"], s["latency"]
+    print(
+        f"{args.dataset} policy={args.policy}"
+        + (" +chaos" if args.chaos else "")
+        + f": {req['arrivals']} arrivals -> {req['ok']} ok, "
+        f"{req['timed_out']} timed out, {req['shed']} shed"
+    )
+    print(
+        f"latency p50={lat['p50'] * 1e3:.3f}ms p95={lat['p95'] * 1e3:.3f}ms "
+        f"p99={lat['p99'] * 1e3:.3f}ms  shed_rate={s['shed_rate']:.3f}  "
+        f"deadline_miss_rate={s['deadline_miss_rate']:.3f}"
+    )
+    print(
+        f"audits={s['audit']['audits']} violations={s['audit']['violations']} "
+        f"breaker_trips={s['breaker']['trips']} "
+        f"zombie_walks={s['walks']['zombie']}"
+    )
+    if args.out:
+        report = outcome.result.to_report()
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote report to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

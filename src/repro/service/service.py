@@ -1,0 +1,363 @@
+"""The always-on walk query service.
+
+:class:`WalkQueryService` wraps a :class:`~repro.core.flashwalker.FlashWalker`
+in a deterministic, simulated-time serving loop: queries arrive on an
+open-loop schedule, pass the admission queue and circuit breaker, and
+are injected into the engine as walk batches whose ``src`` field carries
+the query id (the engine never reads ``src`` as a graph index, so it is
+a free attribution channel).  Completions are credited back to queries
+by a completion hook; a deadline event per admitted query enforces
+partial-result semantics — when it fires first, the query is answered
+with however many walks finished, flagged ``timed_out``, and its
+remaining walks run to completion in the background without disturbing
+other in-flight queries.  An online auditor (:mod:`repro.service.audit`)
+cross-checks conservation invariants as the run progresses.
+
+Everything is simulator-event driven, so two runs with the same seed
+and request schedule produce identical responses, shed decisions, and
+SLO metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from ..core.metrics import RunResult
+from ..walks.spec import WalkSpec, start_vertices
+from ..walks.state import WalkSet
+from .audit import ServiceAuditor
+from .breaker import CircuitBreaker
+from .config import ServiceConfig
+from .queue import AdmissionQueue
+from .request import QueryRequest, QueryResult
+
+__all__ = ["ServiceOutcome", "WalkQueryService"]
+
+
+@dataclass
+class _QueryState:
+    """Mutable per-query bookkeeping while a request is live."""
+
+    req: QueryRequest
+    t_arrival: float
+    deadline_abs: float
+    walks_done: int = 0
+    injected: bool = False
+    responded: bool = False
+    deadline_event: object | None = None
+
+
+@dataclass
+class ServiceOutcome:
+    """What one service run produced.
+
+    ``result`` is the engine's :class:`~repro.core.metrics.RunResult`
+    with the SLO section attached (``result.service``); ``responses``
+    holds one :class:`QueryResult` per request in response order.
+    """
+
+    result: RunResult
+    responses: list[QueryResult] = field(default_factory=list)
+
+    def by_id(self) -> dict[int, QueryResult]:
+        return {r.query_id: r for r in self.responses}
+
+
+class WalkQueryService:
+    """Serve walk queries against one engine under simulated time."""
+
+    def __init__(self, fw, cfg: ServiceConfig | None = None):
+        self.fw = fw
+        self.cfg = (cfg or ServiceConfig()).validate()
+        self.queue = AdmissionQueue(
+            self.cfg.queue_capacity,
+            self.cfg.admission_policy,
+            self.cfg.rate_limit_qps,
+            self.cfg.rate_limit_burst,
+        )
+        self.breaker = CircuitBreaker(self.cfg, fw)
+        self.auditor = ServiceAuditor(self, self.cfg.audit_interval_events)
+        self.states: dict[int, _QueryState] = {}
+        self.responses: list[QueryResult] = []
+        # Accounting the auditor cross-checks against the engine.
+        self.arrivals = 0
+        self.ok_count = 0
+        self.timed_out_count = 0
+        self.shed_count = 0
+        self.walks_injected = 0
+        self.zombie_walks = 0
+        self.deadline_misses = 0
+        self.deferrals = 0
+        self._t0 = 0.0
+        self._rng = fw.rngs.stream("service")
+        self._dispatch_scheduled = False
+        self._retry_scheduled = False
+        #: Optional hook ``fn(fw, t0)`` called after session setup and
+        #: before the event loop runs; test scaffolding uses it to
+        #: schedule deliberate state corruption the auditor must catch.
+        self.on_session_start = None
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, requests: list[QueryRequest]) -> ServiceOutcome:
+        """Serve ``requests`` to completion; returns the outcome.
+
+        Arrival offsets are relative to service readiness (hot-block
+        preload done).  Raises
+        :class:`~repro.common.errors.InvariantViolation` if the online
+        auditor finds corrupted accounting at any point.
+        """
+        if not requests:
+            raise ConfigError("no requests to serve")
+        seen: set[int] = set()
+        for req in requests:
+            req.validate()
+            if req.query_id in seen:
+                raise ConfigError(f"duplicate query_id {req.query_id}")
+            seen.add(req.query_id)
+            if req.length > self.cfg.max_walk_length:
+                raise ConfigError(
+                    f"query {req.query_id}: length {req.length} exceeds the "
+                    f"service max_walk_length {self.cfg.max_walk_length}"
+                )
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.query_id))
+        fw = self.fw
+        expected = sum(r.num_walks for r in ordered)
+        self._t0 = fw.start_session(
+            WalkSpec(length=self.cfg.max_walk_length), expected_walks=expected
+        )
+        fw._on_completed = self._on_completed
+        try:
+            for req in ordered:
+                fw.sim.at(
+                    self._t0 + req.arrival, lambda r=req: self._arrive(r)
+                )
+            if self.on_session_start is not None:
+                self.on_session_start(fw, self._t0)
+            fw.sim.run()
+            self.auditor.audit(final=True)
+        finally:
+            fw._on_completed = None
+        result = fw._finalize_run()
+        result.service = self._service_section()
+        return ServiceOutcome(result=result, responses=list(self.responses))
+
+    # ------------------------------------------------------------ admission
+
+    def _arrive(self, req: QueryRequest) -> None:
+        t = self.fw.sim.now
+        self.arrivals += 1
+        st = _QueryState(req=req, t_arrival=t, deadline_abs=t + req.deadline)
+        self.states[req.query_id] = st
+        if (
+            self.cfg.breaker_enabled
+            and self.cfg.breaker_policy == "shed"
+            and self.breaker.is_open(t)
+        ):
+            self._respond(st, "shed", t, shed_reason="breaker-open", admitted=False)
+            self.auditor.maybe_audit()
+            return
+        admitted, evicted, refusal = self.queue.offer(req, t)
+        if evicted is not None:
+            ev = self.states[evicted.query_id]
+            self._respond(ev, "shed", t, shed_reason="shed-oldest", admitted=True)
+        if not admitted:
+            self._respond(st, "shed", t, shed_reason=refusal, admitted=False)
+            self.auditor.maybe_audit()
+            return
+        st.deadline_event = self.fw.sim.at(
+            st.deadline_abs, lambda qid=req.query_id: self._deadline(qid)
+        )
+        self._schedule_dispatch()
+        self.auditor.maybe_audit()
+
+    # ------------------------------------------------------------- dispatch
+
+    def _schedule_dispatch(self) -> None:
+        """Coalesce dispatch work into one same-time simulator event.
+
+        The engine's event loop is non-reentrant, so arrival/completion
+        handlers never inject walks directly; they schedule this event
+        at the current time instead.
+        """
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        self.fw.sim.at(self.fw.sim.now, self._dispatch_event)
+
+    def _dispatch_event(self) -> None:
+        self._dispatch_scheduled = False
+        self._dispatch(self.fw.sim.now)
+
+    def _dispatch(self, t: float) -> None:
+        fw = self.fw
+        while len(self.queue):
+            head = self.queue.peek()
+            st = self.states[head.query_id]
+            if st.responded:
+                # Timed out or shed while queued; nothing to inject.
+                self.queue.pop()
+                continue
+            if (
+                self.cfg.breaker_enabled
+                and self.cfg.breaker_policy == "defer"
+                and self.breaker.is_open(t)
+            ):
+                self.deferrals += 1
+                self._schedule_retry(self.breaker.open_until)
+                break
+            backlog = fw.total_walks - fw.completed_walks
+            if backlog > 0 and backlog + head.num_walks > self.cfg.max_inflight_walks:
+                # Backpressure: completions re-trigger dispatch.
+                break
+            self.queue.pop()
+            if head.starts is not None:
+                starts = np.asarray(head.starts, dtype=np.int64)
+            else:
+                starts = start_vertices(fw.graph, head.num_walks, self._rng)
+            walks = WalkSet.start(starts, head.length)
+            # src is never used as a graph index by the engine; carry
+            # the query id so completions credit back to their query.
+            walks.src[:] = head.query_id
+            st.injected = True
+            self.walks_injected += head.num_walks
+            fw.inject_walks(walks)
+        self.auditor.maybe_audit()
+
+    def _schedule_retry(self, at: float) -> None:
+        """Re-run dispatch once the breaker cooldown elapses.
+
+        Without this, a deferred queue would starve when the engine
+        drains (no completion event would ever re-trigger dispatch).
+        """
+        if self._retry_scheduled:
+            return
+        self._retry_scheduled = True
+
+        def retry():
+            self._retry_scheduled = False
+            self._schedule_dispatch()
+
+        self.fw.sim.at(max(at, self.fw.sim.now), retry)
+
+    # ---------------------------------------------------------- completions
+
+    def _on_completed(self, t: float, walks: WalkSet) -> None:
+        """Engine hook: credit finished walks back to their queries.
+
+        ``t`` may lie slightly ahead of ``sim.now`` (chip batches charge
+        their full busy span up front), so a completion past the
+        deadline is left for the deadline event to answer as a partial
+        result.
+        """
+        if not len(walks):
+            return
+        ids, counts = np.unique(walks.src, return_counts=True)
+        for qid, n in zip(ids.tolist(), counts.tolist()):
+            st = self.states[qid]
+            st.walks_done += n
+            if st.responded:
+                # Walks of an already-answered (timed out) query running
+                # to completion in the background.
+                self.zombie_walks += n
+            elif st.walks_done >= st.req.num_walks and t <= st.deadline_abs:
+                self._respond(st, "ok", t, admitted=True)
+        if len(self.queue):
+            self._schedule_dispatch()
+        self.auditor.maybe_audit()
+
+    def _deadline(self, query_id: int) -> None:
+        st = self.states[query_id]
+        st.deadline_event = None
+        if st.responded:
+            return
+        self.deadline_misses += 1
+        self._respond(st, "timed_out", self.fw.sim.now, admitted=True)
+        # Freed deadline headroom does not add capacity, but queued
+        # work may have been blocked purely on this query's backlog.
+        if len(self.queue):
+            self._schedule_dispatch()
+
+    # ------------------------------------------------------------ responses
+
+    def _respond(
+        self,
+        st: _QueryState,
+        status: str,
+        t: float,
+        *,
+        admitted: bool,
+        shed_reason: str | None = None,
+    ) -> None:
+        st.responded = True
+        if st.deadline_event is not None:
+            st.deadline_event.cancel()
+            st.deadline_event = None
+        latency = 0.0 if status == "shed" else t - st.t_arrival
+        self.responses.append(
+            QueryResult(
+                query_id=st.req.query_id,
+                arrival=st.req.arrival,
+                admitted=admitted,
+                status=status,
+                walks_requested=st.req.num_walks,
+                walks_completed=st.walks_done,
+                finish_time=t,
+                latency=latency,
+                shed_reason=shed_reason,
+            )
+        )
+        stats = self.fw.metrics.stats
+        if status == "ok":
+            self.ok_count += 1
+            stats.counter("svc_queries_ok").add(1)
+        elif status == "timed_out":
+            self.timed_out_count += 1
+            stats.counter("svc_queries_timed_out").add(1)
+        else:
+            self.shed_count += 1
+            stats.counter("svc_queries_shed").add(1)
+
+    # --------------------------------------------------------------- report
+
+    def _service_section(self) -> dict:
+        ok_lat = np.asarray(
+            [r.latency for r in self.responses if r.status == "ok"], dtype=float
+        )
+        if ok_lat.size:
+            p50, p95, p99 = (
+                float(np.percentile(ok_lat, q)) for q in (50.0, 95.0, 99.0)
+            )
+            lat = {
+                "n": int(ok_lat.size),
+                "mean": float(ok_lat.mean()),
+                "max": float(ok_lat.max()),
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+            }
+        else:
+            lat = {"n": 0, "mean": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        arrivals = max(self.arrivals, 1)
+        return {
+            "requests": {
+                "arrivals": self.arrivals,
+                "ok": self.ok_count,
+                "timed_out": self.timed_out_count,
+                "shed": self.shed_count,
+                "deadline_misses": self.deadline_misses,
+            },
+            "walks": {
+                "injected": self.walks_injected,
+                "zombie": self.zombie_walks,
+            },
+            "latency": lat,
+            "shed_rate": self.shed_count / arrivals,
+            "deadline_miss_rate": self.timed_out_count / arrivals,
+            "queue": self.queue.stats(),
+            "breaker": {**self.breaker.stats(), "deferrals": self.deferrals},
+            "audit": self.auditor.stats(),
+        }

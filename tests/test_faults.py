@@ -395,3 +395,124 @@ class TestCheckpointResume:
             num_walks=300, spec=WalkSpec(length=4)
         )
         assert res.counters["checkpoints_taken"] == 0
+
+
+class TestCheckpointFingerprint:
+    CFG = TestCheckpointResume.CFG
+    ENGINE = TestCheckpointResume.ENGINE
+
+    def crashed(self, graph, cfg):
+        helper = TestCheckpointResume()
+        _, _, cut = helper.run_full(graph)
+        return helper.crash(graph, cfg, cut)
+
+    def make_cfg(self, **overrides):
+        return FlashWalkerConfig().replace(
+            **self.ENGINE, **overrides, faults=FaultConfig(enabled=True, **self.CFG)
+        )
+
+    def test_checkpoint_records_fingerprint(self, graph):
+        from repro.obs.report import config_fingerprint
+
+        cfg = self.make_cfg()
+        crashed = self.crashed(graph, cfg)
+        ckpt = crashed.latest_checkpoint
+        assert ckpt.data["config_fingerprint"] == config_fingerprint(cfg)
+
+    def test_restore_rejects_config_mismatch(self, graph):
+        cfg = self.make_cfg()
+        crashed = self.crashed(graph, cfg)
+        other = self.make_cfg(alpha=0.9)
+        fresh = FlashWalker(graph, other, seed=9)
+        with pytest.raises(ConfigError) as exc_info:
+            fresh.resume(checkpoint=crashed.latest_checkpoint)
+        # The error names both fingerprints so the operator can see
+        # which side is stale.
+        msg = str(exc_info.value)
+        assert msg.count("sha256:") == 2
+
+    def test_legacy_checkpoint_without_fingerprint_restores(self, graph):
+        cfg = self.make_cfg()
+        crashed = self.crashed(graph, cfg)
+        crashed.latest_checkpoint.data.pop("config_fingerprint")
+        fresh = FlashWalker(graph, cfg, seed=9)
+        resumed = fresh.resume(checkpoint=crashed.latest_checkpoint)
+        assert resumed.total_walks == 800
+
+
+class TestFailoverCacheInvalidation:
+    def test_failed_chip_blocks_dropped_from_query_caches(self, graph):
+        cfg = FlashWalkerConfig().replace(faults=FaultConfig(enabled=True))
+        fw = FlashWalker(graph, cfg, seed=9)
+        victim = int(fw.block_chip[0])
+        fw.start_session(expected_walks=100)
+        mine = np.flatnonzero(fw.block_chip == victim)
+        # Warm the board's walk query caches with the victim's blocks,
+        # as served queries would.
+        fw.board.caches.probe_batch(mine)
+        cached = [
+            b for b in mine.tolist()
+            if any(b in c for c in fw.board.caches.caches)
+        ]
+        assert cached, "victim's blocks should be cache-resident before failover"
+        fw._fail_chip(victim)
+        # After failover the remapped blocks must not serve stale hits:
+        # their cached mapping entries point at the dead chip.
+        assert not any(
+            b in c for b in mine.tolist() for c in fw.board.caches.caches
+        )
+        # Unrelated blocks keep their entries (no blanket invalidation).
+        others = np.setdiff1d(
+            np.arange(fw.part.num_blocks, dtype=np.int64), mine
+        )[:4]
+        if others.size:
+            fw.board.caches.probe_batch(others)
+            assert any(
+                int(b) in c for b in others for c in fw.board.caches.caches
+            )
+
+    def test_invalidate_counts_removed_entries(self):
+        from repro.core.query_cache import QueryCacheArray
+
+        arr = QueryCacheArray(n_caches=4, entries_per_cache=8)
+        arr.probe_batch(np.arange(12))
+        assert arr.invalidate_blocks(np.array([0, 5, 11])) == 3
+        assert arr.invalidate_blocks(np.array([0, 5])) == 0  # already gone
+
+
+class TestErrorContext:
+    def test_fault_exhausted_carries_location(self):
+        exc = FaultExhaustedError(
+            "read failed", at=1.5e-3, channel=2, chip=1, die=0, plane=3
+        )
+        assert str(exc) == "read failed"
+        assert exc.at == 1.5e-3
+        assert exc.location() == {
+            "at": 1.5e-3, "channel": 2, "chip": 1, "die": 0, "plane": 3
+        }
+
+    def test_nand_exhaustion_names_chip_and_die(self):
+        cfg = FaultConfig(
+            enabled=True,
+            page_error_rate=1.0,
+            retry_success_prob=1e-12,
+            remap_on_exhaustion=False,
+        ).validate()
+        chip = FlashChip(3, SSDConfig())
+        chip.fault_model = FaultModel(cfg, np.random.default_rng(0))
+        with pytest.raises(FaultExhaustedError) as exc_info:
+            chip.read_page(0.0, 1, 0)
+        exc = exc_info.value
+        assert exc.chip == 3
+        assert exc.die == 1
+        assert exc.plane == 0
+        assert str(exc).startswith("chip 3 die 1 plane 0")
+
+    def test_buffer_overflow_carries_occupancy(self):
+        from repro.common import BufferOverflowError
+
+        exc = BufferOverflowError(
+            "pwb overflow", block=7, capacity=16, occupancy=21, at=2e-6
+        )
+        assert str(exc) == "pwb overflow"
+        assert (exc.block, exc.capacity, exc.occupancy, exc.at) == (7, 16, 21, 2e-6)
