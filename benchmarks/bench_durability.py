@@ -1,0 +1,170 @@
+"""Durability soak: journal cadence vs RPO/RTO, scrub cadence vs SLO.
+
+Two sweeps over the crash-consistency layer:
+
+1. **Journal interval vs RPO/RTO** — seeded crash campaigns at each
+   group-commit cadence (plus a checkpoint-only point), gating on every
+   crash point reproducing the uninterrupted baseline bit-identically
+   outside the ``durability`` section, and on the journal actually
+   bounding data loss below checkpoint-only recovery.
+2. **Scrub bandwidth vs p95 query latency** — open-loop serving under
+   silent corruption at each scrub cadence, measuring how background
+   scrubbing's bandwidth appetite moves the query SLO.
+
+Marked ``soak`` so tier-1 (`pytest -q`) skips it; run explicitly with
+``pytest -m soak benchmarks/bench_durability.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import DurabilityConfig, FaultConfig
+from repro.core.flashwalker import FlashWalker
+from repro.durability.harness import run_crash_campaign
+from repro.experiments.harness import format_table
+from repro.service import ServiceConfig, WalkQueryService
+from repro.service.campaign import build_requests, walk_budget
+from repro.walks import WalkSpec
+
+from conftest import run_once
+
+DATASET = "TT"
+CRASH_POINTS = 5
+#: Journal group-commit cadences (simulated seconds); 0 = checkpoint-only.
+JOURNAL_INTERVALS = (10e-6, 25e-6, 50e-6, 100e-6, 0.0)
+#: Scrub cadences (simulated seconds); 0 = scrubbing off.
+SCRUB_INTERVALS = (0.0, 200e-6, 50e-6, 20e-6)
+N_REQUESTS = 120
+RATE_QPS = 25e3
+
+pytestmark = pytest.mark.soak
+
+
+def _engine_factory(ctx, journal_interval: float):
+    graph = ctx.graph(DATASET)
+    cfg = ctx.flashwalker_config(
+        DATASET,
+        durability=DurabilityConfig(
+            enabled=True,
+            journal_interval=journal_interval,
+            checkpoint_keep_last=3,
+        ),
+        faults=FaultConfig(checkpoint_interval=100e-6),
+    )
+    walks = ctx.default_walks(DATASET)
+    spec = WalkSpec(length=6)
+
+    def make_engine():
+        return FlashWalker(graph, cfg, seed=ctx.seed + 20)
+
+    def run_workload(fw):
+        return fw.run(walks, spec)
+
+    return make_engine, run_workload
+
+
+def run_journal_sweep(ctx):
+    """One crash campaign per journal cadence; returns sweep rows."""
+    rows = []
+    for interval in JOURNAL_INTERVALS:
+        make_engine, run_workload = _engine_factory(ctx, interval)
+        campaign = run_crash_campaign(
+            make_engine,
+            run_workload,
+            crash_points=CRASH_POINTS,
+            seed=ctx.seed,
+            name=f"journal-{interval:g}",
+        )
+        s = campaign.summary()
+        rows.append(
+            {
+                "journal_interval_us": round(interval * 1e6, 1),
+                "points": s["points"],
+                "identical": s["identical"],
+                "ok": s["ok"],
+                "recovered": s["modes"].get("recovered", 0),
+                "rpo_walks_mean": round(s["rpo_walks_mean"], 2),
+                "rpo_walks_max": s["rpo_walks_max"],
+                "rto_ms_mean": round(s["rto_time_mean"] * 1e3, 4),
+                "rto_ms_max": round(s["rto_time_max"] * 1e3, 4),
+            }
+        )
+    return rows
+
+
+def run_scrub_sweep(ctx):
+    """One corrupted serving run per scrub cadence; returns sweep rows."""
+    graph = ctx.graph(DATASET)
+    walks_per_query, _ = walk_budget(ctx, DATASET)
+    rows = []
+    for interval in SCRUB_INTERVALS:
+        cfg = ctx.flashwalker_config(
+            DATASET,
+            durability=DurabilityConfig(
+                enabled=True,
+                journal_interval=25e-6,
+                silent_corruption_rate=2000.0,
+                scrub_interval=interval,
+                max_corruption_events=32,
+            ),
+            faults=FaultConfig(checkpoint_interval=100e-6),
+        )
+        fw = FlashWalker(graph, cfg, seed=ctx.seed + 21)
+        svc = WalkQueryService(
+            fw,
+            ServiceConfig(
+                max_inflight_walks=max(64, 4 * walks_per_query),
+                audit_interval_events=128,
+            ),
+        )
+        requests = build_requests(
+            ctx, DATASET, n_requests=N_REQUESTS, rate_qps=RATE_QPS
+        )
+        outcome = svc.run(requests)
+        s = outcome.result.service
+        d = outcome.result.durability
+        rows.append(
+            {
+                "scrub_interval_us": round(interval * 1e6, 1),
+                "ok": s["requests"]["ok"],
+                "timed_out": s["requests"]["timed_out"],
+                "p50_ms": round(s["latency"]["p50"] * 1e3, 4),
+                "p95_ms": round(s["latency"]["p95"] * 1e3, 4),
+                "scrub_pages_read": d["integrity"]["scrub_pages_read"],
+                "scrub_detected": d["integrity"]["scrub_detected"],
+                "detected": d["integrity"]["detected"],
+                "repaired": d["integrity"]["repaired"],
+                "violations": s["audit"]["violations"],
+            }
+        )
+    return rows
+
+
+def test_journal_interval_vs_rpo_rto(benchmark, ctx):
+    rows = run_once(benchmark, run_journal_sweep, ctx)
+    for row in rows:
+        # Every crash point reproduced the uninterrupted baseline.
+        assert row["ok"], row
+        assert row["identical"] == row["points"], row
+    journaled = [r for r in rows if r["journal_interval_us"] > 0]
+    ckpt_only = [r for r in rows if r["journal_interval_us"] == 0]
+    assert journaled and ckpt_only
+    assert any(r["recovered"] > 0 for r in rows)
+    # The journal bounds data loss below checkpoint-only recovery.
+    best = min(r["rpo_walks_mean"] for r in journaled)
+    assert best <= ckpt_only[0]["rpo_walks_mean"]
+    benchmark.extra_info["table"] = format_table(rows)
+
+
+def test_scrub_bandwidth_vs_query_latency(benchmark, ctx):
+    rows = run_once(benchmark, run_scrub_sweep, ctx)
+    for row in rows:
+        assert row["violations"] == 0, row
+        assert row["ok"] + row["timed_out"] > 0, row
+    # Tighter scrub cadence reads strictly more pages...
+    pages = [r["scrub_pages_read"] for r in rows]
+    assert pages == sorted(pages), rows
+    assert pages[0] == 0 and pages[-1] > 0
+    # ...and the SLO stays measurable at every cadence.
+    assert all(r["p95_ms"] >= r["p50_ms"] > 0 for r in rows if r["ok"])
+    benchmark.extra_info["table"] = format_table(rows)

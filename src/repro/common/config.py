@@ -31,6 +31,7 @@ __all__ = [
     "AcceleratorConfig",
     "AcceleratorLevels",
     "FaultConfig",
+    "DurabilityConfig",
     "GraphWalkerConfig",
     "FlashWalkerConfig",
     "PAPER_SCALE",
@@ -496,6 +497,90 @@ class FaultConfig:
 
 
 # ---------------------------------------------------------------------------
+# Durability: power loss, walk journal, end-to-end integrity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Crash-consistency and data-integrity parameters (strictly opt-in).
+
+    With ``enabled=False`` (the default) the durability layer is never
+    constructed: no RNG stream is registered, no journal or scrub events
+    are scheduled, and runs stay bit-identical to a build without this
+    subsystem.  See DESIGN.md Section 10 for the durability model.
+
+    Power loss is *scheduled* at runtime via
+    ``FlashWalker.schedule_power_loss`` (an engine attribute, kept out of
+    this config so the ``config_fingerprint`` of a crashed-and-recovered
+    run matches its uninterrupted baseline); torn pages and silent
+    corruption are drawn from seeded RNG streams.  All times are
+    simulated seconds.
+    """
+
+    enabled: bool = False
+
+    # -- write-ahead walk journal --------------------------------------------
+    #: Simulated seconds between journal group-commit flushes; 0 disables
+    #: the journal (recovery then replays from the bare checkpoint).
+    journal_interval: float = 0.0
+    #: Bytes of one journal record as written to flash (walk-progress
+    #: delta + sequence number + CRC).  Flush cost is charged against the
+    #: normal channel/NAND path so the journal competes for bandwidth.
+    journal_record_bytes: int = 32
+
+    # -- power-loss injection ------------------------------------------------
+    #: Probability that a plane with an in-flight program at the moment
+    #: of power loss holds a *torn* (partially programmed) page.  Torn
+    #: pages are repaired from the RAIN parity group during recovery.
+    torn_page_prob: float = 0.5
+
+    # -- silent corruption + RAIN parity -------------------------------------
+    #: Poisson rate (events per simulated second) at which a random plane
+    #: develops silent corruption that passes ECC; 0 disables corruption.
+    #: Detected on the next read via the end-to-end page checksum.
+    silent_corruption_rate: float = 0.0
+    #: Hard cap on injected corruption events per run (keeps chaotic
+    #: configs bounded); 0 = unlimited.
+    max_corruption_events: int = 8
+    #: A plane whose repair count reaches this threshold has its active
+    #: block quarantined (retired via the FTL, caches invalidated).
+    quarantine_threshold: int = 2
+
+    # -- background scrubbing ------------------------------------------------
+    #: Simulated seconds between scrub passes; 0 disables scrubbing.
+    #: Each pass reads ``scrub_planes_per_pass`` planes through the
+    #: normal chip/channel path, so scrubbing competes for bandwidth.
+    scrub_interval: float = 0.0
+    #: Planes verified per scrub pass (round-robin cursor over the SSD).
+    scrub_planes_per_pass: int = 4
+
+    # -- checkpoint retention ------------------------------------------------
+    #: Snapshots kept by the CheckpointManager; 0 = unbounded (the
+    #: pre-durability behavior).  Journaled recovery only ever needs the
+    #: latest snapshot, so long campaigns should cap this.
+    checkpoint_keep_last: int = 0
+
+    def validate(self) -> "DurabilityConfig":
+        _non_negative("journal_interval", self.journal_interval)
+        _positive("journal_record_bytes", self.journal_record_bytes)
+        if not 0.0 <= self.torn_page_prob <= 1.0:
+            raise ConfigError(
+                f"torn_page_prob must be in [0, 1], got {self.torn_page_prob!r}"
+            )
+        _non_negative("silent_corruption_rate", self.silent_corruption_rate)
+        _non_negative("max_corruption_events", self.max_corruption_events)
+        if self.quarantine_threshold < 1:
+            raise ConfigError(
+                f"quarantine_threshold must be >= 1, got {self.quarantine_threshold!r}"
+            )
+        _non_negative("scrub_interval", self.scrub_interval)
+        _positive("scrub_planes_per_pass", self.scrub_planes_per_pass)
+        _non_negative("checkpoint_keep_last", self.checkpoint_keep_last)
+        return self
+
+
+# ---------------------------------------------------------------------------
 # FlashWalker top-level
 # ---------------------------------------------------------------------------
 
@@ -512,6 +597,7 @@ class FlashWalkerConfig:
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     levels: AcceleratorLevels = field(default_factory=AcceleratorLevels)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
 
     #: Graph-block (= subgraph) size.  Paper: 256 KB (512 KB for ClueWeb);
     #: scaled to one flash page so scaled graphs still span thousands of
@@ -633,6 +719,7 @@ class FlashWalkerConfig:
         self.dram.validate()
         self.levels.validate()
         self.faults.validate()
+        self.durability.validate()
         for name in (
             "subgraph_bytes",
             "vid_bytes",

@@ -84,6 +84,59 @@ class FaultExhaustedError(FaultError):
         return out
 
 
+class PowerLossError(SimulationError):
+    """The simulated device lost power mid-run (durability layer).
+
+    Raised out of ``Simulator.run()`` by an injected power-loss event
+    (``FlashWalker.schedule_power_loss``).
+    Unlike the recoverable fault classes, power loss destroys volatile
+    state: in-flight walks, unflushed journal records, and any page
+    program caught mid-flight (``torn_pages``).  ``recover()`` on the
+    engine restores the latest quiescent checkpoint and replays forward.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        at: float = 0.0,
+        events_executed: int = 0,
+        completed_walks: int = 0,
+        torn_pages: tuple = (),
+    ):
+        super().__init__(message)
+        self.at = at
+        self.events_executed = events_executed
+        self.completed_walks = completed_walks
+        #: ``(flat_chip, die, plane)`` triples of programs torn by the cut.
+        self.torn_pages = tuple(torn_pages)
+
+
+class DataIntegrityError(FlashError):
+    """Silent data corruption was detected and could not be repaired.
+
+    Raised by the end-to-end integrity layer when a page fails its
+    checksum and RAIN parity reconstruction is impossible (e.g. every
+    sibling chip in the parity group has failed).  ``location`` fields
+    follow :class:`FaultExhaustedError`'s convention.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        at: float = 0.0,
+        chip: int | None = None,
+        die: int | None = None,
+        plane: int | None = None,
+    ):
+        super().__init__(message)
+        self.at = at
+        self.chip = chip
+        self.die = die
+        self.plane = plane
+
+
 class BufferOverflowError(ReproError):
     """A hardware buffer exceeded capacity where overflow is not allowed.
 

@@ -25,8 +25,10 @@ import math
 import numpy as np
 
 from ..common.config import FlashWalkerConfig
-from ..common.errors import SimulationError
-from ..common.rng import RngRegistry
+from ..common.errors import InvariantViolation, PowerLossError, SimulationError
+from ..common.rng import RngRegistry, derive_seed
+from ..durability.integrity import RNG_STREAM, IntegrityTracker
+from ..durability.journal import WalkJournal
 from ..faults.checkpoint import CheckpointManager
 from ..faults.model import FaultModel
 from ..flash.channel import ONFI_COMMAND_BYTES
@@ -60,6 +62,17 @@ from .metrics import RunMetrics, RunResult
 from .scheduler import SubgraphScheduler
 
 __all__ = ["FlashWalker"]
+
+# Event priorities of the durability layer (lower runs first at equal
+# times).  Negative so durability events at time t always precede the
+# engine's priority-0 events in BOTH the original and a resumed
+# timeline — their re-armed event sequence numbers differ after a
+# restore, so cross-type ordering must never fall back to seq.  The
+# distinct values also order the durability events among themselves.
+_PRIO_POWER_LOSS = -100
+_PRIO_JOURNAL = -20
+_PRIO_CORRUPT = -15
+_PRIO_SCRUB = -10
 
 
 class FlashWalker:
@@ -129,7 +142,19 @@ class FlashWalker:
         self.metrics: RunMetrics | None = None
         # Survives _reset_run_state so a crashed run's snapshot is still
         # there when resume() re-initializes the engine.
-        self._checkpoints = CheckpointManager()
+        self._checkpoints = CheckpointManager(
+            keep_last=self.cfg.durability.checkpoint_keep_last
+        )
+        # Power-loss injection schedule (simulated times).  A runtime
+        # attribute rather than config so a crash-scheduled engine keeps
+        # the same config_fingerprint as its uninterrupted baseline, and
+        # restore_checkpoint's fingerprint check accepts its snapshots.
+        self.power_loss_times: tuple[float, ...] = ()
+        # Crashes already fired this campaign.  NOT reset by
+        # _reset_run_state: a restore must not re-fire the crash that
+        # triggered the recovery it is part of.
+        self._crashes_fired = 0
+        self._last_power_loss: dict | None = None
         self._reset_run_state()
 
     # ------------------------------------------------------------------ setup
@@ -234,8 +259,41 @@ class FlashWalker:
         self._rebuilding_blocks: set[int] = set()
         self._board_inflight = 0
         self._draining = False
+        # Durability layer (journal + integrity), same opt-in pattern as
+        # faults: disabled leaves every hot path at one is-None check.
+        dcfg = self.cfg.durability
+        if dcfg.enabled:
+            self.journal = (
+                WalkJournal(dcfg.journal_record_bytes)
+                if dcfg.journal_interval > 0
+                else None
+            )
+            if dcfg.silent_corruption_rate > 0:
+                # Register the arrival stream so checkpoints capture it.
+                self.rngs.fresh(RNG_STREAM)
+            self.integrity = IntegrityTracker(
+                dcfg, self.ssd, self.metrics, self.rngs
+            )
+            self.integrity.on_quarantine = self._quarantine_plane
+            self.ssd.attach_integrity(self.integrity)
+        else:
+            self.journal = None
+            self.integrity = None
+            self.ssd.attach_integrity(None)
+        # Next absolute fire times of the recurring durability events;
+        # None = not yet drawn/derived (restore overwrites with the
+        # snapshot's stored times).
+        self._next_journal_flush: float | None = None
+        self._next_scrub: float | None = None
+        self._next_corruption: float | None = None
+        self._dur_events: dict[str, object] = {}
+        # Extra-state hook pair for layers above the engine (the query
+        # service): _checkpoint_extra() is packed into snapshots, and a
+        # restore leaves the packed dict in _restored_extra.
+        self._checkpoint_extra = None
+        self._restored_extra = None
         self._ckpt_interval = (
-            fcfg.checkpoint_interval if fcfg.enabled else 0.0
+            fcfg.checkpoint_interval if (fcfg.enabled or dcfg.enabled) else 0.0
         )
         self._next_checkpoint = (
             self._ckpt_interval if self._ckpt_interval > 0 else math.inf
@@ -273,6 +331,8 @@ class FlashWalker:
         self.spec = (spec or WalkSpec()).validate(self.graph)
         self._reset_run_state()
         self._checkpoints.clear()
+        self._crashes_fired = 0
+        self._last_power_loss = None
         if record_finals:
             self._finals = []
         if starts is None:
@@ -315,6 +375,7 @@ class FlashWalker:
                     float(t_fail),
                     lambda c=int(chip_flat): self._fail_chip(c),
                 )
+        self._arm_durability()
         self.sim.run(max_events=max_events)
         return self._finalize_run()
 
@@ -337,6 +398,8 @@ class FlashWalker:
         self.spec = (spec or WalkSpec()).validate(self.graph)
         self._reset_run_state()
         self._checkpoints.clear()
+        self._crashes_fired = 0
+        self._last_power_loss = None
         sampler = make_sampler(self.graph)
         self.ctx = AdvanceContext.build(self.graph, self.part, self.spec, sampler)
         if self.cfg.pwb_entry_walks > 0:
@@ -355,6 +418,7 @@ class FlashWalker:
                     float(t_fail),
                     lambda c=int(chip_flat): self._fail_chip(c),
                 )
+        self._arm_durability()
         return t0
 
     def inject_walks(self, walks: WalkSet) -> None:
@@ -375,6 +439,10 @@ class FlashWalker:
         self.total_walks += n
         self.in_transit += n
         self._done = False
+        # Recurring durability events were cancelled when the session
+        # last went idle (_done); new work re-arms them.
+        if not self._dur_events:
+            self._arm_durability()
         self._board_direct(walks, scoped=False)
 
     def _finalize_run(self) -> RunResult:
@@ -406,6 +474,8 @@ class FlashWalker:
             result.finals = finals
         result.seed = self._seed
         result.config_fingerprint = config_fingerprint(self.cfg)
+        if self.cfg.durability.enabled:
+            result.durability = self._durability_section()
         if self.tracer is not None:
             self.tracer.instant("run", PID_RUN, 0, "run_end", end)
             result.trace = self.tracer
@@ -783,6 +853,9 @@ class FlashWalker:
         self.completed_walks += n
         self.in_transit -= n
         self.metrics.record_completed(t, n)
+        j = self.journal
+        if j is not None:
+            j.append(t, n, self.completed_walks)
         if self._finals is not None and walks is not None and len(walks):
             self._finals.append(walks)
         if sink in ("board", "channel"):
@@ -1158,25 +1231,25 @@ class FlashWalker:
 
         # Counter and next-deadline advance *before* capture so a resumed
         # run continues with identical checkpoint cadence and totals.
+        # The journal truncates first for the same reason: the snapshot
+        # itself covers everything the journal recorded so far.
         self.metrics.checkpoints.add()
         self._next_checkpoint = t + self._ckpt_interval
+        if self.journal is not None:
+            self.journal.on_checkpoint(self.completed_walks)
         self._checkpoints.save(capture_checkpoint(self, t))
         tr = self.tracer
         if tr is not None:
             tr.instant("ckpt", PID_RUN, 0, "checkpoint", t,
                        args={"index": int(self.metrics.checkpoints.total)})
 
-    def resume(
-        self,
-        checkpoint=None,
-        max_events: int | None = None,
-    ) -> RunResult:
-        """Continue a crashed campaign from a checkpoint.
+    def restore_for_resume(self, checkpoint=None):
+        """Restore state from a checkpoint and re-arm scheduled events.
 
-        Restores engine, hardware-occupancy, and RNG state from
-        ``checkpoint`` (default: the latest snapshot taken by the crashed
-        run) and drives the simulation to completion.  The merged result
-        matches an uninterrupted run exactly.
+        The restore half of :meth:`resume`, split out so layers above
+        the engine (the query service) can interpose their own state
+        restoration between this and driving the simulation.  Returns
+        the checkpoint that was restored.
         """
         from ..faults.checkpoint import restore_checkpoint
 
@@ -1193,11 +1266,313 @@ class FlashWalker:
                         float(t_fail),
                         lambda c=int(chip_flat): self._fail_chip(c),
                     )
+        self._arm_durability()
+        return snap
+
+    def resume(
+        self,
+        checkpoint=None,
+        max_events: int | None = None,
+    ) -> RunResult:
+        """Continue a crashed campaign from a checkpoint.
+
+        Restores engine, hardware-occupancy, and RNG state from
+        ``checkpoint`` (default: the latest snapshot taken by the crashed
+        run) and drives the simulation to completion.  The merged result
+        matches an uninterrupted run exactly.
+        """
+        self.restore_for_resume(checkpoint)
         t = self.sim.now
         self._kick_chips(t)
         self._service_barriers(t)
         self.sim.run(max_events=max_events)
         return self._finalize_run()
+
+    # -------------------------------------------------------------- durability
+
+    def schedule_power_loss(self, *times: float) -> None:
+        """Schedule seeded power-loss events at the given simulated times.
+
+        Each raises :class:`~repro.common.errors.PowerLossError` out of
+        ``sim.run()`` the instant the clock reaches it (any event
+        boundary, not just quiescent barriers); :meth:`recover` restores
+        the latest checkpoint and replays forward.  Times past the end
+        of the run never fire.  Requires ``durability.enabled`` — the
+        schedule is a runtime attribute, deliberately outside the
+        config so it does not perturb the ``config_fingerprint``.
+        """
+        self.power_loss_times = tuple(sorted(float(t) for t in times))
+
+    def _arm_durability(self) -> None:
+        """(Re-)schedule the recurring durability events from now.
+
+        Called at run/session start (fresh grid/draws) and after a
+        checkpoint restore (stored absolute fire times, which the
+        negative event priorities guarantee are strictly in the
+        future at capture).
+        """
+        dcfg = self.cfg.durability
+        if not dcfg.enabled:
+            return
+        t = self.sim.now
+        ev = self._dur_events
+        if self.journal is not None and "journal" not in ev:
+            if self._next_journal_flush is None:
+                # Absolute grid: flush k lands at k * interval, so an
+                # uninterrupted run and a resumed one share fire times.
+                self._next_journal_flush = (
+                    math.floor(t / dcfg.journal_interval) + 1
+                ) * dcfg.journal_interval
+            self._next_journal_flush = max(self._next_journal_flush, t)
+            ev["journal"] = self.sim.at(
+                self._next_journal_flush, self._journal_flush,
+                priority=_PRIO_JOURNAL,
+            )
+        it = self.integrity
+        if it is not None and it.rng is not None and "corrupt" not in ev:
+            cap = dcfg.max_corruption_events
+            if cap == 0 or it.injected < cap:
+                if self._next_corruption is None:
+                    self._next_corruption = t + float(
+                        it.rng.exponential(1.0 / dcfg.silent_corruption_rate)
+                    )
+                self._next_corruption = max(self._next_corruption, t)
+                ev["corrupt"] = self.sim.at(
+                    self._next_corruption, self._corruption_arrival,
+                    priority=_PRIO_CORRUPT,
+                )
+        if it is not None and dcfg.scrub_interval > 0 and "scrub" not in ev:
+            if self._next_scrub is None:
+                self._next_scrub = t + dcfg.scrub_interval
+            self._next_scrub = max(self._next_scrub, t)
+            ev["scrub"] = self.sim.at(
+                self._next_scrub, self._scrub_pass, priority=_PRIO_SCRUB
+            )
+        for i, tp in enumerate(self.power_loss_times):
+            key = f"powerloss{i}"
+            if i < self._crashes_fired or key in ev or float(tp) < t:
+                continue
+            ev[key] = self.sim.at(
+                float(tp),
+                lambda i=i: self._power_loss(i),
+                priority=_PRIO_POWER_LOSS,
+            )
+
+    def _cancel_durability_events(self) -> None:
+        """Cancel recurring/pending durability events so the run can end."""
+        for pending in self._dur_events.values():
+            pending.cancel()
+        self._dur_events.clear()
+
+    def _journal_flush(self) -> None:
+        """Group-commit event: pending journal records become durable."""
+        t = self.sim.now
+        self._next_journal_flush = t + self.cfg.durability.journal_interval
+        j = self.journal
+        nbytes = j.pending_bytes
+        if nbytes > 0:
+            # The journal pays normal write-back cost and competes for
+            # channel/NAND bandwidth like any sink flush.
+            end = self._flush_to_flash(t, nbytes)
+            j.mark_flushed(end)
+        if not self._done:
+            self._dur_events["journal"] = self.sim.at(
+                self._next_journal_flush, self._journal_flush,
+                priority=_PRIO_JOURNAL,
+            )
+        else:
+            self._dur_events.pop("journal", None)
+
+    def _corruption_arrival(self) -> None:
+        """Poisson arrival: a random plane develops silent corruption."""
+        t = self.sim.now
+        it = self.integrity
+        dcfg = self.cfg.durability
+        it.inject(t)
+        cap = dcfg.max_corruption_events
+        if cap == 0 or it.injected < cap:
+            self._next_corruption = t + float(
+                it.rng.exponential(1.0 / dcfg.silent_corruption_rate)
+            )
+            self._dur_events["corrupt"] = self.sim.at(
+                self._next_corruption, self._corruption_arrival,
+                priority=_PRIO_CORRUPT,
+            )
+        else:
+            self._next_corruption = None
+            self._dur_events.pop("corrupt", None)
+
+    def _scrub_pass(self) -> None:
+        """Background scrub event: verify the next planes at the cursor."""
+        t = self.sim.now
+        self._next_scrub = t + self.cfg.durability.scrub_interval
+        self.integrity.scrub_pass(t)
+        if not self._done:
+            self._dur_events["scrub"] = self.sim.at(
+                self._next_scrub, self._scrub_pass, priority=_PRIO_SCRUB
+            )
+        else:
+            self._dur_events.pop("scrub", None)
+
+    def _power_loss(self, index: int) -> None:
+        """Cut power: volatile state is lost, torn pages drawn, run aborts."""
+        t = self.sim.now
+        self._dur_events.pop(f"powerloss{index}", None)
+        self._crashes_fired = index + 1
+        # Torn-page draw from a seed derived per crash, outside the
+        # registry: the crash must not perturb any checkpointed stream
+        # (the replayed timeline never executes this draw).
+        rng = np.random.default_rng(
+            derive_seed(self._seed, f"powerloss:{index}")
+        )
+        prob = self.cfg.durability.torn_page_prob
+        torn: list[tuple[int, int, int]] = []
+        for i in range(self.cfg.ssd.total_chips):
+            chip_hw = self.ssd.chip_flat(i)
+            for d_i, die in enumerate(chip_hw.dies):
+                for p_i, pl in enumerate(die.planes):
+                    if pl.busy_until > t and rng.random() < prob:
+                        torn.append((i, d_i, p_i))
+        self._last_power_loss = {
+            "at": t,
+            "events": self.sim.events_executed,
+            "completed": self.completed_walks,
+            "torn": tuple(torn),
+        }
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("fault", PID_FAULTS, 0, "power_loss", t,
+                       args={"index": index, "torn_pages": len(torn)})
+        raise PowerLossError(
+            f"power loss at t={t:.6f}s with "
+            f"{self.total_walks - self.completed_walks} walks in flight "
+            f"and {len(torn)} torn pages",
+            at=t,
+            events_executed=self.sim.events_executed,
+            completed_walks=self.completed_walks,
+            torn_pages=torn,
+        )
+
+    def _quarantine_plane(self, chip_flat: int, die: int, plane: int) -> None:
+        """Integrity-layer quarantine: retire the plane's active block.
+
+        Routed through the FTL's bad-block machinery (so the remap lands
+        in the replayable remap log) and invalidates the board's cached
+        mapping entries for the chip's blocks — reconstruction moved
+        pages, so stale cache hits must re-resolve.
+        """
+        cpc = self.cfg.ssd.chips_per_channel
+        flat = self.ssd.ftl.flat_plane(
+            chip_flat // cpc, chip_flat % cpc, die, plane
+        )
+        self.ssd.ftl.retire_active_block(flat)
+        mine = np.flatnonzero(self.block_chip == int(chip_flat))
+        if mine.size:
+            self.board.invalidate_cached_blocks(mine)
+
+    def _crash_context(self, snap) -> dict:
+        """RPO/RTO accounting for the crash being recovered from.
+
+        Must run *before* the checkpoint restore wipes the crashed
+        timeline's journal and accounting.  Verifies the journal and
+        raises :class:`InvariantViolation` if any record was dropped or
+        corrupted.
+        """
+        info = self._last_power_loss or {}
+        t_crash = float(info.get("at", self.sim.now))
+        j = self.journal
+        if j is not None:
+            violations = j.verify()
+            if violations:
+                raise InvariantViolation(
+                    "walk journal failed verification during recovery",
+                    violations=violations,
+                    at=t_crash,
+                )
+        completed_at_crash = int(info.get("completed", self.completed_walks))
+        if j is not None:
+            durable = int(j.durable_cum())
+            replay_records = j.durable_records()
+            record_bytes = j.record_bytes
+        else:
+            durable = int(snap.data["completed_walks"])
+            replay_records = 0
+            record_bytes = 0
+        ssd_cfg = self.cfg.ssd
+        # Journal replay: re-read the durable records from flash.
+        replay_pages = (
+            max(1, math.ceil(replay_records * record_bytes / ssd_cfg.page_bytes))
+            if replay_records
+            else 0
+        )
+        journal_replay_time = replay_pages * (
+            ssd_cfg.read_latency
+            + ssd_cfg.page_bytes / ssd_cfg.channel_bytes_per_sec
+        )
+        # Torn pages: RAIN-reconstruct each from its parity group (read
+        # the survivors, stream the XOR over the bus, program back).
+        torn = info.get("torn", ())
+        per_torn = (
+            ssd_cfg.read_latency
+            + (ssd_cfg.chips_per_channel - 1)
+            * ssd_cfg.page_bytes
+            / ssd_cfg.channel_bytes_per_sec
+            + ssd_cfg.program_latency
+        )
+        torn_repair_time = len(torn) * per_torn
+        replay_span = max(0.0, t_crash - snap.time)
+        return {
+            "crashes": int(self._crashes_fired),
+            "t_crash": t_crash,
+            "events_at_crash": int(info.get("events", 0)),
+            "completed_at_crash": completed_at_crash,
+            "checkpoint_time": float(snap.time),
+            "completed_at_checkpoint": int(snap.data["completed_walks"]),
+            "durable_walks": durable,
+            "rpo_walks": max(0, completed_at_crash - durable),
+            "torn_pages": len(torn),
+            "journal_replay_time": journal_replay_time,
+            "torn_repair_time": torn_repair_time,
+            "replay_span": replay_span,
+            "rto_time": replay_span + journal_replay_time + torn_repair_time,
+        }
+
+    def recover(self, max_events: int | None = None) -> RunResult:
+        """Recover from a power loss: restore, replay, report RPO/RTO.
+
+        Resumes from the latest checkpoint and attaches the crash's
+        recovery accounting under ``result.durability["recovery"]`` —
+        the *only* part of the result that may differ from an
+        uninterrupted run's.
+        """
+        snap = self.latest_checkpoint
+        if snap is None:
+            raise SimulationError(
+                "no checkpoint available to recover from "
+                "(cold restart required)"
+            )
+        ctx = self._crash_context(snap)
+        result = self.resume(snap, max_events=max_events)
+        if result.durability is not None:
+            result.durability = dict(result.durability, recovery=ctx)
+        return result
+
+    def _durability_section(self) -> dict:
+        """Replay-invariant durability stats for the run report."""
+        dcfg = self.cfg.durability
+        out: dict = {
+            "enabled": True,
+            "checkpoints": {
+                "taken": int(self.metrics.checkpoints.total),
+                "retained": len(self._checkpoints),
+                "keep_last": int(dcfg.checkpoint_keep_last),
+            },
+        }
+        if self.journal is not None:
+            out["journal"] = self.journal.stats()
+        if self.integrity is not None:
+            out["integrity"] = self.integrity.stats()
+        return out
 
     # ----------------------------------------------------------- partition end
 
@@ -1210,6 +1585,9 @@ class FlashWalker:
             return
         if self.completed_walks >= self.total_walks:
             self._done = True
+            # Recurring durability events (and unfired power losses)
+            # would otherwise keep the event loop alive forever.
+            self._cancel_durability_events()
             return
         if self.foreign.total == 0:  # pragma: no cover - consistency guard
             raise SimulationError(

@@ -127,6 +127,12 @@ class RunResult:
     #: breaker counters.  None for plain batch runs, in which case the
     #: report carries no "service" section at all.
     service: dict | None = None
+    #: Durability section attached by the engine when
+    #: ``DurabilityConfig.enabled``: checkpoint/journal/integrity stats,
+    #: plus a ``recovery`` subsection (RPO/RTO of the crash) when the
+    #: run came out of :meth:`FlashWalker.recover`.  None for default
+    #: runs, in which case the report carries no "durability" section.
+    durability: dict | None = None
 
     @property
     def flash_read_bandwidth(self) -> float:

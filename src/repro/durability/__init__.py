@@ -1,0 +1,32 @@
+"""Crash consistency and data integrity for FlashWalker campaigns.
+
+Three cooperating mechanisms, all strictly opt-in via
+:class:`~repro.common.config.DurabilityConfig`:
+
+* **Write-ahead walk journal** (:mod:`.journal`) — append-only records
+  of walk-progress deltas between quiescent checkpoints, group-committed
+  to flash on a fixed cadence.  Recovery replays from the latest
+  checkpoint; the journal bounds the measured RPO (walks whose
+  completion records were not yet durable) and its replay cost feeds the
+  RTO estimate.
+* **End-to-end integrity** (:mod:`.integrity`) — per-page checksums
+  catch silent corruption that passes the ECC path; detected pages are
+  reconstructed from the channel-level RAIN parity group (surviving
+  sibling chips), repeat offenders are quarantined through the FTL's
+  bad-block machinery, and a background scrub pass patrols planes using
+  the same chip/channel bandwidth as foreground work.
+* **Kill-and-restart harness** (:mod:`.harness`) — crashes the engine at
+  seeded points via ``FlashWalker.schedule_power_loss`` and asserts the
+  recovered run's report matches the uninterrupted baseline outside the
+  documented ``durability`` section.
+
+``python -m repro.durability`` runs the harness from the command line
+(the CI crash-loop soak job).  :mod:`.harness` and :mod:`.cli` import
+the core engine, so they are *not* imported here — the core engine
+imports this package's leaf modules without cycles.
+"""
+
+from .integrity import IntegrityTracker
+from .journal import JournalRecord, WalkJournal
+
+__all__ = ["IntegrityTracker", "JournalRecord", "WalkJournal"]

@@ -9,11 +9,16 @@ drives the simulation to completion; because every source of
 nondeterminism is part of the snapshot, the merged result is *exactly*
 the uninterrupted run's.
 
-Deliberately **not** captured: the FTL's logical-to-physical map.  Block
-remaps (bad-block retirement) are analytic bookkeeping with no effect on
-the run's timing or the :class:`~repro.core.metrics.RunResult` counters,
-so replaying them after a resume is harmless; snapshotting the full map
-would dwarf the rest of the checkpoint.
+The FTL's logical-to-physical map is not copied wholesale — that would
+dwarf the rest of the checkpoint.  Instead the snapshot records the
+FTL's append-only *remap log* (the sequence of ``retire_active_block``
+calls), and restore rebuilds a pristine FTL and replays the log: victim
+selection is deterministic given the call sequence, so the rebuilt map
+routes pages exactly as the captured one did.  This matters once the
+durability layer's parity-group quarantine retires blocks mid-run —
+post-recovery page routing must match the crashed timeline's.
+Pre-durability snapshots (no log recorded) restore as before, skipping
+the FTL entirely.
 
 Core modules are imported lazily inside the capture/restore functions:
 ``repro.core.flashwalker`` imports this package, so module-level imports
@@ -53,9 +58,20 @@ class Checkpoint:
 
 
 class CheckpointManager:
-    """Holds the snapshots of one campaign, newest last."""
+    """Holds the snapshots of one campaign, newest last.
 
-    def __init__(self):
+    ``keep_last`` caps retention: saving beyond the cap evicts the
+    oldest snapshots, so long journaled campaigns don't grow memory
+    linearly with checkpoint count.  0 (the default) keeps every
+    snapshot — the pre-durability behavior.  Recovery only ever needs
+    the latest snapshot, so any cap >= 1 is safe for resume.
+    """
+
+    def __init__(self, keep_last: int = 0):
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+        self.keep_last = int(keep_last)
+        self.evicted = 0
         self._checkpoints: list[Checkpoint] = []
 
     @property
@@ -64,6 +80,10 @@ class CheckpointManager:
 
     def save(self, ckpt: Checkpoint) -> None:
         self._checkpoints.append(ckpt)
+        if self.keep_last and len(self._checkpoints) > self.keep_last:
+            drop = len(self._checkpoints) - self.keep_last
+            del self._checkpoints[:drop]
+            self.evicted += drop
 
     def all(self) -> list[Checkpoint]:
         return list(self._checkpoints)
@@ -287,6 +307,30 @@ def capture_checkpoint(fw, t: float) -> Checkpoint:
         "channel_buses": [_link_state(ch.bus) for ch in fw.ssd.channels],
         "dram_bus": _link_state(fw.ssd.dram.bus),
         "board_pipe": _fcfs_state(fw._board_pipe),
+        # FTL remap history (replayed against a pristine FTL on restore)
+        "ftl_remap_log": list(fw.ssd.ftl.remap_log),
+        # durability layer: journal/integrity state + the recurring
+        # events' next absolute fire times (the negative durability
+        # event priorities guarantee these are strictly > ckpt.time)
+        "durability": (
+            None
+            if not fw.cfg.durability.enabled
+            else {
+                "next_journal_flush": fw._next_journal_flush,
+                "next_scrub": fw._next_scrub,
+                "next_corruption": fw._next_corruption,
+                "journal": (
+                    None if fw.journal is None else fw.journal.state()
+                ),
+                "integrity": (
+                    None if fw.integrity is None else fw.integrity.state()
+                ),
+            }
+        ),
+        # opaque extra state from layers above the engine (query service)
+        "extra": (
+            fw._checkpoint_extra() if fw._checkpoint_extra is not None else None
+        ),
         # fault model
         "faults": (
             None
@@ -315,6 +359,11 @@ def capture_checkpoint(fw, t: float) -> Checkpoint:
             "dirty": set(sc._dirty),
             "refreshes": sc.topn_refreshes,
             "deferred": sc.topn_updates_deferred,
+            "score_hits": sc.score_cache_hits,
+            # Cache warmth matters for replay parity: a restored-cold
+            # cache would miss where the original timeline hit.
+            "scores_warm": sc._scores_cache is not None,
+            "counts_warm": sc._counts_cache is not None,
         }
     if fw.pwb is not None:
         data["pwb_entries"] = {
@@ -438,6 +487,15 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
         sc._dirty = set(sd["dirty"])
         sc.topn_refreshes = sd["refreshes"]
         sc.topn_updates_deferred = sd["deferred"]
+        sc.score_cache_hits = sd.get("score_hits", 0)
+        # Re-warm the derived-array caches the snapshot saw as warm
+        # (recomputed from the restored scoreboard, not stored): the
+        # first post-restore scores()/walk_counts() call then hits or
+        # misses exactly as the original timeline did.
+        if sd.get("scores_warm"):
+            sc.scores()
+        if sd.get("counts_warm"):
+            sc.walk_counts()
     if d["pwb_entries"] is not None:
         fw.pwb = PartitionWalkBuffer(
             first,
@@ -511,3 +569,27 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
         _set_link(ch_hw.bus, bus_state)
     _set_link(fw.ssd.dram.bus, d["dram_bus"])
     _set_fcfs(fw._board_pipe, d["board_pipe"])
+    # FTL: rebuild pristine placement and replay the remap log so
+    # post-recovery page routing matches the crashed timeline's.
+    # Legacy snapshots (no log recorded) skip the FTL as before.
+    remap = d.get("ftl_remap_log")
+    if remap is not None:
+        from ..flash.ftl import FTL
+
+        ftl = FTL(fw.cfg.ssd)
+        ftl.place_striped(fw.part.num_blocks, fw.cfg.subgraph_pages())
+        for flat in remap:
+            ftl.retire_active_block(int(flat))
+        fw.ssd.ftl = ftl
+    # Durability layer: journal/integrity contents + next fire times
+    # (the caller's _arm_durability re-schedules from these).
+    dur = d.get("durability")
+    if dur is not None:
+        fw._next_journal_flush = dur["next_journal_flush"]
+        fw._next_scrub = dur["next_scrub"]
+        fw._next_corruption = dur["next_corruption"]
+        if fw.journal is not None and dur["journal"] is not None:
+            fw.journal.restore(dur["journal"])
+        if fw.integrity is not None and dur["integrity"] is not None:
+            fw.integrity.restore(dur["integrity"])
+    fw._restored_extra = d.get("extra")

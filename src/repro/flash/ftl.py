@@ -112,6 +112,12 @@ class FTL:
         self._bad_blocks: list[set[int]] = [set() for _ in range(n_planes)]
         self.bad_block_count = 0
         self.bad_block_moved_pages = 0
+        # Append-only history of retire_active_block calls (flat plane
+        # ids, in order).  Victim selection is deterministic given the
+        # call sequence, so replaying the log against a pristine FTL
+        # reproduces the full remap state — this is what checkpoint
+        # restore does (see repro.faults.checkpoint).
+        self.remap_log: list[int] = []
 
     # -- geometry helpers ------------------------------------------------------
 
@@ -266,6 +272,7 @@ class FTL:
         """
         if not 0 <= flat < self.cfg.total_planes:
             raise FlashAddressError(f"flat plane {flat} out of range")
+        self.remap_log.append(int(flat))
         victim = int(self._active_block[flat])
         # Move the write cursor off the bad block before relocating into
         # the plane (mirrors the _allocate_page advance path).

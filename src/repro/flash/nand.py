@@ -104,6 +104,9 @@ class FlashChip:
         #: exhausts its retry ladder and the page's block is remapped
         #: (wired to the FTL by :meth:`repro.flash.ssd.SSD.attach_fault_model`).
         self.on_bad_block = None
+        #: Optional :class:`~repro.durability.IntegrityTracker`; None =
+        #: no end-to-end checksum check on reads (the default path).
+        self.integrity = None
 
     # -- addressing -----------------------------------------------------------
 
@@ -189,6 +192,12 @@ class FlashChip:
                     )
                 if attempts < 0:
                     end = self._remap_bad_page(end, die, plane, recover)
+        it = self.integrity
+        if it is not None:
+            # End-to-end checksum check: silent corruption passes the
+            # ECC/retry ladder above but is caught (and RAIN-repaired)
+            # here, delaying the verified data accordingly.
+            end = it.on_read(self, die, plane, end)
         tr = self.tracer
         if tr is not None:
             tr.span("flash", _PID_FLASH, self.chip_id, "page_read", now, end,

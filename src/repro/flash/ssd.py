@@ -33,6 +33,7 @@ class SSD:
         self.host = HostInterface(self.cfg)
         self.fault_model = None
         self.tracer = None
+        self.integrity = None
 
     def attach_fault_model(self, fault_model) -> None:
         """Wire a :class:`~repro.faults.FaultModel` through the device.
@@ -49,6 +50,16 @@ class SSD:
                 chip.on_bad_block = (
                     self._on_bad_block if fault_model is not None else None
                 )
+
+    def attach_integrity(self, tracker) -> None:
+        """Wire an :class:`~repro.durability.IntegrityTracker` through the
+        device: every chip's page reads start running the end-to-end
+        checksum check.  Pass ``None`` to detach (the default path, one
+        attribute check of overhead)."""
+        self.integrity = tracker
+        for ch in self.channels:
+            for chip in ch.chips:
+                chip.integrity = tracker
 
     def attach_tracer(self, tracer) -> None:
         """Wire a :class:`~repro.obs.Tracer` through the device.

@@ -29,7 +29,10 @@ __all__ = [
 REPORT_SCHEMA = "repro.obs.run-report"
 #: v2 (additive): optional "service" section with query-serving SLO
 #: metrics when the run was driven through :mod:`repro.service`.
-REPORT_SCHEMA_VERSION = 2
+#: v3 (additive): optional "durability" section (checkpoint/journal/
+#: integrity stats) when the run had :class:`DurabilityConfig` enabled,
+#: with a "recovery" subsection (RPO/RTO) after a power-loss recovery.
+REPORT_SCHEMA_VERSION = 3
 
 #: Percentiles quoted for every latency histogram.
 _PERCENTILES = (50.0, 90.0, 99.0)
@@ -116,6 +119,9 @@ def build_report(result, *, extra: dict | None = None) -> dict:
     service = getattr(result, "service", None)
     if service is not None:
         report["service"] = _jsonable(service)
+    durability = getattr(result, "durability", None)
+    if durability is not None:
+        report["durability"] = _jsonable(durability)
     trace = getattr(result, "trace", None)
     if trace is not None:
         report["latency_percentiles"] = {
@@ -174,17 +180,18 @@ def diff_reports(a: dict, b: dict, rel_tol: float = 0.0) -> dict:
     ta, tb = a.get("traffic", {}), b.get("traffic", {})
     for name in sorted(set(ta) | set(tb)):
         _compare(f"traffic.{name}", ta.get(name, 0.0), tb.get(name, 0.0))
-    sa, sb = a.get("service"), b.get("service")
-    if (sa is None) != (sb is None):
-        changes["service"] = {
-            "a": "present" if sa is not None else None,
-            "b": "present" if sb is not None else None,
-            "rel": None,
-        }
-    elif sa is not None:
-        fa, fb = _flatten(sa, "service"), _flatten(sb, "service")
-        for key in sorted(set(fa) | set(fb)):
-            _compare(key, fa.get(key), fb.get(key))
+    for section in ("service", "durability"):
+        sa, sb = a.get(section), b.get(section)
+        if (sa is None) != (sb is None):
+            changes[section] = {
+                "a": "present" if sa is not None else None,
+                "b": "present" if sb is not None else None,
+                "rel": None,
+            }
+        elif sa is not None:
+            fa, fb = _flatten(sa, section), _flatten(sb, section)
+            for key in sorted(set(fa) | set(fb)):
+                _compare(key, fa.get(key), fb.get(key))
     return changes
 
 

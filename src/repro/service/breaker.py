@@ -1,9 +1,12 @@
 """Circuit breaker fed by the fault layer's degraded-mode signals.
 
 The breaker watches the engine's :class:`~repro.faults.model.FaultModel`
-counters between service events.  A *new* chip failure, or
-``breaker_exhausted_threshold`` newly-exhausted read retries since the
-last check, trips the breaker open for ``breaker_cooldown`` simulated
+counters (and, when the durability layer is on, the
+:class:`~repro.durability.IntegrityTracker`'s corruption detections)
+between service events.  A *new* chip failure,
+``breaker_exhausted_threshold`` newly-exhausted read retries, or
+``breaker_corruption_threshold`` newly-detected silent corruptions since
+the last check, trips the breaker open for ``breaker_cooldown`` simulated
 seconds.  While open, the service either sheds arrivals
 (``breaker_policy="shed"``) or holds dispatch and retries once the
 cooldown elapses (``"defer"``) — either way the degraded device is not
@@ -27,6 +30,7 @@ class CircuitBreaker:
         self.trips = 0
         self._seen_chip_failures = 0
         self._seen_exhausted = 0
+        self._seen_corruption = 0
 
     def is_open(self, now: float) -> bool:
         """Poll degradation signals, then report whether the breaker is open."""
@@ -36,17 +40,22 @@ class CircuitBreaker:
     def _update(self, now: float) -> None:
         if not self.cfg.breaker_enabled:
             return
-        fm = self.engine.fault_model
-        if fm is None:
-            return
         tripped = False
-        if fm.chip_failures > self._seen_chip_failures:
-            self._seen_chip_failures = fm.chip_failures
-            tripped = True
-        new_exhausted = fm.reads_exhausted - self._seen_exhausted
-        if new_exhausted >= self.cfg.breaker_exhausted_threshold:
-            self._seen_exhausted = fm.reads_exhausted
-            tripped = True
+        fm = self.engine.fault_model
+        if fm is not None:
+            if fm.chip_failures > self._seen_chip_failures:
+                self._seen_chip_failures = fm.chip_failures
+                tripped = True
+            new_exhausted = fm.reads_exhausted - self._seen_exhausted
+            if new_exhausted >= self.cfg.breaker_exhausted_threshold:
+                self._seen_exhausted = fm.reads_exhausted
+                tripped = True
+        it = getattr(self.engine, "integrity", None)
+        if it is not None:
+            new_corrupt = it.detected - self._seen_corruption
+            if new_corrupt >= self.cfg.breaker_corruption_threshold:
+                self._seen_corruption = it.detected
+                tripped = True
         if tripped:
             self.open_until = max(self.open_until, now + self.cfg.breaker_cooldown)
             self.trips += 1

@@ -48,6 +48,7 @@ class ServiceConfig:
     breaker_policy: str = "shed"
     breaker_cooldown: float = 2e-3
     breaker_exhausted_threshold: int = 1
+    breaker_corruption_threshold: int = 1
     audit_interval_events: int = 256
 
     def validate(self) -> "ServiceConfig":
@@ -81,6 +82,8 @@ class ServiceConfig:
             raise ConfigError(f"breaker_cooldown must be > 0, got {self.breaker_cooldown}")
         if self.breaker_exhausted_threshold < 1:
             raise ConfigError("breaker_exhausted_threshold must be >= 1")
+        if self.breaker_corruption_threshold < 1:
+            raise ConfigError("breaker_corruption_threshold must be >= 1")
         if self.audit_interval_events < 0:
             raise ConfigError(
                 f"negative audit_interval_events {self.audit_interval_events}"

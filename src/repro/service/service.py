@@ -16,6 +16,14 @@ cross-checks conservation invariants as the run progresses.
 Everything is simulator-event driven, so two runs with the same seed
 and request schedule produce identical responses, shed decisions, and
 SLO metrics.
+
+With the durability layer on (``DurabilityConfig.enabled``), service
+runs survive power loss too: the service packs its own bookkeeping into
+every engine checkpoint via the ``_checkpoint_extra`` hook, and
+:meth:`WalkQueryService.resume` restores it alongside the engine state,
+re-schedules undelivered arrivals and live deadlines, and replays to
+completion — in-flight queries at the crash are served from the
+recovered timeline rather than dropped.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, SimulationError
 from ..core.metrics import RunResult
 from ..walks.spec import WalkSpec, start_vertices
 from ..walks.state import WalkSet
@@ -92,23 +100,34 @@ class WalkQueryService:
         self.deadline_misses = 0
         self.deferrals = 0
         self._t0 = 0.0
-        self._rng = fw.rngs.stream("service")
         self._dispatch_scheduled = False
         self._retry_scheduled = False
+        self._requests: list[QueryRequest] = []
         #: Optional hook ``fn(fw, t0)`` called after session setup and
         #: before the event loop runs; test scaffolding uses it to
         #: schedule deliberate state corruption the auditor must catch.
         self.on_session_start = None
 
+    @property
+    def _rng(self):
+        # Looked up per use, never cached: a checkpoint restore rebuilds
+        # the registry's generators, so a held reference would keep
+        # drawing from the crashed timeline's (stale) generator.
+        return self.fw.rngs.stream("service")
+
     # ------------------------------------------------------------------- run
 
-    def run(self, requests: list[QueryRequest]) -> ServiceOutcome:
+    def run(
+        self, requests: list[QueryRequest], max_events: int | None = None
+    ) -> ServiceOutcome:
         """Serve ``requests`` to completion; returns the outcome.
 
         Arrival offsets are relative to service readiness (hot-block
         preload done).  Raises
         :class:`~repro.common.errors.InvariantViolation` if the online
-        auditor finds corrupted accounting at any point.
+        auditor finds corrupted accounting at any point, and
+        :class:`~repro.common.errors.PowerLossError` if a scheduled
+        power loss fires mid-run (call :meth:`resume` to recover).
         """
         if not requests:
             raise ConfigError("no requests to serve")
@@ -124,12 +143,14 @@ class WalkQueryService:
                     f"service max_walk_length {self.cfg.max_walk_length}"
                 )
         ordered = sorted(requests, key=lambda r: (r.arrival, r.query_id))
+        self._requests = ordered
         fw = self.fw
         expected = sum(r.num_walks for r in ordered)
         self._t0 = fw.start_session(
             WalkSpec(length=self.cfg.max_walk_length), expected_walks=expected
         )
         fw._on_completed = self._on_completed
+        fw._checkpoint_extra = self._snapshot_state
         try:
             for req in ordered:
                 fw.sim.at(
@@ -137,12 +158,171 @@ class WalkQueryService:
                 )
             if self.on_session_start is not None:
                 self.on_session_start(fw, self._t0)
-            fw.sim.run()
+            fw.sim.run(max_events=max_events)
             self.auditor.audit(final=True)
         finally:
             fw._on_completed = None
         result = fw._finalize_run()
         result.service = self._service_section()
+        return ServiceOutcome(result=result, responses=list(self.responses))
+
+    # ------------------------------------------------------------- durability
+
+    def _snapshot_state(self) -> dict:
+        """Service bookkeeping packed into each engine checkpoint.
+
+        Wired as ``fw._checkpoint_extra``; everything mutable is copied
+        so later events on the (about-to-crash) timeline cannot reach
+        back into the snapshot.  Request and response objects are never
+        mutated after creation, so they are stored by reference.
+        """
+        return {
+            "queries": [
+                {
+                    "req": st.req,
+                    "t_arrival": st.t_arrival,
+                    "deadline_abs": st.deadline_abs,
+                    "walks_done": st.walks_done,
+                    "injected": st.injected,
+                    "responded": st.responded,
+                }
+                for st in self.states.values()
+            ],
+            "responses": list(self.responses),
+            "counters": {
+                "arrivals": self.arrivals,
+                "ok_count": self.ok_count,
+                "timed_out_count": self.timed_out_count,
+                "shed_count": self.shed_count,
+                "walks_injected": self.walks_injected,
+                "zombie_walks": self.zombie_walks,
+                "deadline_misses": self.deadline_misses,
+                "deferrals": self.deferrals,
+            },
+            "queue": {
+                "ids": [r.query_id for r in self.queue._q],
+                "tokens": self.queue._tokens,
+                "last_refill": self.queue._last_refill,
+                "admitted": self.queue.admitted,
+                "rejected": self.queue.rejected,
+                "shed_oldest": self.queue.shed_oldest,
+                "rate_limited": self.queue.rate_limited,
+                "peak_depth": self.queue.peak_depth,
+            },
+            "breaker": {
+                "open_until": self.breaker.open_until,
+                "trips": self.breaker.trips,
+                "seen_chip_failures": self.breaker._seen_chip_failures,
+                "seen_exhausted": self.breaker._seen_exhausted,
+                "seen_corruption": self.breaker._seen_corruption,
+            },
+            "t0": self._t0,
+        }
+
+    def _restore_state(self, d: dict) -> None:
+        """Inverse of :meth:`_snapshot_state`."""
+        self.states = {}
+        for q in d["queries"]:
+            st = _QueryState(
+                req=q["req"],
+                t_arrival=q["t_arrival"],
+                deadline_abs=q["deadline_abs"],
+                walks_done=q["walks_done"],
+                injected=q["injected"],
+                responded=q["responded"],
+            )
+            self.states[st.req.query_id] = st
+        self.responses = list(d["responses"])
+        c = d["counters"]
+        self.arrivals = c["arrivals"]
+        self.ok_count = c["ok_count"]
+        self.timed_out_count = c["timed_out_count"]
+        self.shed_count = c["shed_count"]
+        self.walks_injected = c["walks_injected"]
+        self.zombie_walks = c["zombie_walks"]
+        self.deadline_misses = c["deadline_misses"]
+        self.deferrals = c["deferrals"]
+        q = d["queue"]
+        self.queue._q.clear()
+        self.queue._q.extend(self.states[qid].req for qid in q["ids"])
+        self.queue._tokens = q["tokens"]
+        self.queue._last_refill = q["last_refill"]
+        self.queue.admitted = q["admitted"]
+        self.queue.rejected = q["rejected"]
+        self.queue.shed_oldest = q["shed_oldest"]
+        self.queue.rate_limited = q["rate_limited"]
+        self.queue.peak_depth = q["peak_depth"]
+        b = d["breaker"]
+        self.breaker.open_until = b["open_until"]
+        self.breaker.trips = b["trips"]
+        self.breaker._seen_chip_failures = b["seen_chip_failures"]
+        self.breaker._seen_exhausted = b["seen_exhausted"]
+        self.breaker._seen_corruption = b["seen_corruption"]
+        self._t0 = d["t0"]
+
+    def resume(self, max_events: int | None = None) -> ServiceOutcome:
+        """Recover a service run interrupted by power loss.
+
+        Restores both the engine (latest checkpoint) and the service's
+        own bookkeeping packed alongside it, re-schedules the arrival
+        events of requests the crashed timeline had not delivered yet
+        and the deadline events of still-pending queries, then replays
+        to completion.  In-flight queries at the crash survive: their
+        walks resume from the recovered buffers and are credited back
+        as usual.  The outcome carries the crash's RPO/RTO accounting
+        under ``result.durability["recovery"]``; audit cadence restarts
+        at the restore point, so audit *counts* are a documented
+        recovery variant while responses and SLO metrics are not.
+        """
+        fw = self.fw
+        snap = fw.latest_checkpoint
+        if snap is None:
+            raise SimulationError(
+                "no checkpoint available to recover the service from "
+                "(cold restart required)"
+            )
+        ctx = fw._crash_context(snap)
+        fw.restore_for_resume(snap)
+        extra = fw._restored_extra
+        if extra is None:
+            raise SimulationError(
+                "checkpoint carries no service state; was it taken by a "
+                "plain batch run?"
+            )
+        self._restore_state(extra)
+        now = fw.sim.now
+        fw._on_completed = self._on_completed
+        fw._checkpoint_extra = self._snapshot_state
+        # Audit cadence restarts on the recovered timeline; the event
+        # counter itself restarted with the simulator.
+        self.auditor._last_audit_events = 0
+        self.auditor._last_now = now
+        self._dispatch_scheduled = False
+        self._retry_scheduled = False
+        try:
+            for req in self._requests:
+                if req.query_id not in self.states:
+                    fw.sim.at(
+                        max(now, self._t0 + req.arrival),
+                        lambda r=req: self._arrive(r),
+                    )
+            for st in self.states.values():
+                if not st.responded:
+                    st.deadline_event = fw.sim.at(
+                        max(now, st.deadline_abs),
+                        lambda qid=st.req.query_id: self._deadline(qid),
+                    )
+            self._schedule_dispatch()
+            fw._kick_chips(now)
+            fw._service_barriers(now)
+            fw.sim.run(max_events=max_events)
+            self.auditor.audit(final=True)
+        finally:
+            fw._on_completed = None
+        result = fw._finalize_run()
+        result.service = self._service_section()
+        if result.durability is not None:
+            result.durability = dict(result.durability, recovery=ctx)
         return ServiceOutcome(result=result, responses=list(self.responses))
 
     # ------------------------------------------------------------ admission

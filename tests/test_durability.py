@@ -1,0 +1,443 @@
+"""Durability layer: power-loss injection, journaled recovery, and
+silent-corruption detection with parity reconstruction."""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ConfigError,
+    DurabilityConfig,
+    FaultConfig,
+    FlashWalkerConfig,
+    InvariantViolation,
+    PowerLossError,
+    RngRegistry,
+    SimulationError,
+)
+from repro.core import FlashWalker
+from repro.durability.harness import run_crash_campaign, strip_durability
+from repro.durability.journal import WalkJournal
+from repro.graph import rmat
+from repro.service.breaker import CircuitBreaker
+from repro.service.config import ServiceConfig
+from repro.service.request import QueryRequest
+from repro.service.service import WalkQueryService
+from repro.walks import WalkSpec
+
+ENGINE = dict(
+    partition_subgraphs=4, board_hot_subgraphs=1, channel_hot_subgraphs=0
+)
+SPEC = WalkSpec(length=5)
+WALKS = 800
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(10, 8, RngRegistry(55).fresh("g"))
+
+
+def make_engine(graph, dcfg=None, fcfg=None, seed=9):
+    cfg = FlashWalkerConfig(
+        **ENGINE,
+        durability=dcfg or DurabilityConfig(),
+        faults=fcfg or FaultConfig(checkpoint_interval=50e-6),
+    )
+    return FlashWalker(graph, cfg, seed=seed)
+
+
+def dur(journal=25e-6, corruption=0.0, scrub=0.0, **kw):
+    return DurabilityConfig(
+        enabled=True,
+        journal_interval=journal,
+        silent_corruption_rate=corruption,
+        scrub_interval=scrub,
+        **kw,
+    )
+
+
+def canonical(report):
+    return json.dumps(strip_durability(report), sort_keys=True)
+
+
+def crash_and_recover(graph, dcfg, t_frac, fcfg=None):
+    """Baseline run + one crashed-and-recovered run of the same config."""
+    base = make_engine(graph, dcfg, fcfg).run(WALKS, SPEC)
+    fw = make_engine(graph, dcfg, fcfg)
+    fw.schedule_power_loss(base.elapsed * t_frac)
+    with pytest.raises(PowerLossError):
+        fw.run(WALKS, SPEC)
+    return base, fw
+
+
+# --------------------------------------------------------------------- config
+
+
+class TestDurabilityConfig:
+    def test_default_disabled(self):
+        cfg = FlashWalkerConfig()
+        assert cfg.durability.enabled is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(journal_interval=-1.0),
+            dict(journal_record_bytes=0),
+            dict(torn_page_prob=1.5),
+            dict(torn_page_prob=-0.1),
+            dict(silent_corruption_rate=-1.0),
+            dict(max_corruption_events=-1),
+            dict(quarantine_threshold=0),
+            dict(scrub_interval=-1.0),
+            dict(scrub_planes_per_pass=0),
+            dict(checkpoint_keep_last=-1),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            DurabilityConfig(enabled=True, **kwargs).validate()
+
+    def test_service_corruption_threshold_validated(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(breaker_corruption_threshold=0).validate()
+
+
+# ------------------------------------------------------------ default identity
+
+
+class TestDefaultRunsUntouched:
+    """The durability layer is strictly opt-in: default runs carry no
+    trace of it and stay deterministic."""
+
+    def test_no_durability_attrs_or_report_section(self, graph):
+        fw = make_engine(graph)
+        res = fw.run(WALKS, SPEC)
+        assert fw.journal is None
+        assert fw.integrity is None
+        assert all(c.integrity is None for ch in fw.ssd.channels
+                   for c in ch.chips)
+        assert res.durability is None
+        report = res.to_report()
+        assert "durability" not in report
+        assert report["schema_version"] == 3
+
+    def test_default_report_deterministic(self, graph):
+        r1 = make_engine(graph).run(WALKS, SPEC).to_report()
+        r2 = make_engine(graph).run(WALKS, SPEC).to_report()
+        assert json.dumps(r1, sort_keys=True) == json.dumps(r2, sort_keys=True)
+
+    def test_enabled_run_reports_durability(self, graph):
+        res = make_engine(graph, dur()).run(WALKS, SPEC)
+        d = res.to_report()["durability"]
+        assert d["enabled"] is True
+        assert d["checkpoints"]["taken"] >= 1
+        assert d["journal"]["appends"] > 0
+
+
+# -------------------------------------------------------------------- journal
+
+
+class TestWalkJournal:
+    def fill(self, j, deltas, flush_at=None):
+        cum = 0
+        for i, d in enumerate(deltas):
+            cum += d
+            j.append(i * 1e-6, d, cum)
+        if flush_at is not None:
+            j.mark_flushed(flush_at)
+        return cum
+
+    def test_append_flush_durable(self):
+        j = WalkJournal()
+        self.fill(j, [3, 4, 5], flush_at=1e-3)
+        assert j.pending_records == 0
+        assert j.durable_cum() == 12
+        assert j.durable_records() == 3
+        j.append(4e-6, 2, 14)
+        assert j.pending_records == 1
+        assert j.durable_cum() == 12  # pending is not durable
+
+    def test_checkpoint_truncates(self):
+        j = WalkJournal()
+        self.fill(j, [3, 4], flush_at=1e-3)
+        j.on_checkpoint(7)
+        assert j.durable_records() == 0
+        assert j.durable_cum() == 7  # covered by the checkpoint itself
+
+    def test_verify_clean(self):
+        j = WalkJournal()
+        self.fill(j, [1, 2, 3], flush_at=1e-3)
+        assert j.verify() == []
+
+    def test_verify_flags_dropped_record(self):
+        j = WalkJournal()
+        self.fill(j, [1, 2, 3], flush_at=1e-3)
+        del j._durable[1]  # mutation: lose a middle record
+        violations = j.verify()
+        assert violations and any("gap" in v or "mismatch" in v
+                                  for v in violations)
+
+    def test_verify_flags_corrupted_record(self):
+        j = WalkJournal()
+        self.fill(j, [1, 2], flush_at=1e-3)
+        rec = j._durable[0]
+        j._durable[0] = rec._replace(delta=rec.delta + 1)
+        assert any("CRC" in v for v in j.verify())
+
+    def test_state_roundtrip(self):
+        j = WalkJournal()
+        self.fill(j, [5, 6], flush_at=1e-3)
+        j.append(3e-6, 7, 18)
+        j2 = WalkJournal()
+        j2.restore(j.state())
+        assert j2.durable_cum() == j.durable_cum()
+        assert j2.pending_records == j.pending_records
+        assert j2.verify() == []
+
+
+# ----------------------------------------------------------------- retention
+
+
+class TestCheckpointRetention:
+    def test_unbounded_by_default(self, graph):
+        fw = make_engine(graph, dur())
+        res = fw.run(WALKS, SPEC)
+        d = res.durability["checkpoints"]
+        assert d["taken"] >= 3
+        assert d["retained"] == d["taken"]
+
+    def test_keep_last_caps_retention(self, graph):
+        fw = make_engine(graph, dur(checkpoint_keep_last=2))
+        res = fw.run(WALKS, SPEC)
+        d = res.durability["checkpoints"]
+        assert d["taken"] >= 3
+        assert d["retained"] == 2
+        assert fw._checkpoints.evicted == d["taken"] - 2
+        # The latest snapshot survives eviction.
+        assert fw.latest_checkpoint is not None
+        assert fw.latest_checkpoint.time == max(
+            s.time for s in fw._checkpoints.all()
+        )
+
+
+# ------------------------------------------------------------- power loss
+
+
+class TestPowerLossRecovery:
+    def test_crash_carries_context(self, graph):
+        base, fw = crash_and_recover(graph, dur(), 0.5)
+        info = fw._last_power_loss
+        assert info is not None and info["at"] <= base.elapsed
+
+    def test_recover_reproduces_baseline(self, graph):
+        base, fw = crash_and_recover(graph, dur(), 0.5)
+        res = fw.recover()
+        assert canonical(res.to_report()) == canonical(base.to_report())
+        ctx = res.durability["recovery"]
+        assert ctx["crashes"] == 1
+        assert ctx["checkpoint_time"] < ctx["t_crash"]
+        assert ctx["rpo_walks"] >= 0
+        assert ctx["rto_time"] >= ctx["replay_span"] > 0
+
+    def test_journal_bounds_rpo(self, graph):
+        """With the journal on, RPO never exceeds the walks completed
+        since the last flush — far below checkpoint-only loss."""
+        base, fw = crash_and_recover(graph, dur(), 0.6)
+        ctx = fw.recover().durability["recovery"]
+        ckpt_loss = ctx["completed_at_crash"] - ctx["completed_at_checkpoint"]
+        assert ctx["rpo_walks"] <= ckpt_loss
+
+    def test_crash_before_checkpoint_requires_cold_restart(self, graph):
+        fw = make_engine(graph, dur())
+        fw.schedule_power_loss(1e-6)  # before any checkpoint can land
+        with pytest.raises(PowerLossError):
+            fw.run(WALKS, SPEC)
+        assert fw.latest_checkpoint is None
+        with pytest.raises(SimulationError):
+            fw.recover()
+
+    def test_recover_flags_tampered_journal(self, graph):
+        """Mutation test: a dropped journal record must fail recovery."""
+        base, fw = crash_and_recover(graph, dur(journal=10e-6), 0.6)
+        assert fw.journal.durable_records() >= 2
+        del fw.journal._durable[0]
+        with pytest.raises(InvariantViolation):
+            fw.recover()
+
+
+class TestCrashPointProperty:
+    """Seeded crash points across configs all converge to the
+    uninterrupted run (the harness the CI soak job drives at scale)."""
+
+    @pytest.mark.parametrize(
+        "name,dcfg,fcfg",
+        [
+            ("journal", dur(), None),
+            (
+                "ckpt-only+faults",
+                dur(journal=0.0),
+                FaultConfig(
+                    enabled=True, page_error_rate=0.05,
+                    checkpoint_interval=50e-6,
+                ),
+            ),
+        ],
+    )
+    def test_campaign_identity(self, graph, name, dcfg, fcfg):
+        campaign = run_crash_campaign(
+            lambda: make_engine(graph, dcfg, fcfg),
+            lambda fw: fw.run(WALKS, SPEC),
+            crash_points=3,
+            seed=7,
+            name=name,
+        )
+        assert campaign.ok, [p.diff for p in campaign.points
+                             if not p.identical]
+        assert any(p.mode == "recovered" for p in campaign.points)
+
+
+# ------------------------------------------------------------- integrity
+
+
+class TestSilentCorruption:
+    def test_detect_repair_and_scrub(self, graph):
+        fw = make_engine(graph, dur(corruption=3000.0, scrub=100e-6))
+        res = fw.run(WALKS, SPEC)
+        it = res.durability["integrity"]
+        assert it["injected"] > 0
+        assert it["detected"] + it["scrub_detected"] > 0
+        assert it["repaired"] == it["detected"] + it["scrub_detected"]
+        assert it["unrepairable"] == 0
+        assert fw.integrity.scrub_passes > 0
+
+    def test_repair_charges_parity_reads(self, graph):
+        """RAIN reconstruction reads every surviving sibling chip."""
+        fw = make_engine(graph, dur(corruption=3000.0, scrub=100e-6))
+        base = make_engine(graph).run(WALKS, SPEC)
+        res = fw.run(WALKS, SPEC)
+        repaired = res.durability["integrity"]["repaired"]
+        assert repaired > 0
+        extra = res.flash_read_bytes - base.flash_read_bytes
+        page = fw.cfg.ssd.page_bytes
+        cpc = fw.cfg.ssd.chips_per_channel
+        # At least (chips_per_channel - 1) survivor reads per repair,
+        # on top of scrub reads.
+        assert extra >= repaired * (cpc - 1) * page
+
+    def test_quarantine_retires_plane(self, graph):
+        fw = make_engine(
+            graph, dur(corruption=5000.0, scrub=50e-6,
+                       quarantine_threshold=1, max_corruption_events=16),
+        )
+        res = fw.run(WALKS, SPEC)
+        it = res.durability["integrity"]
+        if it["repaired"] == 0:
+            pytest.skip("no repair landed under this seed")
+        assert it["quarantined"] >= 1
+        assert fw.ssd.ftl.bad_block_count >= 1
+
+    def test_corruption_events_capped(self, graph):
+        fw = make_engine(
+            graph, dur(corruption=50000.0, max_corruption_events=3)
+        )
+        res = fw.run(WALKS, SPEC)
+        assert res.durability["integrity"]["injected"] <= 3
+
+
+# ------------------------------------------------------- FTL remap regression
+
+
+class TestFtlRemapRecovery:
+    def test_remap_log_replayed_on_restore(self, graph):
+        """Regression: a crash *after* a bad-block remap must recover
+        onto an FTL with the same page routing, not a pristine one."""
+        fcfg = FaultConfig(
+            enabled=True, page_error_rate=0.3, retry_success_prob=0.3,
+            max_read_retries=2, checkpoint_interval=50e-6,
+        )
+        base_fw = make_engine(graph, dur(), fcfg)
+        base = base_fw.run(WALKS, SPEC)
+        assert base_fw.ssd.ftl.remap_log, "workload produced no remaps"
+
+        fw = make_engine(graph, dur(), fcfg)
+        fw.schedule_power_loss(base.elapsed * 0.7)
+        with pytest.raises(PowerLossError):
+            fw.run(WALKS, SPEC)
+        assert fw.ssd.ftl.remap_log, "crash landed before any remap"
+        res = fw.recover()
+        assert canonical(res.to_report()) == canonical(base.to_report())
+        ftl, ref = fw.ssd.ftl, base_fw.ssd.ftl
+        assert ftl.remap_log == ref.remap_log
+        assert ftl.bad_block_count == ref.bad_block_count
+        assert [sorted(s) for s in ftl._bad_blocks] == [
+            sorted(s) for s in ref._bad_blocks
+        ]
+        assert np.array_equal(ftl._active_block, ref._active_block)
+
+
+# ------------------------------------------------------------------ service
+
+
+def _service(graph, dcfg, scfg=None):
+    fw = make_engine(graph, dcfg)
+    return fw, WalkQueryService(
+        fw, scfg or ServiceConfig(default_deadline=50e-3)
+    )
+
+
+REQUESTS = [
+    QueryRequest(query_id=i, arrival=i * 20e-6, num_walks=60, length=5,
+                 deadline=50e-3)
+    for i in range(12)
+]
+
+
+class TestServiceSurvivesPowerLoss:
+    def test_resume_matches_uninterrupted(self, graph):
+        _, svc0 = _service(graph, dur())
+        out0 = svc0.run(list(REQUESTS))
+        key0 = [(r.query_id, r.status, r.walks_completed, r.finish_time)
+                for r in out0.responses]
+
+        fw, svc = _service(graph, dur())
+        fw.schedule_power_loss(out0.result.elapsed * 0.55)
+        with pytest.raises(PowerLossError):
+            svc.run(list(REQUESTS))
+        out1 = svc.resume()
+        key1 = [(r.query_id, r.status, r.walks_completed, r.finish_time)
+                for r in out1.responses]
+        assert key1 == key0
+        assert out1.result.elapsed == out0.result.elapsed
+        assert out1.result.durability["recovery"]["crashes"] == 1
+
+    def test_resume_without_checkpoint_raises(self, graph):
+        fw, svc = _service(graph, dur())
+        fw.schedule_power_loss(1e-6)
+        with pytest.raises(PowerLossError):
+            svc.run(list(REQUESTS))
+        with pytest.raises(SimulationError):
+            svc.resume()
+
+
+class TestBreakerCorruptionSignal:
+    def test_detected_corruption_trips_breaker(self):
+        cfg = ServiceConfig(breaker_corruption_threshold=2).validate()
+        engine = SimpleNamespace(
+            fault_model=None, integrity=SimpleNamespace(detected=0)
+        )
+        br = CircuitBreaker(cfg, engine)
+        assert not br.is_open(0.0)
+        engine.integrity.detected = 1
+        assert not br.is_open(1e-3)  # below threshold
+        engine.integrity.detected = 3
+        assert br.is_open(1e-3)
+        assert br.trips == 1
+        # Counter latched: no re-trip without new detections.
+        assert not br.is_open(1e-3 + cfg.breaker_cooldown + 1e-9)
+
+    def test_none_integrity_is_ignored(self):
+        cfg = ServiceConfig().validate()
+        engine = SimpleNamespace(fault_model=None, integrity=None)
+        assert not CircuitBreaker(cfg, engine).is_open(0.0)
