@@ -1,0 +1,108 @@
+"""Cluster failover soak: kill-a-shard chaos at sustained load.
+
+Drives :class:`repro.cluster.ClusterService` with a much longer
+open-loop query stream than the tier-1 tests, over a 4-shard cluster
+with a lossy/corrupting migration link and a seeded kill schedule that
+power-fails half the shards mid-run.  Each soak gates on:
+
+- zero online-audit violations (no walk lost or duplicated under any
+  kill/link-fault schedule — the tentpole invariant);
+- every kill producing a replica promotion with a measured RTO;
+- the killed run's report matching the uninterrupted baseline outside
+  the ``cluster`` section;
+- bit-identical reports between serial and process-pool execution.
+
+Marked ``soak`` so tier-1 (`pytest -q`) skips it; run explicitly with
+``pytest -m soak benchmarks/bench_cluster_failover.py``.  The
+session-end ``BENCH_cluster_failover.json`` artifact carries the
+failover timeline, RTO stats, and link/ migration counters for CI to
+archive.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.campaign import run_scenario
+from repro.experiments.harness import format_table
+
+from conftest import run_once
+
+DATASET = "TT"
+N_SHARDS = 4
+N_REQUESTS = 64
+RATE_QPS = 30e3
+KILLS = ((60e-6, 1), (140e-6, 2), (400e-6, 3))
+LINK_LOSS = 0.08
+LINK_CORRUPT = 0.04
+
+pytestmark = pytest.mark.soak
+
+
+def _canonical(report: dict, *, drop: tuple[str, ...] = ()) -> str:
+    return json.dumps(
+        {k: v for k, v in report.items() if k not in drop}, sort_keys=True
+    )
+
+
+def _soak(ctx, *, kills=KILLS, jobs: int = 1):
+    return run_scenario(
+        ctx,
+        DATASET,
+        n_shards=N_SHARDS,
+        n_requests=N_REQUESTS,
+        rate_qps=RATE_QPS,
+        kills=kills,
+        loss=LINK_LOSS,
+        corrupt=LINK_CORRUPT,
+        jobs=jobs,
+    ).report
+
+
+def run(ctx, jobs):
+    """Chaos soak + no-kill baseline + pooled re-run; returns gate rows."""
+    chaos = _soak(ctx)
+    baseline = _soak(ctx, kills=())
+    pooled = _soak(ctx, jobs=max(2, jobs))
+    cluster = chaos["cluster"]
+    svc = chaos["service"]
+    rows = [
+        {
+            "run": name,
+            "ok": rep["service"]["requests"]["ok"],
+            "timed_out": rep["service"]["requests"]["timed_out"],
+            "shed": rep["service"]["requests"]["shed"],
+            "walks_done": rep["service"]["walks"]["done"],
+            "migrations": rep["cluster"]["migrations"]["total"],
+            "failovers": rep["cluster"]["rto"]["count"],
+            "rto_max_ms": rep["cluster"]["rto"]["max"] * 1e3,
+            "audit_violations": rep["cluster"]["audit"]["violations"],
+        }
+        for name, rep in (
+            ("chaos", chaos), ("baseline", baseline), ("pooled", pooled)
+        )
+    ]
+    gates = {
+        "zero_violations": cluster["audit"]["violations"] == 0,
+        "all_kills_promoted": cluster["rto"]["count"] == len(KILLS)
+        and not cluster["kills_unfired"],
+        "rto_measured": cluster["rto"]["max"] > 0.0,
+        "walks_conserved": svc["walks"]["created"] == svc["walks"]["done"],
+        "baseline_identity": _canonical(chaos, drop=("cluster",))
+        == _canonical(baseline, drop=("cluster",)),
+        "pool_identity": _canonical(chaos, drop=("jobs",))
+        == _canonical(pooled, drop=("jobs",)),
+    }
+    return {"rows": rows, "gates": gates, "failovers": cluster["failovers"],
+            "link": cluster["link"]}
+
+
+def test_cluster_failover_soak(benchmark, ctx, jobs):
+    out = run_once(benchmark, run, ctx, jobs)
+    benchmark.extra_info["table"] = format_table(out["rows"])
+    benchmark.extra_info["gates"] = out["gates"]
+    benchmark.extra_info["rto_ms"] = [
+        f["rto_time"] * 1e3 for f in out["failovers"]
+    ]
+    failed = [name for name, ok in out["gates"].items() if not ok]
+    assert not failed, f"cluster soak gates failed: {failed}"

@@ -1,0 +1,33 @@
+"""Fault-tolerant multi-device cluster serving (DESIGN.md §11).
+
+A :class:`ClusterService` routes walk queries over N simulated
+FlashWalker shards with partition-aware vertex placement, cross-shard
+walk migration over a fault-injected network link, per-shard circuit
+breakers, replica promotion on shard kills, and cluster-wide graceful
+degradation — all deterministic for a given seed, byte-identical
+between serial and process-pool execution.
+"""
+
+from .audit import ClusterAuditor
+from .cluster import ClusterOutcome, ClusterService
+from .config import ClusterConfig
+from .health import HealthBoard, ShardHealthProxy
+from .link import NetworkLink
+from .placement import VertexPlacement
+from .pool import ShardHosts
+from .shard import ShardRuntime, ShardStepCommand, ShardStepResult
+
+__all__ = [
+    "ClusterAuditor",
+    "ClusterConfig",
+    "ClusterOutcome",
+    "ClusterService",
+    "HealthBoard",
+    "NetworkLink",
+    "ShardHealthProxy",
+    "ShardHosts",
+    "ShardRuntime",
+    "ShardStepCommand",
+    "ShardStepResult",
+    "VertexPlacement",
+]

@@ -1,0 +1,167 @@
+"""Cluster-wide walk/query conservation auditor.
+
+Extends the single-device service auditor's invariants
+(:mod:`repro.service.audit`) across shards: every walk the router
+created is, at every epoch barrier, in exactly one of QUEUED, LEASED,
+MIGRATING, or DONE; per-shard engine totals match the segments the
+router leased there; walks credited to queries equal the walks that
+finished; queries conserve across ok/timed-out/shed/pending.  The
+auditor runs online — every ``audit_interval_epochs`` barriers and
+once at the end — so a kill or link fault that loses or duplicates a
+walk is caught at the barrier where it happens, not at the end of the
+campaign.
+
+Violations raise :class:`~repro.common.errors.InvariantViolation` with
+``context="cluster"`` and a *bounded* state dump (walk tables truncate
+past ``InvariantViolation.MAX_STATE_ITEMS`` entries), so a 4-shard
+chaos soak failing in CI stays readable.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import InvariantViolation
+
+__all__ = ["ClusterAuditor"]
+
+_STATES = ("queued", "leased", "migrating", "done")
+
+
+class ClusterAuditor:
+    """Barrier-time consistency checker over one cluster run."""
+
+    def __init__(self, cluster, interval_epochs: int):
+        self.cluster = cluster
+        self.interval_epochs = interval_epochs
+        self.audits = 0
+        self.violations_found = 0
+        self._last_t = 0.0
+
+    def maybe_audit(self, epoch: int) -> None:
+        if self.interval_epochs <= 0:
+            return
+        if epoch % self.interval_epochs == 0:
+            self.audit()
+
+    def audit(self, final: bool = False) -> None:
+        cl = self.cluster
+        now = cl.now
+        self.audits += 1
+        violations: list[str] = []
+
+        if now < self._last_t:
+            violations.append(
+                f"cluster time moved backwards: {self._last_t} -> {now}"
+            )
+        self._last_t = max(self._last_t, now)
+
+        # Walk conservation: every created walk in exactly one state.
+        counts = dict.fromkeys(_STATES, 0)
+        for w in cl.walks.values():
+            if w.state not in counts:
+                violations.append(f"walk {w.wid} in unknown state {w.state!r}")
+            else:
+                counts[w.state] += 1
+        if len(cl.walks) != cl.walks_created:
+            violations.append(
+                f"walk table holds {len(cl.walks)} walks but router created "
+                f"{cl.walks_created} (lost or duplicated ids)"
+            )
+        accounted = sum(counts.values())
+        if accounted != cl.walks_created:
+            violations.append(
+                "walk conservation: "
+                + " + ".join(f"{s} {counts[s]}" for s in _STATES)
+                + f" = {accounted} != created {cl.walks_created}"
+            )
+        if counts["done"] != cl.walks_done:
+            violations.append(
+                f"done-state walks {counts['done']} != done counter "
+                f"{cl.walks_done}"
+            )
+        if final and accounted != counts["done"]:
+            violations.append(
+                f"final audit: {accounted - counts['done']} walks not done"
+            )
+
+        # Per-shard engines drained and fed exactly what the router leased.
+        for sid in range(cl.ccfg.n_shards):
+            total = cl.engine_totals[sid]
+            injected = cl.segments_injected[sid]
+            if total != injected:
+                violations.append(
+                    f"shard {sid}: engine boarded {total} segments but "
+                    f"router leased {injected}"
+                )
+            completed = cl.engine_completed[sid]
+            if completed != total:
+                violations.append(
+                    f"shard {sid}: {total - completed} segments in flight "
+                    "across an epoch barrier"
+                )
+            if cl.segments_collected[sid] != completed:
+                violations.append(
+                    f"shard {sid}: engine completed {completed} segments but "
+                    f"router collected {cl.segments_collected[sid]}"
+                )
+
+        # Attribution: finished walks credit exactly one query each.
+        credited = sum(st.walks_done for st in cl.states.values())
+        if credited != cl.walks_done:
+            violations.append(
+                f"walks credited to queries ({credited}) != walks done "
+                f"({cl.walks_done})"
+            )
+
+        # Query conservation.
+        responded = cl.ok_count + cl.timed_out_count + cl.shed_count
+        pending = sum(1 for st in cl.states.values() if not st.responded)
+        if responded + pending != cl.arrivals:
+            violations.append(
+                f"query conservation: responded {responded} + pending "
+                f"{pending} != arrivals {cl.arrivals}"
+            )
+        if final and pending:
+            violations.append(f"final audit: {pending} queries unanswered")
+
+        if violations:
+            self.violations_found += len(violations)
+            kind = "final cluster audit" if final else "cluster audit"
+            raise InvariantViolation(
+                f"{kind} at t={now:.6g}s found {len(violations)} "
+                f"violation(s): {violations[0]}",
+                violations=violations,
+                state=self._state_dump(),
+                at=now,
+                context="cluster",
+            )
+
+    def _state_dump(self) -> dict:
+        cl = self.cluster
+        return {
+            "now": cl.now,
+            "epoch": cl.epoch,
+            "walks_created": cl.walks_created,
+            "walks_done": cl.walks_done,
+            "arrivals": cl.arrivals,
+            "ok": cl.ok_count,
+            "timed_out": cl.timed_out_count,
+            "shed": cl.shed_count,
+            "engine_totals": list(cl.engine_totals),
+            "segments_injected": list(cl.segments_injected),
+            # Truncated by InvariantViolation's dump bounding.
+            "walk_table": [
+                (w.wid, w.state, w.shard, w.remaining)
+                for w in cl.walks.values()
+                if w.state != "done"
+            ],
+            "pending_queries": sorted(
+                qid for qid, st in cl.states.items() if not st.responded
+            ),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "interval_epochs": self.interval_epochs,
+            "audits": self.audits,
+            "violations": self.violations_found,
+        }

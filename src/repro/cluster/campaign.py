@@ -1,0 +1,157 @@
+"""Cluster chaos-campaign points.
+
+One point = one seeded kill-a-shard scenario: an open-loop query
+stream served by an N-shard cluster while the kill schedule power-
+fails shards mid-epoch and the network link drops/corrupts migration
+messages.  Registered as the ``cluster_failover`` experiment so
+``python -m repro.parallel --experiment cluster_failover`` sweeps
+shard counts and fault intensities with the usual per-point
+determinism guarantees.
+
+The scenario builders here are shared by the CLI
+(``python -m repro.cluster``), the failover benchmark, and the tests,
+so every consumer runs the same code path.
+"""
+
+from __future__ import annotations
+
+from ..common.config import DurabilityConfig, FaultConfig
+from ..parallel.campaign import CampaignPoint, point_runner
+from ..service.campaign import build_requests, walk_budget
+from .cluster import ClusterService
+from .config import ClusterConfig
+
+__all__ = [
+    "DEFAULT_KILLS",
+    "cluster_config",
+    "cluster_shard_config",
+    "points",
+    "run_point",
+    "run_scenario",
+]
+
+#: Default kill schedule: two mid-run shard power failures.
+DEFAULT_KILLS = ((60e-6, 1), (140e-6, 2))
+
+
+def cluster_shard_config(ctx, dataset: str, *, chaos: bool = True):
+    """Per-shard engine config for cluster serving.
+
+    Durability is mandatory (failover replays checkpoint + journal);
+    periodic checkpoints stay off because the cluster checkpoints at
+    every epoch boundary itself.  ``chaos`` adds background NAND read
+    faults and CRC noise — the degraded-mode signals the per-shard
+    circuit breakers watch.
+    """
+    faults = FaultConfig(
+        enabled=chaos,
+        page_error_rate=0.05 if chaos else 0.0,
+        crc_error_rate=0.02 if chaos else 0.0,
+    )
+    return ctx.flashwalker_config(
+        dataset,
+        durability=DurabilityConfig(enabled=True, journal_interval=25e-6),
+        faults=faults,
+    )
+
+
+def cluster_config(
+    *,
+    n_shards: int = 4,
+    kills=DEFAULT_KILLS,
+    loss: float = 0.05,
+    corrupt: float = 0.02,
+    policy: str = "reject",
+    walks_per_query: int = 16,
+    segment_hops: int = 2,
+    length: int = 6,
+) -> ClusterConfig:
+    """Deployment config for one chaos scenario."""
+    kills = tuple((float(t), int(s) % n_shards) for t, s in kills)
+    return ClusterConfig(
+        n_shards=n_shards,
+        segment_hops=segment_hops,
+        max_walk_length=length,
+        link_loss_prob=loss,
+        link_corrupt_prob=corrupt,
+        kill_schedule=kills,
+        queue_capacity=8,
+        admission_policy=policy,
+        rate_limit_qps=30e3 if policy == "token-bucket" else 0.0,
+        max_inflight_walks_per_shard=max(64, 4 * walks_per_query),
+        breaker_cooldown=150e-6,
+    ).validate()
+
+
+def run_scenario(
+    ctx,
+    dataset: str,
+    *,
+    n_shards: int = 4,
+    n_requests: int = 12,
+    rate_qps: float = 20e3,
+    kills=DEFAULT_KILLS,
+    loss: float = 0.05,
+    corrupt: float = 0.02,
+    policy: str = "reject",
+    jobs: int = 1,
+    chaos: bool = True,
+    seed_offset: int = 0,
+):
+    """Run one kill-a-shard scenario; returns a ClusterOutcome."""
+    graph = ctx.graph(dataset)
+    shard_cfg = cluster_shard_config(ctx, dataset, chaos=chaos)
+    walks_per_query, _ = walk_budget(ctx, dataset)
+    requests = build_requests(
+        ctx, dataset, n_requests=n_requests, rate_qps=rate_qps,
+        seed_offset=seed_offset,
+    )
+    ccfg = cluster_config(
+        n_shards=n_shards, kills=kills, loss=loss, corrupt=corrupt,
+        policy=policy, walks_per_query=walks_per_query,
+        length=requests[0].length,
+    )
+    svc = ClusterService(
+        graph, shard_cfg, ccfg, seed=ctx.seed + 20 + seed_offset, jobs=jobs
+    )
+    return svc.run(requests)
+
+
+def points(ctx, datasets: list[str] | None = None) -> list[CampaignPoint]:
+    return [
+        CampaignPoint.make("cluster_failover", name, n_shards=n, kills=kills)
+        for name in (datasets or ctx.datasets)
+        for n, kills in ((2, 1), (4, 2))
+    ]
+
+
+@point_runner("cluster_failover")
+def run_point(ctx, point: CampaignPoint):
+    name = point.dataset
+    n_shards = int(point.param("n_shards", 4))
+    n_kills = int(point.param("kills", 2))
+    outcome = run_scenario(
+        ctx,
+        name,
+        n_shards=n_shards,
+        n_requests=int(point.param("n_requests", 12)),
+        rate_qps=float(point.param("rate_qps", 20e3)),
+        kills=DEFAULT_KILLS[:n_kills],
+        policy=str(point.param("policy", "reject")),
+        seed_offset=int(point.param("seed_offset", 0)),
+    )
+    svc = outcome.report["service"]
+    cluster = outcome.report["cluster"]
+    row = {
+        "dataset": name,
+        "n_shards": n_shards,
+        "kills": len(cluster["failovers"]),
+        "arrivals": svc["requests"]["arrivals"],
+        "ok": svc["requests"]["ok"],
+        "timed_out": svc["requests"]["timed_out"],
+        "shed": svc["requests"]["shed"],
+        "migrations": cluster["migrations"]["total"],
+        "rto_max_ms": cluster["rto"]["max"] * 1e3,
+        "audit_violations": cluster["audit"]["violations"],
+    }
+    return row, outcome.report

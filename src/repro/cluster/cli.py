@@ -1,0 +1,184 @@
+"""Cluster CLI: one seeded kill-a-shard chaos scenario.
+
+::
+
+    python -m repro.cluster --quick --shards 4 --jobs 4
+    python -m repro.cluster --kill 60e-6:1 --kill 140e-6:2 --loss 0.05 \\
+        --verify-identity --verify-baseline --out cluster_report.json
+
+Runs an open-loop query stream against an N-shard cluster while the
+kill schedule power-fails shards mid-epoch (each recovers by replica
+promotion — checkpoint restore + walk-journal replay) and the network
+link drops/corrupts migration messages.  The online cluster auditor
+runs at every epoch barrier; a violation exits nonzero with the
+violation list.  ``--verify-identity`` re-runs the scenario serially
+and across a process pool and gates on byte-identical reports;
+``--verify-baseline`` re-runs without kills and gates on the report
+matching outside the ``cluster`` section.  The CI chaos-soak job runs
+all three gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _canonical(report: dict, *, drop: tuple[str, ...] = ()) -> str:
+    slim = {k: v for k, v in report.items() if k not in drop}
+    return json.dumps(slim, sort_keys=True)
+
+
+def _parse_kill(text: str) -> tuple[float, int]:
+    try:
+        t, shard = text.split(":")
+        return float(t), int(shard)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected TIME:SHARD (e.g. 60e-6:1), got {text!r}"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--dataset", default="TT", help="dataset name (default: TT)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of FlashWalker shards (default: 4)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes hosting shards (default: 1, serial)")
+    parser.add_argument("--requests", type=int, default=12,
+                        help="number of open-loop queries (default: 12)")
+    parser.add_argument("--rate", type=float, default=20e3,
+                        help="mean arrival rate, queries/sec (default: 20000)")
+    parser.add_argument("--seed", type=int, default=3, help="root seed")
+    parser.add_argument("--policy", default="reject",
+                        choices=("reject", "shed-oldest", "token-bucket"),
+                        help="admission policy (default: reject)")
+    parser.add_argument("--kill", type=_parse_kill, action="append",
+                        default=None, metavar="TIME:SHARD",
+                        help="kill SHARD at cluster TIME (repeatable; "
+                             "default: 60e-6:1 and 140e-6:2)")
+    parser.add_argument("--no-kills", action="store_true",
+                        help="disable the kill schedule")
+    parser.add_argument("--loss", type=float, default=0.05,
+                        help="migration-link loss probability (default: 0.05)")
+    parser.add_argument("--corrupt", type=float, default=0.02,
+                        help="migration-link corruption probability (default: 0.02)")
+    parser.add_argument("--quick", action="store_true",
+                        help="scale the dataset down (CI-sized run)")
+    parser.add_argument("--verify-identity", action="store_true",
+                        help="also run serial AND pooled; fail unless the "
+                             "reports are byte-identical")
+    parser.add_argument("--verify-baseline", action="store_true",
+                        help="also run without kills; fail unless the report "
+                             "matches outside the 'cluster' section")
+    parser.add_argument("--out", default=None,
+                        help="write the cluster report JSON here")
+    args = parser.parse_args(argv)
+
+    # Imports deferred so --help works in stripped environments.
+    from ..common.errors import InvariantViolation
+    from ..experiments.harness import ExperimentContext
+    from .campaign import DEFAULT_KILLS, run_scenario
+
+    ctx = (
+        ExperimentContext.quick(seed=args.seed)
+        if args.quick
+        else ExperimentContext(seed=args.seed)
+    )
+    kills = () if args.no_kills else tuple(args.kill or DEFAULT_KILLS)
+
+    def scenario(*, jobs: int, kills=kills):
+        return run_scenario(
+            ctx,
+            args.dataset,
+            n_shards=args.shards,
+            n_requests=args.requests,
+            rate_qps=args.rate,
+            kills=kills,
+            loss=args.loss,
+            corrupt=args.corrupt,
+            policy=args.policy,
+            jobs=jobs,
+        )
+
+    try:
+        outcome = scenario(jobs=args.jobs)
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION [{exc.context}] at t={exc.at:.6g}s:",
+              file=sys.stderr)
+        for v in exc.violations:
+            print(f"  - {v}", file=sys.stderr)
+        print(f"state: {json.dumps(exc.state, sort_keys=True, default=str)}",
+              file=sys.stderr)
+        return 2
+
+    report = outcome.report
+    svc, cluster = report["service"], report["cluster"]
+    req, lat = svc["requests"], svc["latency"]
+    print(
+        f"{args.dataset} shards={args.shards} jobs={report['jobs']} "
+        f"kills={len(cluster['failovers'])}: {req['arrivals']} arrivals -> "
+        f"{req['ok']} ok, {req['timed_out']} timed out, {req['shed']} shed"
+    )
+    print(
+        f"walks created={svc['walks']['created']} done={svc['walks']['done']} "
+        f"migrations={cluster['migrations']['total']} "
+        f"(mean {cluster['migrations']['mean_per_walk']:.2f}/walk)"
+    )
+    link = cluster["link"]
+    print(
+        f"link: {link['messages']} messages, {link['losses']} lost, "
+        f"{link['corruptions']} corrupted, {link['retransmits']} retransmits, "
+        f"{link['escalations']} escalations"
+    )
+    rto = cluster["rto"]
+    print(
+        f"failovers={rto['count']} rto_max={rto['max'] * 1e3:.3f}ms "
+        f"p99={lat['p99'] * 1e3:.3f}ms  audits={cluster['audit']['audits']} "
+        f"violations={cluster['audit']['violations']}"
+    )
+
+    rc = 0
+    if args.verify_identity:
+        serial = report if args.jobs <= 1 else scenario(jobs=1).report
+        pooled = (
+            report
+            if args.jobs > 1
+            else scenario(jobs=min(args.shards, 4)).report
+        )
+        if _canonical(serial, drop=("jobs",)) == _canonical(pooled, drop=("jobs",)):
+            print("identity: serial and pooled reports are byte-identical")
+        else:
+            print("IDENTITY FAILURE: serial vs pooled reports differ",
+                  file=sys.stderr)
+            rc = 3
+    if args.verify_baseline and kills:
+        baseline = scenario(jobs=args.jobs, kills=()).report
+        if _canonical(report, drop=("cluster",)) == _canonical(
+            baseline, drop=("cluster",)
+        ):
+            print("baseline: killed run matches uninterrupted run outside "
+                  "the cluster section")
+        else:
+            print("BASELINE FAILURE: killed run diverged from the "
+                  "uninterrupted baseline", file=sys.stderr)
+            rc = 4
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote report to {args.out}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,617 @@
+"""Cluster coordinator: the front-end router over N FlashWalker shards.
+
+:class:`ClusterService` serves walk queries against a fleet of
+simulated devices.  Execution is barrier-synchronized: each *epoch*
+the router admits arrivals, leases walk segments (``segment_hops``
+hops each) to the shards that own their current vertices, steps every
+loaded shard's local simulator to drain, then — at the barrier —
+collects completed segments, migrates walks whose vertices now live
+elsewhere over the fault-injected :class:`~repro.cluster.link.NetworkLink`,
+credits finished walks to their queries, and sweeps deadlines.  The
+cluster clock is the max of the stepped shards' local clocks, so all
+router-level times (latencies, deadlines, failover timestamps) are
+epoch-granular while each shard's internal timing stays event-exact.
+
+Determinism and fault-tolerance by construction:
+
+* every per-shard seed is sha256-derived from the root seed;
+* all cross-shard processing happens in the coordinator, in sorted
+  ``(shard, walk)`` order, so serial and process-pool execution are
+  byte-identical;
+* shard kills (seeded power loss) are recovered *inside* the epoch by
+  replica promotion — restore the epoch-start checkpoint (what the
+  durable checkpoint + walk journal reconstruct) and replay — so a
+  killed run's report matches the uninterrupted baseline everywhere
+  outside the ``cluster.failovers`` timeline;
+* walks are owned by exactly one table entry from admission to
+  completion; the online :class:`~repro.cluster.audit.ClusterAuditor`
+  proves none is lost or duplicated at every barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import ConfigError, SimulationError
+from ..common.rng import derive_seed
+from ..service.queue import AdmissionQueue
+from ..service.request import QueryRequest, QueryResult
+from ..walks.spec import start_vertices
+from .audit import ClusterAuditor
+from .config import ClusterConfig
+from .health import HealthBoard
+from .link import NetworkLink
+from .placement import VertexPlacement
+from .pool import ShardHosts
+from .shard import ShardStepCommand
+
+__all__ = ["ClusterOutcome", "ClusterService"]
+
+CLUSTER_SCHEMA = "repro.obs.cluster-report"
+CLUSTER_SCHEMA_VERSION = 1
+
+
+class _Walk:
+    """One logical walk, owned by the router from admission to done."""
+
+    __slots__ = (
+        "wid", "query_id", "vertex", "remaining", "state", "shard",
+        "eligible_at", "leased_hops", "migrations",
+    )
+
+    def __init__(self, wid, query_id, vertex, remaining, shard, eligible_at):
+        self.wid = wid
+        self.query_id = query_id
+        self.vertex = vertex
+        self.remaining = remaining
+        self.state = "queued"
+        self.shard = shard
+        self.eligible_at = eligible_at
+        self.leased_hops = 0
+        self.migrations = 0
+
+
+@dataclass
+class _QueryState:
+    req: QueryRequest
+    t_arrival: float
+    deadline_abs: float
+    walks_done: int = 0
+    admitted: bool = False
+    injected: bool = False
+    responded: bool = False
+
+
+@dataclass
+class ClusterOutcome:
+    """What one cluster run produced."""
+
+    report: dict
+    responses: list[QueryResult] = field(default_factory=list)
+
+    def by_id(self) -> dict[int, QueryResult]:
+        return {r.query_id: r for r in self.responses}
+
+
+class ClusterService:
+    """Route queries across sharded engines with failover built in."""
+
+    def __init__(self, graph, shard_cfgs, ccfg: ClusterConfig | None = None,
+                 *, seed: int = 3, jobs: int = 1,
+                 start_method: str | None = None):
+        self.graph = graph
+        self.ccfg = (ccfg or ClusterConfig()).validate()
+        n = self.ccfg.n_shards
+        if not isinstance(shard_cfgs, (list, tuple)):
+            shard_cfgs = [shard_cfgs] * n
+        if len(shard_cfgs) != n:
+            raise ConfigError(
+                f"{len(shard_cfgs)} shard configs for {n} shards"
+            )
+        self.shard_cfgs = list(shard_cfgs)
+        self.seed = int(seed)
+        self.jobs = int(jobs)
+        self.start_method = start_method
+        self.placement = VertexPlacement(
+            self.ccfg.placement, n, graph.num_vertices
+        )
+        self.link = NetworkLink(self.ccfg, self.seed)
+        self.svc_cfg = self.ccfg.service_cfg().validate()
+        self.queue = AdmissionQueue(
+            self.svc_cfg.queue_capacity,
+            self.svc_cfg.admission_policy,
+            self.svc_cfg.rate_limit_qps,
+            self.svc_cfg.rate_limit_burst,
+        )
+        self.health = HealthBoard(self.svc_cfg, n)
+        self.auditor = ClusterAuditor(self, self.ccfg.audit_interval_epochs)
+        self._start_rng = np.random.default_rng(
+            derive_seed(self.seed, "cluster:starts")
+        )
+        # -- run state (the auditor reads these) ---------------------------
+        self.walks: dict[int, _Walk] = {}
+        self.states: dict[int, _QueryState] = {}
+        self.responses: list[QueryResult] = []
+        self.now = 0.0
+        self.epoch = 0
+        self.arrivals = 0
+        self.ok_count = 0
+        self.timed_out_count = 0
+        self.shed_count = 0
+        self.walks_created = 0
+        self.walks_done = 0
+        self.zombie_walks = 0
+        self.deferrals = 0
+        self.walks_sacrificed = 0
+        self.engine_totals = [0] * n
+        self.engine_completed = [0] * n
+        self.segments_injected = [0] * n
+        self.segments_collected = [0] * n
+        self.migrations_out = [0] * n
+        self.migrations_in = [0] * n
+        self.epochs_stepped = [0] * n
+        self.failovers: list[dict] = []
+        self.kills_unfired: list = []
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, requests: list[QueryRequest]) -> ClusterOutcome:
+        """Serve ``requests`` to completion across the cluster."""
+        if not requests:
+            raise ConfigError("no requests to serve")
+        seen: set[int] = set()
+        for req in requests:
+            req.validate()
+            if req.query_id in seen:
+                raise ConfigError(f"duplicate query_id {req.query_id}")
+            seen.add(req.query_id)
+            if req.length > self.ccfg.max_walk_length:
+                raise ConfigError(
+                    f"query {req.query_id}: length {req.length} exceeds "
+                    f"max_walk_length {self.ccfg.max_walk_length}"
+                )
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.query_id))
+        n = self.ccfg.n_shards
+        expected = sum(r.num_walks for r in ordered) // n + 1
+        params = [
+            {
+                "shard_id": i,
+                "graph": self.graph,
+                "cfg": self.shard_cfgs[i],
+                "seed": derive_seed(self.seed, f"shard:{i}"),
+                "spec_length": self.ccfg.max_walk_length,
+                "expected_walks": expected,
+            }
+            for i in range(n)
+        ]
+        hosts = ShardHosts(
+            params, jobs=self.jobs, start_method=self.start_method
+        )
+        try:
+            t0s = hosts.setup()
+            self._t0 = self.now = max(t0s.values())
+            self._drive(hosts, ordered)
+            self.auditor.audit(final=True)
+            shard_reports = hosts.finalize()
+        finally:
+            hosts.close()
+        report = self._build_report(
+            [shard_reports[i] for i in range(n)], jobs=hosts.jobs
+        )
+        return ClusterOutcome(report=report, responses=list(self.responses))
+
+    # ------------------------------------------------------------ epoch loop
+
+    def _drive(self, hosts: ShardHosts, ordered: list[QueryRequest]) -> None:
+        ccfg = self.ccfg
+        n = ccfg.n_shards
+        arrivals = [(self._t0 + r.arrival, r) for r in ordered]
+        next_arrival = 0
+        kills = sorted(
+            ((float(t), int(s)) for t, s in ccfg.kill_schedule),
+            key=lambda ts: (ts[0], ts[1]),
+        )
+        prev_duration = [0.0] * n
+        while True:
+            if self.epoch >= ccfg.max_epochs:
+                raise SimulationError(
+                    f"cluster exceeded max_epochs={ccfg.max_epochs}; "
+                    "possible livelock"
+                )
+            T = self.now
+            # 1. Arrivals up to the barrier, in (arrival, query_id) order.
+            while next_arrival < len(arrivals) and arrivals[next_arrival][0] <= T:
+                t_arr, req = arrivals[next_arrival]
+                next_arrival += 1
+                self._arrive(req, t_arr)
+            # 2. Health poll + breaker-driven replica promotion.
+            open_now = self.health.poll(T)
+            if ccfg.promote_after_open_epochs > 0:
+                for sid in range(n):
+                    if (
+                        self.health.consecutive_open[sid]
+                        >= ccfg.promote_after_open_epochs
+                    ):
+                        self.health.promote(sid, epoch=self.epoch, now=T)
+                        open_now[sid] = False
+            # 3. Admit queued queries under the healthy-capacity budget.
+            self._admit(T, open_now)
+            # 4. Lease eligible walks to shards.
+            cmds = self._lease(T, open_now)
+            # 5. Attach due kills to victims that have work this epoch.
+            for i, (t_kill, sid) in enumerate(kills):
+                if t_kill <= T and sid in cmds and cmds[sid].kill_delay is None:
+                    cmds[sid].kill_delay = (
+                        ccfg.kill_epoch_frac * prev_duration[sid]
+                    )
+                    kills[i] = None
+            kills = [k for k in kills if k is not None]
+            # 6. Nothing to step: finish, or advance the clock to the
+            #    next actionable instant (arrival, delivery, reopen).
+            if not cmds:
+                if self._finished(next_arrival, len(arrivals)):
+                    self.kills_unfired = list(kills)
+                    return
+                self.now = self._advance_clock(
+                    T, arrivals, next_arrival, open_now
+                )
+                self.epoch += 1
+                continue
+            # 7. Step the loaded shards (concurrently when pooled).
+            results = hosts.step(cmds)
+            t_next = T
+            for sid in sorted(results):
+                r = results[sid]
+                prev_duration[sid] = r.t_end - r.t_start
+                t_next = max(t_next, r.t_end)
+                self.epochs_stepped[sid] += 1
+                self.engine_totals[sid] = r.engine_total
+                self.engine_completed[sid] = r.engine_completed
+                self.health.update(sid, r.health)
+                if r.failover is not None:
+                    self.failovers.append(
+                        {"kind": "kill", "cluster_epoch": self.epoch,
+                         "t_barrier": T, **r.failover}
+                    )
+            # 8. Barrier: collect completions, migrate, credit, sweep.
+            self._collect(results, t_next)
+            self.now = t_next
+            self._sweep_deadlines(t_next)
+            self.epoch += 1
+            self.auditor.maybe_audit(self.epoch)
+
+    # ------------------------------------------------------------ admission
+
+    def _arrive(self, req: QueryRequest, t: float) -> None:
+        self.arrivals += 1
+        st = _QueryState(req=req, t_arrival=t, deadline_abs=t + req.deadline)
+        self.states[req.query_id] = st
+        admitted, evicted, refusal = self.queue.offer(req, t)
+        if evicted is not None:
+            ev = self.states[evicted.query_id]
+            self._respond(ev, "shed", t, shed_reason="shed-oldest")
+        if not admitted:
+            self._respond(st, "shed", t, shed_reason=refusal)
+            return
+        st.admitted = True
+
+    def _admit(self, T: float, open_now: list[bool]) -> None:
+        """Create walks for queued queries while capacity lasts.
+
+        Cluster capacity is the healthy shards' inflight budget; open
+        breakers shrink it, the queue backs up, and the admission
+        policy sheds — the router's graceful-degradation path.
+        """
+        healthy = sum(1 for o in open_now if not o)
+        capacity = healthy * self.ccfg.max_inflight_walks_per_shard
+        inflight = self.walks_created - self.walks_done
+        while len(self.queue):
+            head = self.queue.peek()
+            st = self.states[head.query_id]
+            if st.responded:
+                self.queue.pop()
+                continue
+            if healthy == 0 or inflight + head.num_walks > capacity:
+                self.deferrals += 1
+                break
+            self.queue.pop()
+            self._create_walks(st, T)
+            inflight += head.num_walks
+
+    def _create_walks(self, st: _QueryState, T: float) -> None:
+        req = st.req
+        if req.starts is not None:
+            starts = np.asarray(req.starts, dtype=np.int64)
+        else:
+            starts = start_vertices(self.graph, req.num_walks, self._start_rng)
+        owners = self.placement.shard_of(starts)
+        t_eligible = max(T, st.t_arrival)
+        for v, owner in zip(starts.tolist(), owners.tolist()):
+            wid = self.walks_created
+            self.walks_created += 1
+            self.walks[wid] = _Walk(
+                wid, req.query_id, int(v), int(req.length), int(owner),
+                t_eligible,
+            )
+        st.injected = True
+
+    # -------------------------------------------------------------- leasing
+
+    def _route(self, owner: int, open_now: list[bool]) -> int | None:
+        """Executing shard for a lease owned by ``owner``.
+
+        A degraded owner's leases go to its ring successor — the shard
+        modeled as holding its read replica — when rerouting is on;
+        with every shard open (or rerouting off) the lease defers.
+        """
+        if not open_now[owner]:
+            return owner
+        if not self.ccfg.reroute_to_replica:
+            return None
+        n = self.ccfg.n_shards
+        for k in range(1, n):
+            candidate = (owner + k) % n
+            if not open_now[candidate]:
+                self.health.reroutes[owner] += 1
+                return candidate
+        return None
+
+    def _lease(self, T: float, open_now: list[bool]) -> dict[int, ShardStepCommand]:
+        ccfg = self.ccfg
+        budget = [ccfg.max_inflight_walks_per_shard] * ccfg.n_shards
+        # (host, t_min) -> [walk ...]; filled in deterministic wid order.
+        groups: dict[tuple[int, float], list[_Walk]] = {}
+        eligible = sorted(
+            (
+                w for w in self.walks.values()
+                if w.state in ("queued", "migrating") and w.eligible_at <= T
+            ),
+            key=lambda w: (w.eligible_at, w.wid),
+        )
+        for w in eligible:
+            host = self._route(w.shard, open_now)
+            if host is None or budget[host] <= 0:
+                if host is None:
+                    self.deferrals += 1
+                continue
+            budget[host] -= 1
+            w.state = "leased"
+            w.leased_hops = min(ccfg.segment_hops, w.remaining)
+            w.shard = host
+            groups.setdefault((host, w.eligible_at), []).append(w)
+        cmds: dict[int, ShardStepCommand] = {}
+        for (host, t_min) in sorted(groups):
+            batch = groups[(host, t_min)]
+            ids = np.array([w.wid for w in batch], dtype=np.int64)
+            verts = np.array([w.vertex for w in batch], dtype=np.int64)
+            hops = np.array([w.leased_hops for w in batch], dtype=np.int64)
+            cmd = cmds.setdefault(host, ShardStepCommand(epoch=self.epoch))
+            cmd.batches.append((t_min, ids, verts, hops))
+            self.segments_injected[host] += len(batch)
+        return cmds
+
+    # -------------------------------------------------------------- barrier
+
+    def _collect(self, results: dict, t_next: float) -> None:
+        """Process completed segments and launch migrations, all in
+        deterministic (shard, event) order at the barrier."""
+        migrating: dict[tuple[int, int], list[_Walk]] = {}
+        for sid in sorted(results):
+            for t_done, ids, verts in results[sid].completions:
+                owners = self.placement.shard_of(verts)
+                self.segments_collected[sid] += len(ids)
+                for wid, v, owner in zip(
+                    ids.tolist(), verts.tolist(), owners.tolist()
+                ):
+                    w = self.walks[wid]
+                    if w.state != "leased" or w.shard != sid:
+                        raise SimulationError(
+                            f"walk {wid} completed on shard {sid} but is "
+                            f"{w.state} on shard {w.shard}"
+                        )
+                    w.remaining -= w.leased_hops
+                    w.leased_hops = 0
+                    w.vertex = int(v)
+                    if w.remaining <= 0:
+                        w.state = "done"
+                        self.walks_done += 1
+                        self._credit(w, t_next)
+                    elif int(owner) == sid:
+                        w.state = "queued"
+                        w.eligible_at = t_next
+                    else:
+                        w.state = "migrating"
+                        w.migrations += 1
+                        migrating.setdefault((sid, int(owner)), []).append(w)
+        for (src, dst) in sorted(migrating):
+            batch = migrating[(src, dst)]
+            delivery = self.link.transmit(t_next, len(batch))
+            self.migrations_out[src] += len(batch)
+            self.migrations_in[dst] += len(batch)
+            for w in batch:
+                w.shard = dst
+                w.eligible_at = delivery
+
+    def _credit(self, w: _Walk, t: float) -> None:
+        st = self.states[w.query_id]
+        st.walks_done += 1
+        if st.responded:
+            self.zombie_walks += 1
+        elif st.walks_done >= st.req.num_walks and t <= st.deadline_abs:
+            self._respond(st, "ok", t)
+
+    def _sweep_deadlines(self, t: float) -> None:
+        for qid in sorted(self.states):
+            st = self.states[qid]
+            if not st.responded and st.deadline_abs <= t:
+                # Answered *at* the deadline with whatever finished.
+                self._respond(st, "timed_out", st.deadline_abs)
+
+    def _respond(self, st: _QueryState, status: str, t: float, *,
+                 shed_reason: str | None = None) -> None:
+        st.responded = True
+        latency = 0.0 if status == "shed" else t - st.t_arrival
+        self.responses.append(
+            QueryResult(
+                query_id=st.req.query_id,
+                arrival=st.req.arrival,
+                admitted=st.admitted,
+                status=status,
+                walks_requested=st.req.num_walks,
+                walks_completed=st.walks_done,
+                finish_time=t,
+                latency=latency,
+                shed_reason=shed_reason,
+            )
+        )
+        if status == "ok":
+            self.ok_count += 1
+        elif status == "timed_out":
+            self.timed_out_count += 1
+        else:
+            self.shed_count += 1
+
+    # ------------------------------------------------------------- idle time
+
+    def _finished(self, next_arrival: int, n_arrivals: int) -> bool:
+        if next_arrival < n_arrivals or len(self.queue):
+            return False
+        if any(w.state != "done" for w in self.walks.values()):
+            return False
+        return all(st.responded for st in self.states.values())
+
+    def _advance_clock(self, T: float, arrivals, next_arrival: int,
+                       open_now: list[bool]) -> float:
+        candidates: list[float] = []
+        if next_arrival < len(arrivals):
+            candidates.append(arrivals[next_arrival][0])
+        for w in self.walks.values():
+            if w.state in ("queued", "migrating") and w.eligible_at > T:
+                candidates.append(w.eligible_at)
+        if any(open_now):
+            blocked = any(
+                w.state in ("queued", "migrating") and w.eligible_at <= T
+                for w in self.walks.values()
+            ) or len(self.queue)
+            if blocked:
+                candidates.extend(
+                    b.open_until
+                    for b, o in zip(self.health.breakers, open_now)
+                    if o and b.open_until > T
+                )
+        candidates = [c for c in candidates if c > T]
+        if not candidates:
+            raise SimulationError(
+                f"cluster deadlock at t={T:.6g}s: no step commands and "
+                "no future event to advance to"
+            )
+        return min(candidates)
+
+    # --------------------------------------------------------------- report
+
+    def _service_section(self) -> dict:
+        ok_lat = np.asarray(
+            [r.latency for r in self.responses if r.status == "ok"],
+            dtype=float,
+        )
+        if ok_lat.size:
+            p50, p95, p99 = (
+                float(np.percentile(ok_lat, q)) for q in (50.0, 95.0, 99.0)
+            )
+            lat = {
+                "n": int(ok_lat.size),
+                "mean": float(ok_lat.mean()),
+                "max": float(ok_lat.max()),
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+            }
+        else:
+            lat = {
+                "n": 0, "mean": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        arrivals = max(self.arrivals, 1)
+        return {
+            "requests": {
+                "arrivals": self.arrivals,
+                "ok": self.ok_count,
+                "timed_out": self.timed_out_count,
+                "shed": self.shed_count,
+            },
+            "walks": {
+                "created": self.walks_created,
+                "done": self.walks_done,
+                "zombie": self.zombie_walks,
+            },
+            "latency": lat,
+            "shed_rate": self.shed_count / arrivals,
+            "deadline_miss_rate": self.timed_out_count / arrivals,
+            "queue": self.queue.stats(),
+            "deferrals": self.deferrals,
+        }
+
+    def _build_report(self, shard_reports: list[dict], *, jobs: int) -> dict:
+        rtos = [f["rto_time"] for f in self.failovers if "rto_time" in f]
+        migrations_total = int(sum(self.migrations_out))
+        per_walk = [w.migrations for w in self.walks.values()]
+        cluster = {
+            "epochs": self.epoch,
+            "placement": self.ccfg.placement,
+            "segment_hops": self.ccfg.segment_hops,
+            "barrier_time": self.now,
+            "shards": [
+                {
+                    "shard": i,
+                    "epochs_stepped": self.epochs_stepped[i],
+                    "segments_injected": self.segments_injected[i],
+                    "migrations_out": self.migrations_out[i],
+                    "migrations_in": self.migrations_in[i],
+                }
+                for i in range(self.ccfg.n_shards)
+            ],
+            "migrations": {
+                "total": migrations_total,
+                "max_per_walk": int(max(per_walk, default=0)),
+                "mean_per_walk": (
+                    float(sum(per_walk)) / len(per_walk) if per_walk else 0.0
+                ),
+            },
+            "link": self.link.stats(),
+            "health": self.health.stats(),
+            "failovers": self.failovers,
+            "promotions": self.health.promotions,
+            "kills_unfired": [list(k) for k in self.kills_unfired],
+            "rto": {
+                "count": len(rtos),
+                "max": float(max(rtos, default=0.0)),
+                "mean": float(sum(rtos) / len(rtos)) if rtos else 0.0,
+            },
+            "audit": self.auditor.stats(),
+        }
+        return {
+            "schema": CLUSTER_SCHEMA,
+            "schema_version": CLUSTER_SCHEMA_VERSION,
+            "seed": self.seed,
+            "n_shards": self.ccfg.n_shards,
+            "jobs": jobs,
+            "t0": self._t0,
+            "service": self._service_section(),
+            "responses": [
+                {
+                    "query_id": r.query_id,
+                    "status": r.status,
+                    "walks_requested": r.walks_requested,
+                    "walks_completed": r.walks_completed,
+                    "finish_time": r.finish_time,
+                    "latency": r.latency,
+                    "shed_reason": r.shed_reason,
+                }
+                for r in self.responses
+            ],
+            "shards": shard_reports,
+            "cluster": cluster,
+        }

@@ -1,0 +1,177 @@
+"""Cluster-layer configuration.
+
+Like :class:`~repro.service.config.ServiceConfig`, deliberately outside
+the engine's ``FlashWalkerConfig``: the per-shard engines keep their
+own fingerprinted hardware configs, and the cluster knobs (placement,
+link model, failover policy) describe the *deployment* around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.backoff import RetryPolicy
+from ..common.errors import ConfigError
+from ..service.config import ServiceConfig
+
+__all__ = ["ClusterConfig"]
+
+_PLACEMENTS = ("hash", "range")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of the sharded serving cluster (:class:`ClusterService`).
+
+    ``n_shards`` simulated FlashWalker devices serve one logical graph;
+    every device holds the full graph image (its subgraph replica set),
+    but each *owns* the vertices the ``placement`` map assigns it and
+    only advances walks currently resident on it.  Walks advance in
+    leases of ``segment_hops`` hops; when a walk's vertex lands on
+    another shard's territory it migrates there over the modeled
+    network link.
+
+    The link charges ``link_latency + bytes / link_bandwidth`` per
+    migration message and draws seeded loss/corruption faults per
+    attempt; failed attempts retransmit under the shared
+    :class:`~repro.common.backoff.RetryPolicy` and, once
+    ``rpc_max_attempts`` is exhausted, escalate to a slow reliable
+    fallback path (``reliable_fallback_latency``) — a migration is
+    *never* dropped, only delayed, which is half of the walk
+    conservation argument.
+
+    ``kill_schedule`` is the shard-kill injector: ``(t, shard)`` pairs
+    in cluster time; each kill power-fails the shard mid-epoch and the
+    read replica is promoted by replaying the shard's walk journal
+    (measured RTO lands in the report's failover timeline).
+
+    Degradation: arrivals pass an admission queue sized by
+    ``queue_capacity`` under ``admission_policy``; per-shard circuit
+    breakers (fed by each shard's fault/integrity counters) mark shards
+    degraded, and leases for a degraded shard go to its ring successor
+    when ``reroute_to_replica`` is set, else defer until the breaker
+    closes.
+    """
+
+    n_shards: int = 4
+    placement: str = "hash"
+    segment_hops: int = 1
+    # -- network link ------------------------------------------------------
+    link_latency: float = 5e-6
+    link_bandwidth: float = 2e9
+    walk_bytes: int = 16
+    link_loss_prob: float = 0.0
+    link_corrupt_prob: float = 0.0
+    rpc_base_delay: float = 10e-6
+    rpc_backoff_factor: float = 2.0
+    rpc_backoff_cap: float = 200e-6
+    rpc_max_attempts: int = 5
+    rpc_jitter_frac: float = 0.25
+    reliable_fallback_latency: float = 500e-6
+    # -- shard kills (power loss + replica promotion) ----------------------
+    kill_schedule: tuple[tuple[float, int], ...] = ()
+    #: Where inside the victim's epoch the cut lands, as a fraction of
+    #: its previous epoch's local duration.
+    kill_epoch_frac: float = 0.5
+    # -- admission / serving ----------------------------------------------
+    queue_capacity: int = 64
+    admission_policy: str = "reject"
+    rate_limit_qps: float = 0.0
+    rate_limit_burst: int = 8
+    max_walk_length: int = 6
+    max_inflight_walks_per_shard: int = 4096
+    # -- health / degradation ----------------------------------------------
+    breaker_enabled: bool = True
+    breaker_cooldown: float = 2e-3
+    breaker_exhausted_threshold: int = 1
+    breaker_corruption_threshold: int = 1
+    reroute_to_replica: bool = True
+    #: Promote a degraded shard's replica after this many consecutive
+    #: breaker-open epochs (0 disables; kills always promote).
+    promote_after_open_epochs: int = 0
+    audit_interval_epochs: int = 1
+    #: Hard cap on coordination rounds (runaway guard, like max_events).
+    max_epochs: int = 100_000
+
+    def validate(self) -> "ClusterConfig":
+        if self.n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.placement not in _PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {_PLACEMENTS}"
+            )
+        if self.segment_hops < 1:
+            raise ConfigError(f"segment_hops must be >= 1, got {self.segment_hops}")
+        if self.link_latency < 0:
+            raise ConfigError(f"negative link_latency {self.link_latency}")
+        if self.link_bandwidth <= 0:
+            raise ConfigError(f"link_bandwidth must be > 0, got {self.link_bandwidth}")
+        if self.walk_bytes < 1:
+            raise ConfigError(f"walk_bytes must be >= 1, got {self.walk_bytes}")
+        for name in ("link_loss_prob", "link_corrupt_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {p}")
+        if self.reliable_fallback_latency < 0:
+            raise ConfigError(
+                f"negative reliable_fallback_latency {self.reliable_fallback_latency}"
+            )
+        for t, shard in self.kill_schedule:
+            if t < 0:
+                raise ConfigError(f"kill time must be >= 0, got {t}")
+            if not 0 <= int(shard) < self.n_shards:
+                raise ConfigError(
+                    f"kill shard {shard} out of range for {self.n_shards} shards"
+                )
+        if not 0.0 <= self.kill_epoch_frac <= 1.0:
+            raise ConfigError(
+                f"kill_epoch_frac must be in [0, 1], got {self.kill_epoch_frac}"
+            )
+        if self.max_inflight_walks_per_shard < 1:
+            raise ConfigError(
+                "max_inflight_walks_per_shard must be >= 1, got "
+                f"{self.max_inflight_walks_per_shard}"
+            )
+        if self.promote_after_open_epochs < 0:
+            raise ConfigError(
+                f"negative promote_after_open_epochs {self.promote_after_open_epochs}"
+            )
+        if self.audit_interval_epochs < 0:
+            raise ConfigError(
+                f"negative audit_interval_epochs {self.audit_interval_epochs}"
+            )
+        if self.max_epochs < 1:
+            raise ConfigError(f"max_epochs must be >= 1, got {self.max_epochs}")
+        self.rpc_policy(seed=0).validate()
+        self.service_cfg().validate()
+        return self
+
+    def rpc_policy(self, seed: int) -> RetryPolicy:
+        """Migration-RPC retransmit backoff (shared policy class)."""
+        return RetryPolicy(
+            base_delay=self.rpc_base_delay,
+            factor=self.rpc_backoff_factor,
+            max_delay=self.rpc_backoff_cap,
+            max_attempts=self.rpc_max_attempts,
+            jitter_frac=self.rpc_jitter_frac,
+            seed=seed,
+            salt="cluster-rpc",
+        )
+
+    def service_cfg(self) -> ServiceConfig:
+        """Admission/breaker knobs repackaged for the reused
+        :class:`~repro.service.queue.AdmissionQueue` and
+        :class:`~repro.service.breaker.CircuitBreaker`."""
+        return ServiceConfig(
+            queue_capacity=self.queue_capacity,
+            admission_policy=self.admission_policy,
+            rate_limit_qps=self.rate_limit_qps,
+            rate_limit_burst=self.rate_limit_burst,
+            max_inflight_walks=self.max_inflight_walks_per_shard,
+            max_walk_length=self.max_walk_length,
+            breaker_enabled=self.breaker_enabled,
+            breaker_cooldown=self.breaker_cooldown,
+            breaker_exhausted_threshold=self.breaker_exhausted_threshold,
+            breaker_corruption_threshold=self.breaker_corruption_threshold,
+        )

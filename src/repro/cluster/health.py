@@ -1,0 +1,85 @@
+"""Per-shard health tracking for the cluster router.
+
+Each shard gets its own :class:`~repro.service.breaker.CircuitBreaker`
+— the *same* class the single-device service uses — fed through a
+:class:`ShardHealthProxy` that mirrors the engine-shaped attributes
+(``fault_model`` counters, ``integrity.detected``) from the health
+signals each epoch's :class:`~repro.cluster.shard.ShardStepResult`
+carries back.  The proxy exists because in process-pool mode the
+engine object lives in a worker; the coordinator polls the mirrored
+counters instead, and serial mode uses the identical path so the two
+execution modes cannot diverge.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..service.breaker import CircuitBreaker
+
+__all__ = ["ShardHealthProxy", "HealthBoard"]
+
+
+class ShardHealthProxy:
+    """Engine look-alike the reused circuit breaker polls."""
+
+    def __init__(self):
+        self.fault_model = SimpleNamespace(chip_failures=0, reads_exhausted=0)
+        self.integrity = SimpleNamespace(detected=0)
+
+    def update(self, health: dict) -> None:
+        self.fault_model.chip_failures = int(health.get("chip_failures", 0))
+        self.fault_model.reads_exhausted = int(health.get("reads_exhausted", 0))
+        self.integrity.detected = int(health.get("corruption_detected", 0))
+
+
+class HealthBoard:
+    """Breakers + degradation bookkeeping for every shard."""
+
+    def __init__(self, svc_cfg, n_shards: int):
+        self.proxies = [ShardHealthProxy() for _ in range(n_shards)]
+        self.breakers = [CircuitBreaker(svc_cfg, p) for p in self.proxies]
+        self.open_epochs = [0] * n_shards
+        self.consecutive_open = [0] * n_shards
+        self.reroutes = [0] * n_shards
+        self.promotions: list[dict] = []
+
+    def update(self, shard_id: int, health: dict) -> None:
+        self.proxies[shard_id].update(health)
+
+    def poll(self, now: float) -> list[bool]:
+        """Breaker state per shard at cluster time ``now``; updates the
+        consecutive-open counters the promotion policy watches."""
+        state = []
+        for i, brk in enumerate(self.breakers):
+            is_open = brk.is_open(now)
+            if is_open:
+                self.open_epochs[i] += 1
+                self.consecutive_open[i] += 1
+            else:
+                self.consecutive_open[i] = 0
+            state.append(is_open)
+        return state
+
+    def promote(self, shard_id: int, *, epoch: int, now: float) -> None:
+        """Breaker-driven replica promotion: the fresh replica takes
+        over, so the breaker's degradation baseline resets to the
+        current counters and the circuit closes."""
+        brk = self.breakers[shard_id]
+        proxy = self.proxies[shard_id]
+        brk.open_until = 0.0
+        brk._seen_chip_failures = proxy.fault_model.chip_failures
+        brk._seen_exhausted = proxy.fault_model.reads_exhausted
+        brk._seen_corruption = proxy.integrity.detected
+        self.consecutive_open[shard_id] = 0
+        self.promotions.append(
+            {"kind": "breaker", "shard": shard_id, "epoch": epoch, "t": now}
+        )
+
+    def stats(self) -> dict:
+        return {
+            "breaker_trips": [b.trips for b in self.breakers],
+            "open_epochs": list(self.open_epochs),
+            "reroutes": list(self.reroutes),
+            "breaker_promotions": len(self.promotions),
+        }

@@ -1,0 +1,94 @@
+"""Modeled inter-shard network link with seeded faults.
+
+Migration messages ride a shared latency/bandwidth link.  Each attempt
+draws seeded loss and corruption faults from a dedicated stream (never
+the engines' streams, so cluster runs and single-device runs share
+walk trajectories); a failed attempt retransmits after the shared
+:class:`~repro.common.backoff.RetryPolicy` delay, and an exhausted
+retry loop escalates to a slow reliable path — messages are delayed,
+never dropped, so the link can lose packets without the cluster ever
+losing a walk.
+
+All transmissions are issued by the coordinator in deterministic
+``(epoch, src_shard, dst_shard)`` order, so the fault draws — and with
+them every delivery time — are identical across serial and
+process-pool executions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.backoff import RetryPolicy
+from ..common.rng import derive_seed
+
+__all__ = ["NetworkLink"]
+
+
+class NetworkLink:
+    """Fault-injected point-to-point delivery between shards."""
+
+    def __init__(self, cfg, seed: int):
+        self.cfg = cfg
+        self.policy: RetryPolicy = cfg.rpc_policy(seed).validate()
+        self._rng = np.random.default_rng(derive_seed(seed, "cluster:link"))
+        self.messages = 0
+        self.walks_moved = 0
+        self.bytes_moved = 0
+        self.losses = 0
+        self.corruptions = 0
+        self.retransmits = 0
+        self.escalations = 0
+        self.total_delay = 0.0
+
+    def transmit(self, t_send: float, n_walks: int) -> float:
+        """Deliver one migration batch; returns the delivery time.
+
+        Loss eats the message in flight; corruption is detected at the
+        receiver (checksum) and rejected — both cost a full timeout +
+        backoff before the retransmit.  After ``rpc_max_attempts``
+        failed tries the sender escalates to the reliable fallback
+        path, which always succeeds.
+        """
+        cfg = self.cfg
+        nbytes = n_walks * cfg.walk_bytes
+        span = cfg.link_latency + nbytes / cfg.link_bandwidth
+        self.messages += 1
+        self.walks_moved += n_walks
+        self.bytes_moved += nbytes
+        t = t_send
+        attempt = 0
+        while True:
+            lost = float(self._rng.random()) < cfg.link_loss_prob
+            corrupt = (not lost) and float(self._rng.random()) < cfg.link_corrupt_prob
+            attempt += 1
+            if not lost and not corrupt:
+                delivery = t + span
+                break
+            if lost:
+                self.losses += 1
+            else:
+                self.corruptions += 1
+            if self.policy.exhausted(attempt):
+                self.escalations += 1
+                delivery = t + span + cfg.reliable_fallback_latency
+                break
+            self.retransmits += 1
+            # Timeout covers the failed attempt's span, then back off.
+            t += span + self.policy.delay(attempt)
+        self.total_delay += delivery - t_send
+        return delivery
+
+    def stats(self) -> dict:
+        return {
+            "messages": self.messages,
+            "walks_moved": self.walks_moved,
+            "bytes_moved": self.bytes_moved,
+            "losses": self.losses,
+            "corruptions": self.corruptions,
+            "retransmits": self.retransmits,
+            "escalations": self.escalations,
+            "mean_delay": (
+                self.total_delay / self.messages if self.messages else 0.0
+            ),
+        }

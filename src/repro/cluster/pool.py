@@ -1,0 +1,159 @@
+"""Shard execution hosts: in-process or across a process pool.
+
+The coordinator talks to shards through one interface
+(:class:`ShardHosts`) whether they live in this process (``jobs <= 1``)
+or in persistent worker processes (``jobs > 1``, shards assigned
+round-robin).  Workers run the *same* :class:`ShardRuntime` code the
+serial path runs, and every epoch's results are collected keyed by
+shard id before the coordinator proceeds — so serial and process-pool
+cluster runs are byte-identical, the same equivalence the campaign
+pool guarantees per point (and CI gates the same way).
+
+Per-shard seeds are sha256-derived by the coordinator before hosts are
+built, so seeding is independent of worker assignment.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from ..common.errors import SimulationError
+from ..parallel.campaign import _default_start_method
+from .shard import ShardRuntime, ShardStepCommand
+
+__all__ = ["ShardHosts"]
+
+
+def _build_runtime(params: dict) -> ShardRuntime:
+    return ShardRuntime(
+        params["shard_id"],
+        params["graph"],
+        params["cfg"],
+        params["seed"],
+        spec_length=params["spec_length"],
+        expected_walks=params["expected_walks"],
+    )
+
+
+def _worker_main(conn, shard_params: list[dict]) -> None:
+    """Worker loop: owns a subset of shard runtimes for the whole run."""
+    runtimes = {p["shard_id"]: _build_runtime(p) for p in shard_params}
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:  # pragma: no cover - parent died
+            return
+        try:
+            if op == "setup":
+                out = [(sid, rt.setup()) for sid, rt in sorted(runtimes.items())]
+            elif op == "step":
+                out = [(sid, runtimes[sid].step(cmd)) for sid, cmd in payload]
+            elif op == "finalize":
+                out = [
+                    (sid, rt.finalize()) for sid, rt in sorted(runtimes.items())
+                ]
+            elif op == "close":
+                conn.send(("ok", None))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise SimulationError(f"unknown shard-host op {op!r}")
+            conn.send(("ok", out))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+
+
+class ShardHosts:
+    """Uniform front over local or pooled shard runtimes."""
+
+    def __init__(self, shard_params: list[dict], *, jobs: int = 1,
+                 start_method: str | None = None):
+        self.n_shards = len(shard_params)
+        self.jobs = max(1, min(int(jobs), self.n_shards))
+        self._local: dict[int, ShardRuntime] = {}
+        self._conns: list = []
+        self._procs: list = []
+        #: shard id -> owning worker index (round-robin).
+        self._worker_of: dict[int, int] = {}
+        if self.jobs <= 1:
+            self._local = {
+                p["shard_id"]: _build_runtime(p) for p in shard_params
+            }
+            self.start_method = None
+            return
+        import multiprocessing
+
+        self.start_method = start_method or _default_start_method()
+        mpc = multiprocessing.get_context(self.start_method)
+        groups: list[list[dict]] = [[] for _ in range(self.jobs)]
+        for i, p in enumerate(shard_params):
+            groups[i % self.jobs].append(p)
+            self._worker_of[p["shard_id"]] = i % self.jobs
+        for group in groups:
+            parent, child = mpc.Pipe()
+            proc = mpc.Process(
+                target=_worker_main, args=(child, group), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    # ---------------------------------------------------------------- helpers
+
+    def _broadcast(self, op: str, payloads=None) -> dict:
+        """Send ``op`` to every worker, gather ``{shard_id: value}``."""
+        for w, conn in enumerate(self._conns):
+            conn.send((op, None if payloads is None else payloads[w]))
+        out: dict = {}
+        for conn in self._conns:
+            status, value = conn.recv()
+            if status == "error":
+                raise SimulationError(f"shard worker failed:\n{value}")
+            if value is not None:
+                out.update(dict(value))
+        return out
+
+    # -------------------------------------------------------------- lifecycle
+
+    def setup(self) -> dict[int, float]:
+        """Open every shard's session; returns shard id -> ready time."""
+        if self._local:
+            return {sid: rt.setup() for sid, rt in sorted(self._local.items())}
+        return self._broadcast("setup")
+
+    def step(self, cmds: dict[int, ShardStepCommand]) -> dict:
+        """Run one epoch on the shards named in ``cmds`` (concurrently
+        across workers when pooled); returns shard id -> result."""
+        if self._local:
+            return {sid: self._local[sid].step(cmd) for sid, cmd in cmds.items()}
+        payloads: list[list] = [[] for _ in self._conns]
+        for sid, cmd in cmds.items():
+            payloads[self._worker_of[sid]].append((sid, cmd))
+        # Workers without commands this epoch get an empty step list.
+        return self._broadcast("step", payloads)
+
+    def finalize(self) -> dict[int, dict]:
+        """Close sessions; returns shard id -> engine run report."""
+        if self._local:
+            return {
+                sid: rt.finalize() for sid, rt in sorted(self._local.items())
+            }
+        return self._broadcast("finalize")
+
+    def close(self) -> None:
+        if self._local:
+            self._local = {}
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []

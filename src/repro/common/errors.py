@@ -166,17 +166,60 @@ class BufferOverflowError(ReproError):
 class InvariantViolation(SimulationError):
     """The online auditor found engine state violating an invariant.
 
-    Carries the full list of failed checks plus a state dump captured at
-    detection time so the offending condition is debuggable post-mortem
-    (the simulation stops at the raise).
+    Carries the failed checks plus a state dump captured at detection
+    time so the offending condition is debuggable post-mortem (the
+    simulation stops at the raise).  ``context`` names the component
+    that detected the violation (e.g. ``"service"`` or
+    ``"cluster/shard:2"``) so multi-shard audit failures are
+    attributable in CI logs.
+
+    State dumps are *bounded*: long sequences (walk tables, per-shard
+    listings) are truncated to :data:`MAX_STATE_ITEMS` entries and long
+    strings to :data:`MAX_STATE_CHARS` characters, each with an
+    explicit ``"... (<n> total, truncated)"`` marker, so a
+    cluster-scale failure stays readable instead of dumping thousands
+    of walk records.
     """
 
+    #: Longest sequence kept verbatim in a state dump.
+    MAX_STATE_ITEMS = 32
+    #: Longest string kept verbatim in a state dump.
+    MAX_STATE_CHARS = 512
+    #: Recursion guard for nested state dumps.
+    MAX_STATE_DEPTH = 4
+
     def __init__(self, message: str, *, violations: list[str] | None = None,
-                 state: dict | None = None, at: float = 0.0):
+                 state: dict | None = None, at: float = 0.0,
+                 context: str | None = None):
         super().__init__(message)
         self.violations = list(violations or [])
-        self.state = dict(state or {})
+        self.state = self._bound(dict(state or {}), self.MAX_STATE_DEPTH)
         self.at = at
+        self.context = context
+
+    @classmethod
+    def _bound(cls, value, depth: int):
+        """Truncate oversized containers/strings, keeping dumps readable."""
+        if depth <= 0:
+            return "... (max depth, truncated)"
+        if isinstance(value, dict):
+            out = {}
+            for i, (k, v) in enumerate(value.items()):
+                if i >= cls.MAX_STATE_ITEMS:
+                    out["..."] = f"({len(value)} total, truncated)"
+                    break
+                out[k] = cls._bound(v, depth - 1)
+            return out
+        if isinstance(value, (list, tuple)):
+            seq = [cls._bound(v, depth - 1) for v in value[: cls.MAX_STATE_ITEMS]]
+            if len(value) > cls.MAX_STATE_ITEMS:
+                seq.append(f"... ({len(value)} total, truncated)")
+            return tuple(seq) if isinstance(value, tuple) else seq
+        if isinstance(value, str) and len(value) > cls.MAX_STATE_CHARS:
+            return value[: cls.MAX_STATE_CHARS] + (
+                f"... ({len(value)} chars, truncated)"
+            )
+        return value
 
 
 class WalkError(ReproError):

@@ -292,6 +292,9 @@ class FlashWalker:
         # restore leaves the packed dict in _restored_extra.
         self._checkpoint_extra = None
         self._restored_extra = None
+        # Which recurring durability events the restored snapshot had
+        # armed (None = legacy snapshot / no restore: arm everything).
+        self._restored_dur_armed: set[str] | None = None
         self._ckpt_interval = (
             fcfg.checkpoint_interval if (fcfg.enabled or dcfg.enabled) else 0.0
         )
@@ -440,8 +443,11 @@ class FlashWalker:
         self.in_transit += n
         self._done = False
         # Recurring durability events were cancelled when the session
-        # last went idle (_done); new work re-arms them.
-        if not self._dur_events:
+        # last went idle (_done); new work re-arms them.  An armed
+        # power loss is not recurring work — it must not keep the
+        # journal/scrub events from re-arming, or the epoch it is
+        # armed in runs with journal flushes silently off.
+        if all(k.startswith("powerloss") for k in self._dur_events):
             self._arm_durability()
         self._board_direct(walks, scoped=False)
 
@@ -1243,6 +1249,57 @@ class FlashWalker:
             tr.instant("ckpt", PID_RUN, 0, "checkpoint", t,
                        args={"index": int(self.metrics.checkpoints.total)})
 
+    def checkpoint_now(self) -> None:
+        """Take an explicit quiescent checkpoint at the current time.
+
+        The cluster layer calls this at every epoch boundary — engine
+        drained, no walk mid-flight — so a shard killed mid-epoch can
+        be restored to the exact epoch start and replayed
+        bit-identically.  Raises if the engine is not quiescent (a
+        snapshot of in-flight state would not be restorable).
+        """
+        if not self._quiescent():
+            raise SimulationError(
+                "checkpoint_now() requires a quiescent engine "
+                f"(in_transit={self.in_transit}, "
+                f"board_inflight={self._board_inflight})"
+            )
+        self._take_checkpoint(self.sim.now)
+
+    def arm_power_loss(self, t: float) -> None:
+        """Arm a single power-loss event at absolute time ``t``.
+
+        Unlike :meth:`schedule_power_loss` (a whole-run schedule set
+        before ``run()``), this replaces the schedule mid-session and
+        resets the fired-crash cursor, so callers that inject repeated
+        seeded kills — the cluster's shard-kill injector — can re-arm
+        between epochs.  Requires the durability layer (recovery needs
+        checkpoints and the walk journal).
+        """
+        if not self.cfg.durability.enabled:
+            raise SimulationError(
+                "arm_power_loss() requires durability.enabled "
+                "(recovery replays from checkpoint + journal)"
+            )
+        if t < self.sim.now:
+            raise SimulationError(
+                f"cannot arm power loss in the past: t={t} < now={self.sim.now}"
+            )
+        pending = self._dur_events.pop("powerloss0", None)
+        if pending is not None:
+            pending.cancel()
+        self.power_loss_times = (float(t),)
+        self._crashes_fired = 0
+        # Schedule only the power-loss event itself.  Running the full
+        # _arm_durability here would arm the journal/scrub events *now*
+        # rather than at the next injection (where an unkilled run arms
+        # them), shifting their fire phase — and with it the engine's
+        # flush contention — so a killed timeline would diverge from
+        # its uninterrupted baseline even before the crash fires.
+        self._dur_events["powerloss0"] = self.sim.at(
+            float(t), lambda: self._power_loss(0), priority=_PRIO_POWER_LOSS
+        )
+
     def restore_for_resume(self, checkpoint=None):
         """Restore state from a checkpoint and re-arm scheduled events.
 
@@ -1267,6 +1324,16 @@ class FlashWalker:
                         lambda c=int(chip_flat): self._fail_chip(c),
                     )
         self._arm_durability()
+        # Restore the armed-event *set* as of capture: a snapshot taken
+        # at a drained rest point (cluster epoch boundary) had no
+        # recurring events armed — the resumed timeline must re-arm
+        # them lazily at its next injection, exactly as the original
+        # timeline did, or the flush/scrub phase diverges from it.
+        armed = self._restored_dur_armed
+        if armed is not None:
+            for key in list(self._dur_events):
+                if not key.startswith("powerloss") and key not in armed:
+                    self._dur_events.pop(key).cancel()
         return snap
 
     def resume(
@@ -1488,6 +1555,7 @@ class FlashWalker:
                     "walk journal failed verification during recovery",
                     violations=violations,
                     at=t_crash,
+                    context="durability/journal",
                 )
         completed_at_crash = int(info.get("completed", self.completed_walks))
         if j is not None:

@@ -319,6 +319,14 @@ def capture_checkpoint(fw, t: float) -> Checkpoint:
                 "next_journal_flush": fw._next_journal_flush,
                 "next_scrub": fw._next_scrub,
                 "next_corruption": fw._next_corruption,
+                # Which recurring events were actually armed at capture:
+                # a drained engine (cluster epoch boundary) has none, and
+                # the resumed run must re-arm lazily at its next
+                # injection — exactly as the uninterrupted run does — or
+                # the journal-flush phase diverges.
+                "armed": sorted(
+                    k for k in fw._dur_events if not k.startswith("powerloss")
+                ),
                 "journal": (
                     None if fw.journal is None else fw.journal.state()
                 ),
@@ -588,6 +596,11 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
         fw._next_journal_flush = dur["next_journal_flush"]
         fw._next_scrub = dur["next_scrub"]
         fw._next_corruption = dur["next_corruption"]
+        # Legacy snapshots (no "armed" recorded) arm everything, the
+        # pre-cluster behavior; restore_for_resume consumes this.
+        fw._restored_dur_armed = (
+            None if "armed" not in dur else set(dur["armed"])
+        )
         if fw.journal is not None and dur["journal"] is not None:
             fw.journal.restore(dur["journal"])
         if fw.integrity is not None and dur["integrity"] is not None:

@@ -148,6 +148,8 @@ def resolve_runner(name: str) -> Callable:
         from ..experiments import runner  # noqa: F401 — registers fig runners
     if name not in _POINT_RUNNERS:
         from ..service import campaign  # noqa: F401 — registers service_slo
+    if name not in _POINT_RUNNERS:
+        from ..cluster import campaign as _cc  # noqa: F401 — cluster_failover
     try:
         return _POINT_RUNNERS[name]
     except KeyError:

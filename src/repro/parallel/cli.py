@@ -21,7 +21,8 @@ from .campaign import multi_seed_points, run_campaign
 __all__ = ["main"]
 
 #: Experiments that expose point enumerators (module.points(ctx, datasets)).
-PARALLEL_EXPERIMENTS = ("fig5", "fig7", "fig9", "service_slo")
+PARALLEL_EXPERIMENTS = ("fig5", "fig7", "fig9", "service_slo",
+                        "cluster_failover")
 
 
 def _points_for(experiment: str, ctx, datasets):
@@ -29,6 +30,10 @@ def _points_for(experiment: str, ctx, datasets):
         from ..service import campaign as service_campaign
 
         return service_campaign.points(ctx, datasets)
+    if experiment == "cluster_failover":
+        from ..cluster import campaign as cluster_campaign
+
+        return cluster_campaign.points(ctx, datasets)
     from ..experiments import fig5, fig7, fig9
 
     mod = {"fig5": fig5, "fig7": fig7, "fig9": fig9}[experiment]

@@ -124,6 +124,7 @@ class ServiceAuditor:
                 violations=violations,
                 state=self._state_dump(),
                 at=sim_now,
+                context="service",
             )
 
     def _state_dump(self) -> dict:

@@ -102,6 +102,8 @@ class WalkQueryService:
         self._t0 = 0.0
         self._dispatch_scheduled = False
         self._retry_scheduled = False
+        self.reopen_policy = self.cfg.reopen_policy(seed=fw._seed).validate()
+        self._reopen_attempts = 0
         self._requests: list[QueryRequest] = []
         #: Optional hook ``fn(fw, t0)`` called after session setup and
         #: before the event loop runs; test scaffolding uses it to
@@ -198,6 +200,7 @@ class WalkQueryService:
                 "zombie_walks": self.zombie_walks,
                 "deadline_misses": self.deadline_misses,
                 "deferrals": self.deferrals,
+                "reopen_attempts": self._reopen_attempts,
             },
             "queue": {
                 "ids": [r.query_id for r in self.queue._q],
@@ -242,6 +245,7 @@ class WalkQueryService:
         self.zombie_walks = c["zombie_walks"]
         self.deadline_misses = c["deadline_misses"]
         self.deferrals = c["deferrals"]
+        self._reopen_attempts = c.get("reopen_attempts", 0)
         q = d["queue"]
         self.queue._q.clear()
         self.queue._q.extend(self.states[qid].req for qid in q["ids"])
@@ -381,14 +385,12 @@ class WalkQueryService:
                 # Timed out or shed while queued; nothing to inject.
                 self.queue.pop()
                 continue
-            if (
-                self.cfg.breaker_enabled
-                and self.cfg.breaker_policy == "defer"
-                and self.breaker.is_open(t)
-            ):
-                self.deferrals += 1
-                self._schedule_retry(self.breaker.open_until)
-                break
+            if self.cfg.breaker_enabled and self.cfg.breaker_policy == "defer":
+                if self.breaker.is_open(t):
+                    self.deferrals += 1
+                    self._schedule_retry(self.breaker.open_until)
+                    break
+                self._reopen_attempts = 0
             backlog = fw.total_walks - fw.completed_walks
             if backlog > 0 and backlog + head.num_walks > self.cfg.max_inflight_walks:
                 # Backpressure: completions re-trigger dispatch.
@@ -412,16 +414,25 @@ class WalkQueryService:
 
         Without this, a deferred queue would starve when the engine
         drains (no completion event would ever re-trigger dispatch).
+        Consecutive reopen attempts back off per the shared
+        :class:`~repro.common.backoff.RetryPolicy` — the same policy
+        class the cluster uses for migration-RPC retransmits — with
+        the attempt counter resetting once dispatch gets past the
+        breaker.
         """
         if self._retry_scheduled:
             return
         self._retry_scheduled = True
+        at = max(at, self.fw.sim.now) + self.reopen_policy.delay(
+            self._reopen_attempts
+        )
+        self._reopen_attempts += 1
 
         def retry():
             self._retry_scheduled = False
             self._schedule_dispatch()
 
-        self.fw.sim.at(max(at, self.fw.sim.now), retry)
+        self.fw.sim.at(at, retry)
 
     # ---------------------------------------------------------- completions
 

@@ -1,0 +1,462 @@
+"""Cluster layer: sharded serving, vertex placement, fault-injected
+migration link, replica failover, and cluster-wide conservation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterService,
+    HealthBoard,
+    NetworkLink,
+    ShardRuntime,
+    VertexPlacement,
+)
+from repro.common import (
+    ConfigError,
+    DurabilityConfig,
+    FaultConfig,
+    FlashWalkerConfig,
+    InvariantViolation,
+    RetryPolicy,
+    RngRegistry,
+    SimulationError,
+)
+from repro.graph import rmat
+from repro.service.config import ServiceConfig
+from repro.service.request import QueryRequest
+from repro.walks import WalkSpec
+
+ENGINE = dict(
+    partition_subgraphs=4, board_hot_subgraphs=1, channel_hot_subgraphs=0
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(9, 8, RngRegistry(55).fresh("g"))
+
+
+def shard_cfg(faults=None, *, durability=None):
+    return FlashWalkerConfig(
+        **ENGINE,
+        durability=durability
+        or DurabilityConfig(enabled=True, journal_interval=25e-6),
+        faults=faults or FaultConfig(),
+    )
+
+
+def requests(n=4, *, num_walks=16, length=6, gap=30e-6):
+    return [
+        QueryRequest(query_id=i, arrival=i * gap, num_walks=num_walks,
+                     length=length, deadline=50e-3)
+        for i in range(n)
+    ]
+
+
+def cluster_cfg(**kw):
+    kw.setdefault("n_shards", 3)
+    kw.setdefault("segment_hops", 2)
+    kw.setdefault("max_walk_length", 6)
+    kw.setdefault("link_loss_prob", 0.05)
+    kw.setdefault("link_corrupt_prob", 0.02)
+    return ClusterConfig(**kw)
+
+
+def run_cluster(graph, ccfg=None, *, seed=7, jobs=1, faults=None, reqs=None):
+    svc = ClusterService(
+        graph, shard_cfg(faults), ccfg or cluster_cfg(), seed=seed, jobs=jobs
+    )
+    return svc, svc.run(reqs if reqs is not None else requests())
+
+
+def canonical(report, *, drop=()):
+    return json.dumps(
+        {k: v for k, v in report.items() if k not in drop}, sort_keys=True
+    )
+
+
+# ----------------------------------------------------------- retry policy
+
+
+class TestRetryPolicy:
+    def test_first_attempt_free_then_geometric(self):
+        p = RetryPolicy(base_delay=1e-5, factor=2.0, max_delay=4e-5,
+                        max_attempts=6).validate()
+        assert p.delay(0) == 0.0
+        assert p.delay(1) == pytest.approx(1e-5)
+        assert p.delay(2) == pytest.approx(2e-5)
+        assert p.delay(3) == pytest.approx(4e-5)
+        # Capped from here on.
+        assert p.delay(4) == pytest.approx(4e-5)
+        assert p.delay(5) == pytest.approx(4e-5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        mk = lambda salt: RetryPolicy(
+            base_delay=1e-5, jitter_frac=0.5, seed=11, salt=salt
+        ).validate()
+        a, b = mk("rpc"), mk("rpc")
+        assert [a.delay(k) for k in range(8)] == [b.delay(k) for k in range(8)]
+        for k in range(1, 8):
+            raw = min(a.max_delay, a.base_delay * a.factor ** (k - 1))
+            assert raw <= a.delay(k) <= raw * 1.5
+        # A different salt draws a different (still deterministic) schedule.
+        assert [mk("other").delay(k) for k in range(1, 8)] != [
+            a.delay(k) for k in range(1, 8)
+        ]
+
+    def test_exhaustion_and_total_delay(self):
+        p = RetryPolicy(base_delay=1e-5, max_attempts=3).validate()
+        assert not p.exhausted(2)
+        assert p.exhausted(3)
+        assert p.total_delay() == pytest.approx(p.delay(1) + p.delay(2))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_delay=-1.0),
+            dict(factor=0.5),
+            dict(max_delay=-1.0),
+            dict(max_attempts=0),
+            dict(jitter_frac=1.5),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs).validate()
+
+
+# -------------------------------------------- bounded invariant dumps
+
+
+class TestInvariantViolationBounding:
+    def test_long_sequences_truncated_with_marker(self):
+        walk_table = [(i, "queued", 0, 3) for i in range(1000)]
+        exc = InvariantViolation(
+            "boom", violations=["x"], state={"walk_table": walk_table}
+        )
+        dumped = exc.state["walk_table"]
+        assert len(dumped) == InvariantViolation.MAX_STATE_ITEMS + 1
+        assert dumped[-1] == "... (1000 total, truncated)"
+
+    def test_wide_dicts_truncated_with_marker(self):
+        exc = InvariantViolation(
+            "boom", state={f"k{i}": i for i in range(100)}
+        )
+        assert len(exc.state) == InvariantViolation.MAX_STATE_ITEMS + 1
+        assert exc.state["..."] == "(100 total, truncated)"
+
+    def test_long_strings_truncated(self):
+        exc = InvariantViolation("boom", state={"blob": "x" * 10_000})
+        assert exc.state["blob"].startswith("x" * InvariantViolation.MAX_STATE_CHARS)
+        assert exc.state["blob"].endswith("(10000 chars, truncated)")
+
+    def test_depth_guard(self):
+        nested = {"a": {"b": {"c": {"d": {"e": 1}}}}}
+        exc = InvariantViolation("boom", state=nested)
+        assert exc.state["a"]["b"]["c"]["d"] == "... (max depth, truncated)"
+
+    def test_small_state_kept_verbatim_and_context_carried(self):
+        exc = InvariantViolation(
+            "boom", state={"now": 1.5, "walks": [1, 2]}, context="cluster"
+        )
+        assert exc.state == {"now": 1.5, "walks": [1, 2]}
+        assert exc.context == "cluster"
+
+
+# --------------------------------------------------------------- placement
+
+
+class TestVertexPlacement:
+    def test_hash_covers_all_shards_deterministically(self):
+        pl = VertexPlacement("hash", 4, 512)
+        verts = np.arange(512)
+        owners = pl.shard_of(verts)
+        assert set(owners.tolist()) == {0, 1, 2, 3}
+        assert np.array_equal(owners, VertexPlacement("hash", 4, 512).shard_of(verts))
+        assert int(pl.counts(verts).sum()) == 512
+
+    def test_range_is_contiguous_and_monotone(self):
+        pl = VertexPlacement("range", 4, 512)
+        owners = pl.shard_of(np.arange(512))
+        assert np.all(np.diff(owners) >= 0)
+        assert np.array_equal(np.unique(owners), np.arange(4))
+        # Equal spans for an evenly divisible vertex space.
+        assert np.array_equal(pl.counts(np.arange(512)), np.full(4, 128))
+
+    def test_out_of_range_vertex_rejected(self):
+        pl = VertexPlacement("hash", 2, 16)
+        with pytest.raises(ConfigError):
+            pl.shard_of([16])
+        with pytest.raises(ConfigError):
+            pl.shard_of([-1])
+
+    @pytest.mark.parametrize(
+        "args", [("ring", 2, 16), ("hash", 0, 16), ("hash", 2, 0)]
+    )
+    def test_bad_construction_rejected(self, args):
+        with pytest.raises(ConfigError):
+            VertexPlacement(*args)
+
+
+# --------------------------------------------------------------------- link
+
+
+class TestNetworkLink:
+    def test_lossless_delivery_charges_latency_plus_bytes(self):
+        cfg = cluster_cfg(link_loss_prob=0.0, link_corrupt_prob=0.0)
+        link = NetworkLink(cfg, seed=3)
+        t = link.transmit(1e-3, 10)
+        assert t == pytest.approx(
+            1e-3 + cfg.link_latency + 10 * cfg.walk_bytes / cfg.link_bandwidth
+        )
+        s = link.stats()
+        assert s["messages"] == 1 and s["walks_moved"] == 10
+        assert s["losses"] == s["retransmits"] == s["escalations"] == 0
+
+    def test_faults_delay_but_never_drop(self):
+        cfg = cluster_cfg(link_loss_prob=0.6, link_corrupt_prob=0.2,
+                          rpc_max_attempts=3)
+        link = NetworkLink(cfg, seed=3)
+        deliveries = [link.transmit(float(i) * 1e-4, 4) for i in range(50)]
+        assert all(
+            d > i * 1e-4 for i, d in enumerate(deliveries)
+        )  # every message delivered, strictly after send
+        s = link.stats()
+        assert s["losses"] + s["corruptions"] >= 1
+        assert s["retransmits"] >= 1
+        assert s["escalations"] >= 1  # exhausted loops hit the fallback path
+        assert s["messages"] == 50 and s["walks_moved"] == 200
+
+    def test_same_seed_same_fault_schedule(self):
+        cfg = cluster_cfg(link_loss_prob=0.3, link_corrupt_prob=0.1)
+        a, b = NetworkLink(cfg, seed=9), NetworkLink(cfg, seed=9)
+        assert [a.transmit(0.0, 2) for _ in range(30)] == [
+            b.transmit(0.0, 2) for _ in range(30)
+        ]
+        assert a.stats() == b.stats()
+
+
+# ------------------------------------------------------------------- config
+
+
+class TestClusterConfig:
+    def test_defaults_validate(self):
+        ClusterConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_shards=0),
+            dict(placement="ring"),
+            dict(segment_hops=0),
+            dict(link_bandwidth=0.0),
+            dict(link_loss_prob=1.0),
+            dict(link_corrupt_prob=-0.1),
+            dict(walk_bytes=0),
+            dict(kill_schedule=((1e-3, 7),)),  # shard out of range
+            dict(kill_schedule=((-1e-6, 0),)),
+            dict(kill_epoch_frac=1.5),
+            dict(max_inflight_walks_per_shard=0),
+            dict(max_epochs=0),
+            dict(rpc_max_attempts=0),
+            dict(admission_policy="lifo"),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterConfig(**kwargs).validate()
+
+    def test_service_cfg_mirrors_admission_knobs(self):
+        ccfg = cluster_cfg(queue_capacity=5, admission_policy="shed-oldest",
+                           breaker_cooldown=1e-3)
+        scfg = ccfg.service_cfg()
+        assert isinstance(scfg, ServiceConfig)
+        assert scfg.queue_capacity == 5
+        assert scfg.admission_policy == "shed-oldest"
+        assert scfg.breaker_cooldown == 1e-3
+        assert scfg.max_inflight_walks == ccfg.max_inflight_walks_per_shard
+
+    def test_rpc_policy_uses_shared_retry_class(self):
+        p = cluster_cfg(rpc_base_delay=2e-6, rpc_max_attempts=4).rpc_policy(7)
+        assert isinstance(p, RetryPolicy)
+        assert p.base_delay == 2e-6 and p.max_attempts == 4
+        assert p.salt == "cluster-rpc" and p.seed == 7
+
+
+# ------------------------------------------------------------- shard guards
+
+
+class TestShardGuards:
+    def test_shard_requires_durability(self, graph):
+        cfg = FlashWalkerConfig(**ENGINE)  # durability disabled
+        with pytest.raises(SimulationError, match="durability"):
+            ShardRuntime(0, graph, cfg, 9, spec_length=6, expected_walks=64)
+
+    def test_shard_rejects_periodic_checkpoints(self, graph):
+        cfg = shard_cfg(FaultConfig(checkpoint_interval=50e-6))
+        with pytest.raises(SimulationError, match="checkpoint_interval"):
+            ShardRuntime(0, graph, cfg, 9, spec_length=6, expected_walks=64)
+
+
+# ------------------------------------------------------- engine epoch API
+
+
+class TestEngineEpochApi:
+    def _engine(self, graph):
+        from repro.core import FlashWalker
+
+        return FlashWalker(graph, shard_cfg(), seed=9)
+
+    def test_checkpoint_now_requires_quiescence(self, graph):
+        fw = self._engine(graph)
+        fw.start_session(WalkSpec(length=6), expected_walks=8)
+        fw.checkpoint_now()
+        assert fw.latest_checkpoint is not None
+        assert fw.latest_checkpoint.time == fw.sim.now
+
+    def test_arm_power_loss_guards(self, graph):
+        fw = self._engine(graph)
+        with pytest.raises(SimulationError, match="past"):
+            fw.arm_power_loss(fw.sim.now - 1e-9)
+        from repro.core import FlashWalker
+
+        bare = FlashWalker(graph, FlashWalkerConfig(**ENGINE), seed=9)
+        with pytest.raises(SimulationError, match="durability"):
+            bare.arm_power_loss(1.0)
+
+
+# ------------------------------------------------------------ health board
+
+
+class TestHealthBoard:
+    def test_breaker_trips_on_mirrored_counters_and_promotes(self):
+        hb = HealthBoard(ServiceConfig(breaker_cooldown=1e-3).validate(), 2)
+        assert hb.poll(0.0) == [False, False]
+        hb.update(0, {"chip_failures": 1})
+        assert hb.poll(1e-6) == [True, False]
+        assert hb.consecutive_open == [1, 0]
+        hb.promote(0, epoch=2, now=2e-6)
+        assert hb.poll(2e-6) == [False, False]
+        assert hb.consecutive_open == [0, 0]
+        assert hb.promotions == [
+            {"kind": "breaker", "shard": 0, "epoch": 2, "t": 2e-6}
+        ]
+        assert hb.stats()["breaker_promotions"] == 1
+
+
+# ---------------------------------------------------------------- cluster
+
+
+class TestClusterService:
+    def test_serves_every_query_and_conserves_walks(self, graph):
+        svc, out = run_cluster(graph)
+        assert [r.status for r in out.responses] == ["ok"] * 4
+        s = out.report["service"]
+        assert s["walks"]["created"] == s["walks"]["done"] == 64
+        assert s["walks"]["zombie"] == 0
+        c = out.report["cluster"]
+        assert c["audit"]["violations"] == 0
+        assert c["audit"]["audits"] >= c["epochs"]
+        assert c["migrations"]["total"] >= 1  # hash placement migrates
+        assert out.report["schema"] == "repro.obs.cluster-report"
+        assert len(out.report["shards"]) == 3
+        # Every leased segment came back: per-shard books balance.
+        for sh in c["shards"]:
+            assert sh["segments_injected"] >= sh["migrations_in"]
+
+    def test_rerun_and_process_pool_are_byte_identical(self, graph):
+        _, serial = run_cluster(graph)
+        _, again = run_cluster(graph)
+        _, pooled = run_cluster(graph, jobs=2)
+        assert canonical(serial.report) == canonical(again.report)
+        assert canonical(serial.report, drop=("jobs",)) == canonical(
+            pooled.report, drop=("jobs",)
+        )
+
+    def test_kill_promotes_replica_with_measured_rto(self, graph):
+        ccfg = cluster_cfg(kill_schedule=((40e-6, 1),))
+        svc, out = run_cluster(graph, ccfg)
+        c = out.report["cluster"]
+        assert len(c["failovers"]) == 1
+        fo = c["failovers"][0]
+        assert fo["kind"] == "kill" and fo["shard"] == 1
+        assert fo["rto_time"] > 0.0
+        assert c["rto"]["count"] == 1 and c["rto"]["max"] > 0.0
+        assert c["kills_unfired"] == []
+        # Failover is invisible to the workload: every query still ok,
+        # nothing lost or duplicated.
+        assert [r.status for r in out.responses] == ["ok"] * 4
+        assert c["audit"]["violations"] == 0
+
+    def test_killed_run_matches_baseline_outside_cluster_section(self, graph):
+        _, base = run_cluster(graph, cluster_cfg())
+        _, killed = run_cluster(graph, cluster_cfg(kill_schedule=((40e-6, 1),)))
+        assert canonical(killed.report, drop=("cluster",)) == canonical(
+            base.report, drop=("cluster",)
+        )
+        assert killed.report["cluster"] != base.report["cluster"]
+
+    def test_lossy_link_delays_but_conserves(self, graph):
+        ccfg = cluster_cfg(link_loss_prob=0.4, link_corrupt_prob=0.2,
+                           rpc_max_attempts=3)
+        _, out = run_cluster(graph, ccfg)
+        link = out.report["cluster"]["link"]
+        assert link["losses"] + link["corruptions"] >= 1
+        assert link["retransmits"] >= 1
+        s = out.report["service"]
+        assert s["walks"]["created"] == s["walks"]["done"]
+        assert out.report["cluster"]["audit"]["violations"] == 0
+
+    def test_overload_sheds_under_reject_policy(self, graph):
+        ccfg = cluster_cfg(queue_capacity=1, admission_policy="reject",
+                           max_inflight_walks_per_shard=8)
+        reqs = requests(6, num_walks=8, gap=0.0)  # simultaneous burst
+        _, out = run_cluster(graph, ccfg, reqs=reqs)
+        s = out.report["service"]
+        assert s["requests"]["shed"] >= 1
+        assert s["requests"]["ok"] >= 1
+        assert (
+            s["requests"]["ok"] + s["requests"]["timed_out"]
+            + s["requests"]["shed"] == 6
+        )
+        shed = [r for r in out.responses if r.status == "shed"]
+        assert all(r.shed_reason for r in shed)
+        # Shed queries never create walks; admitted walks all finish.
+        assert s["walks"]["created"] == s["walks"]["done"]
+
+    def test_request_validation(self, graph):
+        svc = ClusterService(graph, shard_cfg(), cluster_cfg(), seed=7)
+        with pytest.raises(ConfigError, match="no requests"):
+            svc.run([])
+        dup = requests(2)
+        dup[1] = QueryRequest(query_id=0, arrival=1e-6, num_walks=4,
+                              length=6, deadline=50e-3)
+        with pytest.raises(ConfigError, match="duplicate"):
+            svc.run(dup)
+        with pytest.raises(ConfigError, match="max_walk_length"):
+            svc.run([QueryRequest(query_id=0, arrival=0.0, num_walks=4,
+                                  length=99, deadline=50e-3)])
+
+    def test_shard_config_count_must_match(self, graph):
+        with pytest.raises(ConfigError, match="shard configs"):
+            ClusterService(graph, [shard_cfg()] * 2, cluster_cfg(), seed=7)
+
+    def test_auditor_flags_tampered_accounting(self, graph):
+        svc, _ = run_cluster(graph)
+        svc.walks_done += 1  # forge a completion that never happened
+        with pytest.raises(InvariantViolation) as exc_info:
+            svc.auditor.audit()
+        exc = exc_info.value
+        assert exc.context == "cluster"
+        assert any("done" in v for v in exc.violations)
+        assert exc.state["walks_created"] == 64
+
+    def test_range_placement_runs_clean(self, graph):
+        ccfg = cluster_cfg(placement="range")
+        _, out = run_cluster(graph, ccfg)
+        assert [r.status for r in out.responses] == ["ok"] * 4
+        assert out.report["cluster"]["audit"]["violations"] == 0
+        assert out.report["cluster"]["placement"] == "range"

@@ -421,6 +421,65 @@ class TestServiceSurvivesPowerLoss:
             svc.resume()
 
 
+class TestResumeWhileBreakerOpen:
+    """Power loss landing inside a breaker-open window: deferred
+    arrivals are volatile coordinator state, so the recovery replay
+    must reproduce the trip, the deferrals, and the reopen schedule
+    exactly or deferred queries are lost or served twice."""
+
+    T_FAIL = 150e-6
+
+    def _build(self, graph):
+        probe = make_engine(graph)
+        victim = int(probe.block_chip[0])
+        fcfg = FaultConfig(
+            enabled=True,
+            page_error_rate=0.05,
+            crc_error_rate=0.02,
+            chip_failures=((self.T_FAIL, victim),),
+            checkpoint_interval=50e-6,
+        )
+        fw = make_engine(graph, dur(), fcfg)
+        svc = WalkQueryService(fw, ServiceConfig(
+            default_deadline=50e-3,
+            breaker_policy="defer",
+            breaker_cooldown=500e-6,
+        ))
+        return fw, svc
+
+    @staticmethod
+    def _key(out):
+        return [
+            (r.query_id, r.status, r.walks_completed, r.finish_time,
+             r.shed_reason)
+            for r in out.responses
+        ]
+
+    def test_resume_mid_open_window_matches_baseline(self, graph):
+        _, svc0 = self._build(graph)
+        out0 = svc0.run(list(REQUESTS))
+        s0 = out0.result.service
+        # Preconditions: the chip failure tripped the breaker and at
+        # least one arrival was deferred rather than shed.
+        assert s0["breaker"]["trips"] >= 1
+        assert s0["breaker"]["deferrals"] >= 1
+        assert s0["requests"]["shed"] == 0
+
+        fw, svc = self._build(graph)
+        # Crash inside the open window [T_FAIL, T_FAIL + cooldown],
+        # after the trip but before the deferred queue reopens.
+        fw.schedule_power_loss(self.T_FAIL + 100e-6)
+        with pytest.raises(PowerLossError):
+            svc.run(list(REQUESTS))
+        out1 = svc.resume()
+        assert self._key(out1) == self._key(out0)
+        assert out1.result.elapsed == out0.result.elapsed
+        assert out1.result.durability["recovery"]["crashes"] == 1
+        s1 = out1.result.service
+        assert s1["breaker"]["trips"] == s0["breaker"]["trips"]
+        assert s1["breaker"]["deferrals"] == s0["breaker"]["deferrals"]
+
+
 class TestBreakerCorruptionSignal:
     def test_detected_corruption_trips_breaker(self):
         cfg = ServiceConfig(breaker_corruption_threshold=2).validate()
