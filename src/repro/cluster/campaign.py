@@ -65,6 +65,7 @@ def cluster_config(
     walks_per_query: int = 16,
     segment_hops: int = 2,
     length: int = 6,
+    telemetry: bool = False,
 ) -> ClusterConfig:
     """Deployment config for one chaos scenario."""
     kills = tuple((float(t), int(s) % n_shards) for t, s in kills)
@@ -80,6 +81,7 @@ def cluster_config(
         rate_limit_qps=30e3 if policy == "token-bucket" else 0.0,
         max_inflight_walks_per_shard=max(64, 4 * walks_per_query),
         breaker_cooldown=150e-6,
+        telemetry_enabled=telemetry,
     ).validate()
 
 
@@ -97,6 +99,7 @@ def run_scenario(
     jobs: int = 1,
     chaos: bool = True,
     seed_offset: int = 0,
+    telemetry: bool = False,
 ):
     """Run one kill-a-shard scenario; returns a ClusterOutcome."""
     graph = ctx.graph(dataset)
@@ -109,7 +112,7 @@ def run_scenario(
     ccfg = cluster_config(
         n_shards=n_shards, kills=kills, loss=loss, corrupt=corrupt,
         policy=policy, walks_per_query=walks_per_query,
-        length=requests[0].length,
+        length=requests[0].length, telemetry=telemetry,
     )
     svc = ClusterService(
         graph, shard_cfg, ccfg, seed=ctx.seed + 20 + seed_offset, jobs=jobs

@@ -27,8 +27,14 @@ import sys
 __all__ = ["main"]
 
 
-def _canonical(report: dict, *, drop: tuple[str, ...] = ()) -> str:
+def _canonical(report: dict, *, drop: tuple[str, ...] = (),
+               shard_drop: tuple[str, ...] = ()) -> str:
     slim = {k: v for k, v in report.items() if k not in drop}
+    if shard_drop and "shards" in slim:
+        slim["shards"] = [
+            {k: v for k, v in s.items() if k not in shard_drop}
+            for s in slim["shards"]
+        ]
     return json.dumps(slim, sort_keys=True)
 
 
@@ -73,6 +79,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="migration-link corruption probability (default: 0.02)")
     parser.add_argument("--quick", action="store_true",
                         help="scale the dataset down (CI-sized run)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable deterministic metrics + alert rules "
+                             "(router and per-shard engines)")
     parser.add_argument("--verify-identity", action="store_true",
                         help="also run serial AND pooled; fail unless the "
                              "reports are byte-identical")
@@ -107,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
             corrupt=args.corrupt,
             policy=args.policy,
             jobs=jobs,
+            telemetry=args.telemetry,
         )
 
     try:
@@ -162,9 +172,12 @@ def main(argv: list[str] | None = None) -> int:
             rc = 3
     if args.verify_baseline and kills:
         baseline = scenario(jobs=args.jobs, kills=()).report
-        if _canonical(report, drop=("cluster",)) == _canonical(
-            baseline, drop=("cluster",)
-        ):
+        # A promoted replica's monitoring restarts from the restore
+        # point, so killed-run shard telemetry legitimately differs
+        # from the uninterrupted baseline; the walk results must not.
+        shard_drop = ("telemetry",) if args.telemetry else ()
+        if _canonical(report, drop=("cluster",), shard_drop=shard_drop) == \
+                _canonical(baseline, drop=("cluster",), shard_drop=shard_drop):
             print("baseline: killed run matches uninterrupted run outside "
                   "the cluster section")
         else:

@@ -36,6 +36,8 @@ import numpy as np
 
 from ..common.errors import ConfigError, SimulationError
 from ..common.rng import derive_seed
+from ..obs.alerts import default_cluster_rules
+from ..obs.metrics import MetricsRegistry
 from ..service.queue import AdmissionQueue
 from ..service.request import QueryRequest, QueryResult
 from ..walks.spec import start_vertices
@@ -51,6 +53,10 @@ __all__ = ["ClusterOutcome", "ClusterService"]
 
 CLUSTER_SCHEMA = "repro.obs.cluster-report"
 CLUSTER_SCHEMA_VERSION = 1
+
+#: Failover-RTO histogram bounds (simulated seconds of replica
+#: catch-up: checkpoint restore + journal replay + epoch re-run).
+_RTO_BUCKETS = (1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3)
 
 
 class _Walk:
@@ -155,6 +161,18 @@ class ClusterService:
         self.failovers: list[dict] = []
         self.kills_unfired: list = []
         self._t0 = 0.0
+        # -- telemetry (opt-in; None keeps every path at one is-None check)
+        if self.ccfg.telemetry_enabled:
+            self.telemetry = MetricsRegistry(self.ccfg.metrics_cfg().validate())
+            self.telemetry.bind_clock(lambda: self.now)
+            self.telemetry.add_rules(default_cluster_rules())
+        else:
+            self.telemetry = None
+        # Per-shard breaker state last recorded into telemetry (points
+        # only on transitions) and the link counters already credited.
+        self._breaker_recorded = [False] * n
+        self._link_retransmits_seen = 0
+        self._link_messages_seen = 0
 
     # ------------------------------------------------------------------- run
 
@@ -176,6 +194,9 @@ class ClusterService:
         ordered = sorted(requests, key=lambda r: (r.arrival, r.query_id))
         n = self.ccfg.n_shards
         expected = sum(r.num_walks for r in ordered) // n + 1
+        shard_mcfg = (
+            self.ccfg.metrics_cfg() if self.ccfg.telemetry_enabled else None
+        )
         params = [
             {
                 "shard_id": i,
@@ -184,6 +205,7 @@ class ClusterService:
                 "seed": derive_seed(self.seed, f"shard:{i}"),
                 "spec_length": self.ccfg.max_walk_length,
                 "expected_walks": expected,
+                "telemetry": shard_mcfg,
             }
             for i in range(n)
         ]
@@ -237,6 +259,14 @@ class ClusterService:
                     ):
                         self.health.promote(sid, epoch=self.epoch, now=T)
                         open_now[sid] = False
+            mx = self.telemetry
+            if mx is not None:
+                for sid in range(n):
+                    if open_now[sid] != self._breaker_recorded[sid]:
+                        self._breaker_recorded[sid] = open_now[sid]
+                        mx.gauge("cluster_breaker_open", shard=str(sid)).set(
+                            1.0 if open_now[sid] else 0.0, T
+                        )
             # 3. Admit queued queries under the healthy-capacity budget.
             self._admit(T, open_now)
             # 4. Lease eligible walks to shards.
@@ -276,6 +306,14 @@ class ClusterService:
                         {"kind": "kill", "cluster_epoch": self.epoch,
                          "t_barrier": T, **r.failover}
                     )
+                    if mx is not None:
+                        mx.counter("cluster_failovers").inc(1.0, T)
+                        rto = r.failover.get("rto_time")
+                        if rto is not None:
+                            mx.histogram(
+                                "cluster_failover_rto_seconds", _RTO_BUCKETS,
+                                shard=str(sid),
+                            ).observe(float(rto), T)
             # 8. Barrier: collect completions, migrate, credit, sweep.
             self._collect(results, t_next)
             self.now = t_next
@@ -287,6 +325,9 @@ class ClusterService:
 
     def _arrive(self, req: QueryRequest, t: float) -> None:
         self.arrivals += 1
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("cluster_arrivals").inc(1.0, t)
         st = _QueryState(req=req, t_arrival=t, deadline_abs=t + req.deadline)
         self.states[req.query_id] = st
         admitted, evicted, refusal = self.queue.offer(req, t)
@@ -297,6 +338,8 @@ class ClusterService:
             self._respond(st, "shed", t, shed_reason=refusal)
             return
         st.admitted = True
+        if mx is not None:
+            mx.gauge("cluster_queue_depth").set(float(len(self.queue)), t)
 
     def _admit(self, T: float, open_now: list[bool]) -> None:
         """Create walks for queued queries while capacity lasts.
@@ -320,6 +363,9 @@ class ClusterService:
             self.queue.pop()
             self._create_walks(st, T)
             inflight += head.num_walks
+        mx = self.telemetry
+        if mx is not None:
+            mx.gauge("cluster_queue_depth").set(float(len(self.queue)), T)
 
     def _create_walks(self, st: _QueryState, T: float) -> None:
         req = st.req
@@ -426,14 +472,33 @@ class ClusterService:
                         w.state = "migrating"
                         w.migrations += 1
                         migrating.setdefault((sid, int(owner)), []).append(w)
+        mx = self.telemetry
         for (src, dst) in sorted(migrating):
             batch = migrating[(src, dst)]
             delivery = self.link.transmit(t_next, len(batch))
             self.migrations_out[src] += len(batch)
             self.migrations_in[dst] += len(batch)
+            if mx is not None:
+                mx.counter("cluster_migrations", shard=str(src)).inc(
+                    float(len(batch)), t_next
+                )
             for w in batch:
                 w.shard = dst
                 w.eligible_at = delivery
+        if mx is not None:
+            # Link counters are cumulative on the link; credit the
+            # barrier's delta so the series shows retransmit storms.
+            d_msg = self.link.messages - self._link_messages_seen
+            d_rtx = self.link.retransmits - self._link_retransmits_seen
+            self._link_messages_seen = self.link.messages
+            self._link_retransmits_seen = self.link.retransmits
+            if d_msg:
+                mx.counter("cluster_link_messages").inc(float(d_msg), t_next)
+            if d_rtx:
+                mx.counter("cluster_link_retransmits").inc(float(d_rtx), t_next)
+            mx.gauge("cluster_walks_inflight").set(
+                float(self.walks_created - self.walks_done), t_next
+            )
 
     def _credit(self, w: _Walk, t: float) -> None:
         st = self.states[w.query_id]
@@ -473,6 +538,14 @@ class ClusterService:
             self.timed_out_count += 1
         else:
             self.shed_count += 1
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("cluster_responses").inc(1.0, t)
+            mx.counter("cluster_status", status=status).inc(1.0, t)
+            if status == "timed_out":
+                mx.counter("cluster_deadline_misses").inc(1.0, t)
+            elif status == "shed":
+                mx.counter("cluster_shed").inc(1.0, t)
 
     # ------------------------------------------------------------- idle time
 
@@ -592,6 +665,11 @@ class ClusterService:
             },
             "audit": self.auditor.stats(),
         }
+        if self.telemetry is not None:
+            # Inside the "cluster" section on purpose: the baseline gate
+            # compares killed vs uninterrupted runs with this section
+            # dropped, and failover telemetry legitimately differs.
+            cluster["telemetry"] = self.telemetry.section(self.now)
         return {
             "schema": CLUSTER_SCHEMA,
             "schema_version": CLUSTER_SCHEMA_VERSION,

@@ -92,6 +92,13 @@ class ClusterConfig:
     audit_interval_epochs: int = 1
     #: Hard cap on coordination rounds (runaway guard, like max_events).
     max_epochs: int = 100_000
+    # -- telemetry ----------------------------------------------------------
+    #: Enable the router's deterministic metrics registry plus per-shard
+    #: engine telemetry (:mod:`repro.obs.metrics`).  Off by default so
+    #: cluster reports stay byte-identical to pre-telemetry runs.
+    telemetry_enabled: bool = False
+    telemetry_sample_interval: float = 20e-6
+    telemetry_max_samples: int = 2048
 
     def validate(self) -> "ClusterConfig":
         if self.n_shards < 1:
@@ -143,9 +150,22 @@ class ClusterConfig:
             )
         if self.max_epochs < 1:
             raise ConfigError(f"max_epochs must be >= 1, got {self.max_epochs}")
+        if self.telemetry_enabled:
+            self.metrics_cfg().validate()
         self.rpc_policy(seed=0).validate()
         self.service_cfg().validate()
         return self
+
+    def metrics_cfg(self):
+        """Telemetry knobs repackaged as a
+        :class:`~repro.obs.metrics.MetricsConfig` (router registry and
+        per-shard engines share the same grid)."""
+        from ..obs.metrics import MetricsConfig
+
+        return MetricsConfig(
+            sample_interval=self.telemetry_sample_interval,
+            max_samples=self.telemetry_max_samples,
+        )
 
     def rpc_policy(self, seed: int) -> RetryPolicy:
         """Migration-RPC retransmit backoff (shared policy class)."""

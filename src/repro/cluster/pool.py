@@ -32,6 +32,7 @@ def _build_runtime(params: dict) -> ShardRuntime:
         params["seed"],
         spec_length=params["spec_length"],
         expected_walks=params["expected_walks"],
+        telemetry=params.get("telemetry"),
     )
 
 

@@ -75,7 +75,7 @@ class ShardRuntime:
     """Owns one shard's engine; lives in-process or in a pool worker."""
 
     def __init__(self, shard_id: int, graph, cfg, seed: int, *,
-                 spec_length: int, expected_walks: int):
+                 spec_length: int, expected_walks: int, telemetry=None):
         from ..core.flashwalker import FlashWalker
 
         if not cfg.durability.enabled:
@@ -90,7 +90,7 @@ class ShardRuntime:
                 "itself (set faults.checkpoint_interval = 0)"
             )
         self.shard_id = int(shard_id)
-        self.fw = FlashWalker(graph, cfg, seed=seed)
+        self.fw = FlashWalker(graph, cfg, seed=seed, telemetry=telemetry)
         self._spec_length = int(spec_length)
         self._expected = int(expected_walks)
         self._completions: list = []

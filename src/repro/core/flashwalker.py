@@ -35,6 +35,8 @@ from ..flash.channel import ONFI_COMMAND_BYTES
 from ..flash.ssd import SSD
 from ..graph.csr import CSRGraph
 from ..graph.partition import GraphPartitioning, partition_graph
+from ..obs.alerts import default_engine_rules
+from ..obs.metrics import MetricsConfig, MetricsRegistry
 from ..obs.profile import EventLoopProfiler
 from ..obs.report import config_fingerprint
 from ..obs.tracer import (
@@ -74,6 +76,10 @@ _PRIO_JOURNAL = -20
 _PRIO_CORRUPT = -15
 _PRIO_SCRUB = -10
 
+#: Fixed ``le`` bounds of the sink-flush page-count histogram
+#: (telemetry only; power-of-two spacing covers group commits).
+_FLUSH_PAGE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
 
 class FlashWalker:
     """One FlashWalker system bound to a graph.
@@ -91,6 +97,11 @@ class FlashWalker:
         records span traces, utilization timelines and latency
         histograms into ``RunResult.trace``.  The tracer is a passive
         observer — enabling it never changes simulated timestamps.
+    telemetry:
+        optional :class:`~repro.obs.MetricsConfig`; when given, every
+        run samples deterministic metrics series (and evaluates alert
+        rules) into the report's ``telemetry`` section.  Same passive
+        discipline as the tracer: no events, no RNG draws.
     """
 
     def __init__(
@@ -99,11 +110,13 @@ class FlashWalker:
         config: FlashWalkerConfig | None = None,
         seed: int = 0,
         trace: TraceConfig | None = None,
+        telemetry: MetricsConfig | None = None,
     ):
         self.cfg = (config or FlashWalkerConfig()).validate()
         self.graph = graph
         self._seed = int(seed)
         self._trace_cfg = trace.validate() if trace is not None else None
+        self._metrics_cfg = telemetry.validate() if telemetry is not None else None
         self.rngs = RngRegistry(seed)
         self.part: GraphPartitioning = partition_graph(
             graph, self.cfg.subgraph_bytes, self.cfg.vid_bytes
@@ -226,6 +239,16 @@ class FlashWalker:
                 self.tracer.profile = prof
         else:
             self.tracer = None
+        # Metrics mirror the tracer's lifecycle: a fresh registry per
+        # run, clocked off self.sim so it survives engine re-creation.
+        mcfg = self._metrics_cfg
+        if mcfg is not None:
+            self.telemetry = MetricsRegistry(mcfg)
+            self.telemetry.bind_clock(lambda: self.sim.now)
+            self.telemetry.add_rules(default_engine_rules())
+        else:
+            self.telemetry = None
+        self.metrics.telemetry = self.telemetry
         self.ssd.attach_tracer(self.tracer)
         self.board.tracer = self.tracer
         self.scheduler: SubgraphScheduler | None = None
@@ -255,6 +278,7 @@ class FlashWalker:
         )
         if self.fault_model is not None:
             self.fault_model.tracer = self.tracer
+            self.fault_model.telemetry = self.telemetry
         self.ssd.attach_fault_model(self.fault_model)
         self._rebuilding_blocks: set[int] = set()
         self._board_inflight = 0
@@ -275,6 +299,7 @@ class FlashWalker:
                 dcfg, self.ssd, self.metrics, self.rngs
             )
             self.integrity.on_quarantine = self._quarantine_plane
+            self.integrity.telemetry = self.telemetry
             self.ssd.attach_integrity(self.integrity)
         else:
             self.journal = None
@@ -482,6 +507,8 @@ class FlashWalker:
         result.config_fingerprint = config_fingerprint(self.cfg)
         if self.cfg.durability.enabled:
             result.durability = self._durability_section()
+        if self.telemetry is not None:
+            result.telemetry = self.telemetry.section(end)
         if self.tracer is not None:
             self.tracer.instant("run", PID_RUN, 0, "run_end", end)
             result.trace = self.tracer
@@ -859,9 +886,16 @@ class FlashWalker:
         self.completed_walks += n
         self.in_transit -= n
         self.metrics.record_completed(t, n)
+        mx = self.telemetry
+        if mx is not None:
+            mx.gauge("engine_walks_in_transit").set(self.in_transit, t)
         j = self.journal
         if j is not None:
             j.append(t, n, self.completed_walks)
+            if mx is not None:
+                mx.gauge("durability_journal_pending_records").set(
+                    j.pending_records, t
+                )
         if self._finals is not None and walks is not None and len(walks):
             self._finals.append(walks)
         if sink in ("board", "channel"):
@@ -888,6 +922,11 @@ class FlashWalker:
             end = max(end, chip_hw.program_pages_striped(t_bus, 1))
         self.metrics.record_channel(t, nbytes, end)
         self.metrics.record_flash_write(t, pages * self.cfg.ssd.page_bytes, end)
+        mx = self.telemetry
+        if mx is not None:
+            mx.histogram("engine_flush_pages", _FLUSH_PAGE_BUCKETS).observe(
+                pages, t
+            )
         return end
 
     def _read_scattered(self, t: float, nbytes: int) -> float:
@@ -1154,6 +1193,12 @@ class FlashWalker:
         chip.failed = True
         chip.loaded = []
         self.metrics.chips_failed.add()
+        mx = self.telemetry
+        if mx is not None:
+            # Degraded-mode residency: the gauge's time-weighted mean
+            # (exported per-series) times elapsed is seconds degraded.
+            mx.gauge("engine_chips_failed").set(fm.chip_failures, t)
+            mx.gauge("engine_degraded_mode").set(1.0, t)
         survivors = [c.index for c in self.chips if not c.failed]
         if not survivors:
             raise SimulationError("all chips failed; campaign cannot proceed")
@@ -1442,6 +1487,11 @@ class FlashWalker:
             # channel/NAND bandwidth like any sink flush.
             end = self._flush_to_flash(t, nbytes)
             j.mark_flushed(end)
+            mx = self.telemetry
+            if mx is not None:
+                mx.counter("durability_journal_flushes").inc(1.0, t)
+                mx.counter("durability_journal_flushed_bytes").inc(nbytes, t)
+                mx.gauge("durability_journal_pending_records").set(0.0, t)
         if not self._done:
             self._dur_events["journal"] = self.sim.at(
                 self._next_journal_flush, self._journal_flush,
@@ -1473,7 +1523,15 @@ class FlashWalker:
         """Background scrub event: verify the next planes at the cursor."""
         t = self.sim.now
         self._next_scrub = t + self.cfg.durability.scrub_interval
-        self.integrity.scrub_pass(t)
+        it = self.integrity
+        pages_before = it.scrub_pages_read
+        it.scrub_pass(t)
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("durability_scrub_passes").inc(1.0, t)
+            mx.counter("durability_scrub_pages").inc(
+                it.scrub_pages_read - pages_before, t
+            )
         if not self._done:
             self._dur_events["scrub"] = self.sim.at(
                 self._next_scrub, self._scrub_pass, priority=_PRIO_SCRUB

@@ -23,6 +23,11 @@ class RunMetrics:
 
     def __init__(self, bucket: float = 50e-6):
         self.stats = StatsRegistry(bucket=bucket)
+        #: Optional :class:`~repro.obs.MetricsRegistry`; when the engine
+        #: runs with telemetry enabled the traffic helpers mirror into
+        #: labeled series.  None (the default) keeps every hot path at a
+        #: single is-None check, same discipline as the tracer.
+        self.telemetry = None
         # traffic series
         self.flash_read = self.stats.timeseries("flash_read_bytes")
         self.flash_write = self.stats.timeseries("flash_write_bytes")
@@ -60,12 +65,18 @@ class RunMetrics:
             self.flash_read.add_spread(t, t_end, nbytes)
         else:
             self.flash_read.add(t, nbytes)
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("engine_flash_read_bytes").inc(nbytes, t)
 
     def record_flash_write(self, t: float, nbytes: int, t_end: float | None = None) -> None:
         if t_end is not None and t_end > t:
             self.flash_write.add_spread(t, t_end, nbytes)
         else:
             self.flash_write.add(t, nbytes)
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("engine_flash_write_bytes").inc(nbytes, t)
 
     def record_channel(self, t: float, nbytes: int, t_end: float | None = None) -> None:
         """Attribute channel-bus bytes over the transfer's actual span so
@@ -74,16 +85,25 @@ class RunMetrics:
             self.channel.add_spread(t, t_end, nbytes)
         else:
             self.channel.add(t, nbytes)
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("engine_channel_bytes").inc(nbytes, t)
 
     def record_dram(self, t: float, nbytes: int, t_end: float | None = None) -> None:
         if t_end is not None and t_end > t:
             self.dram.add_spread(t, t_end, nbytes)
         else:
             self.dram.add(t, nbytes)
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("engine_dram_bytes").inc(nbytes, t)
 
     def record_completed(self, t: float, count: int) -> None:
         if count:
             self.progress.add(t, count)
+            mx = self.telemetry
+            if mx is not None:
+                mx.counter("engine_walks_completed").inc(count, t)
 
     def finalize(self, elapsed: float, total_walks: int) -> "RunResult":
         return RunResult(
@@ -133,6 +153,11 @@ class RunResult:
     #: run came out of :meth:`FlashWalker.recover`.  None for default
     #: runs, in which case the report carries no "durability" section.
     durability: dict | None = None
+    #: Telemetry section attached by the engine when it was built with a
+    #: :class:`~repro.obs.MetricsConfig`: deterministic metrics series
+    #: on the sample grid plus alert-rule firings.  None for default
+    #: runs, in which case the report carries no "telemetry" section.
+    telemetry: dict | None = None
 
     @property
     def flash_read_bandwidth(self) -> float:

@@ -56,6 +56,9 @@ class IntegrityTracker:
         self._in_scrub = False
         #: Engine hook: ``on_quarantine(flat_chip, die, plane)``.
         self.on_quarantine = None
+        #: Optional :class:`~repro.obs.MetricsRegistry`; detection and
+        #: repair events record into it (None = no telemetry).
+        self.telemetry = None
 
     @property
     def rng(self):
@@ -113,6 +116,12 @@ class IntegrityTracker:
             self.scrub_detected += 1
         else:
             self.detected += 1
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter(
+                "durability_corruption_detected",
+                path="scrub" if self._in_scrub else "read",
+            ).inc(1.0, end)
         return self._repair(chip, die, plane, end)
 
     def _repair(self, chip, die: int, plane: int, t: float) -> float:
@@ -153,6 +162,9 @@ class IntegrityTracker:
             m.record_channel(t, survivors * page_bytes, end)
             m.record_flash_write(t, page_bytes, end)
         self.repaired += 1
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("durability_corruption_repaired").inc(1.0, end)
         key = (chip.chip_id, die, plane)
         n = self.repairs_by_plane.get(key, 0) + 1
         if n >= self.cfg.quarantine_threshold:

@@ -32,6 +32,10 @@ class FaultModel:
         #: Optional :class:`~repro.obs.Tracer` (with a bound clock — the
         #: oracle itself is timeless); None = no recording.
         self.tracer = None
+        #: Optional :class:`~repro.obs.MetricsRegistry` (clock-bound,
+        #: same as the tracer); records the retry-ladder depth histogram
+        #: and exhaustion counters for faulted reads.
+        self.telemetry = None
         # -- counters (merged into RunResult.counters as "fault_*") --
         self.read_faults = 0
         self.read_retries = 0
@@ -54,12 +58,26 @@ class FaultModel:
         if self.rng.random() >= self.cfg.page_error_rate:
             return 0
         self.read_faults += 1
+        outcome = -1
         for attempt in range(1, self.cfg.max_read_retries + 1):
             self.read_retries += 1
             if self.rng.random() < self.cfg.retry_success_prob:
-                return attempt
-        self.reads_exhausted += 1
-        return -1
+                outcome = attempt
+                break
+        if outcome < 0:
+            self.reads_exhausted += 1
+        mx = self.telemetry
+        if mx is not None:
+            # Depth climbed on this faulted read (exhausted reads climbed
+            # the full ladder); clean first senses are not observed.
+            depth = outcome if outcome > 0 else self.cfg.max_read_retries
+            mx.histogram(
+                "fault_read_retry_depth",
+                tuple(range(1, self.cfg.max_read_retries + 1)),
+            ).observe(depth)
+            if outcome < 0:
+                mx.counter("fault_reads_exhausted").inc(1.0)
+        return outcome
 
     def read_retry_latency(self, base: float, attempts: int) -> float:
         """Array time of ``attempts`` escalating re-senses.

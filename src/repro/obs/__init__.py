@@ -17,15 +17,38 @@ into an inspectable artifact, in three pieces:
 * :mod:`repro.obs.profile` — **wall-clock profiling** of the event
   loop (:class:`EventLoopProfiler`): per-callback-category timing and
   events/sec, for finding host-side hotspots.
+* :mod:`repro.obs.metrics` — an opt-in, deterministic **metrics
+  registry** (:class:`MetricsConfig` + :class:`MetricsRegistry`):
+  counters, gauges, and fixed-bucket histograms sampled on a simulated-
+  time grid, exported as OpenMetrics text or the report's ``telemetry``
+  section, with :mod:`repro.obs.alerts` rules (:class:`AlertRule` +
+  :class:`AlertEngine`) evaluated over the same grid.
+* :mod:`repro.obs.perfgate` — the **perf-trajectory gate**: diffs fresh
+  benchmark artifacts against the committed trajectory and fails CI on
+  regressions beyond the tolerance band.
 
-Tracing is strictly opt-in: with no tracer attached every hot path sees
-a single ``is None`` check, and a traced run's *simulated* timestamps
-are identical to an untraced one — the tracer only observes.
+Tracing and metrics are strictly opt-in: with neither attached every
+hot path sees a single ``is None`` check, and an observed run's
+*simulated* timestamps are identical to an unobserved one — both only
+observe.
 
-The CLI entry point ``python -m repro.obs.cli`` exports traces, dumps
-and diffs reports, and validates trace files (used by CI).
+The CLI entry point ``python -m repro.obs.cli`` exports traces and
+metric series, dumps and diffs reports, prints alert firings, and
+validates trace/report files (used by CI).
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    default_cluster_rules,
+    default_engine_rules,
+    default_service_rules,
+)
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsConfig,
+    MetricsRegistry,
+)
 from .profile import EventLoopProfiler
 from .report import (
     REPORT_SCHEMA,
@@ -33,6 +56,7 @@ from .report import (
     build_report,
     config_fingerprint,
     diff_reports,
+    validate_report,
 )
 from .tracer import (
     CAT_ACCEL,
@@ -69,13 +93,22 @@ __all__ = [
     "PID_FAULTS",
     "PID_FLASH",
     "PID_RUN",
+    "AlertEngine",
+    "AlertRule",
     "EventLoopProfiler",
+    "METRICS_SCHEMA",
+    "MetricsConfig",
+    "MetricsRegistry",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_VERSION",
     "TraceConfig",
     "Tracer",
     "build_report",
     "config_fingerprint",
+    "default_cluster_rules",
+    "default_engine_rules",
+    "default_service_rules",
     "diff_reports",
+    "validate_report",
     "validate_trace",
 ]

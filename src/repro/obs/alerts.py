@@ -1,0 +1,328 @@
+"""Online alert rules over the deterministic metrics sample grid.
+
+Two rule kinds (DESIGN.md §12):
+
+- **threshold**: a predicate ``signal <op> threshold`` over one series,
+  where ``signal`` is the sampled level (gauges, counter cumulative
+  totals) or the per-sample increase (rates).  The rule fires once the
+  predicate has held for ``for_samples`` consecutive samples and the
+  firing window extends until it stops holding.
+- **burn_rate**: the SLO guard.  Over a trailing window of
+  ``window`` samples, the bad-event fraction
+  ``Δ numerator / Δ denominator`` is divided by the error ``budget``;
+  a burn rate ≥ ``threshold`` means the error budget is being consumed
+  at least that many times faster than sustainable.
+
+Rules are evaluated at sample boundaries in deterministic order (rule
+declaration order, then series key), with no RNG and no wall clock —
+two same-seed runs fire byte-identical alerts, which is what lets
+firings live inside the versioned run report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+
+__all__ = [
+    "AlertRule",
+    "AlertEngine",
+    "default_engine_rules",
+    "default_service_rules",
+    "default_cluster_rules",
+]
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule; see module docstring for semantics."""
+
+    name: str
+    metric: str
+    kind: str = "threshold"          # "threshold" | "burn_rate"
+    op: str = ">"
+    threshold: float = 0.0
+    #: "level" (sampled value) or "increase" (per-sample delta);
+    #: threshold rules only.
+    signal: str = "level"
+    #: Consecutive samples the predicate must hold before firing.
+    for_samples: int = 1
+    #: Label selector: ((key, value), ...); a rule matches every series
+    #: of ``metric`` whose labels are a superset.
+    labels: tuple = ()
+    # -- burn-rate fields --------------------------------------------------
+    denominator: str | None = None
+    budget: float = 0.01
+    window: int = 4
+
+    def validate(self) -> "AlertRule":
+        if self.kind not in ("threshold", "burn_rate"):
+            raise ConfigError(f"rule {self.name}: unknown kind {self.kind!r}")
+        if self.op not in _OPS:
+            raise ConfigError(f"rule {self.name}: unknown op {self.op!r}")
+        if self.signal not in ("level", "increase"):
+            raise ConfigError(
+                f"rule {self.name}: unknown signal {self.signal!r}"
+            )
+        if self.for_samples < 1:
+            raise ConfigError(
+                f"rule {self.name}: for_samples must be >= 1, "
+                f"got {self.for_samples}"
+            )
+        if self.kind == "burn_rate":
+            if not self.denominator:
+                raise ConfigError(
+                    f"rule {self.name}: burn_rate needs a denominator metric"
+                )
+            if not 0.0 < self.budget <= 1.0:
+                raise ConfigError(
+                    f"rule {self.name}: budget must be in (0, 1], "
+                    f"got {self.budget}"
+                )
+            if self.window < 1:
+                raise ConfigError(
+                    f"rule {self.name}: window must be >= 1, got {self.window}"
+                )
+        return self
+
+
+class AlertEngine:
+    """Evaluate rules against a :class:`MetricsRegistry`'s sample grid."""
+
+    def __init__(self, rules):
+        self.rules = tuple(r.validate() for r in rules)
+
+    # ------------------------------------------------------------------ eval
+
+    def evaluate(self, registry, t_end: float | None = None) -> list[dict]:
+        """All firings, ordered by (rule order, series key, time)."""
+        n, factor, interval = registry.grid(t_end)
+        instruments = registry.instruments()
+        by_name: dict[str, list] = {}
+        for inst in instruments:
+            by_name.setdefault(inst.name, []).append(inst)
+        firings: list[dict] = []
+        for rule in self.rules:
+            targets = [
+                inst
+                for inst in by_name.get(rule.metric, [])
+                if set(rule.labels) <= set(inst.labels)
+            ]
+            for inst in targets:
+                signal = self._signal(rule, inst, by_name, n, factor)
+                if signal is None:
+                    continue
+                firings.extend(
+                    self._fire(rule, inst, signal, interval)
+                )
+        return firings
+
+    def _signal(self, rule, inst, by_name, n, factor):
+        values = inst.series(n, factor)
+        if rule.kind == "threshold":
+            if rule.signal == "level":
+                return values
+            return [
+                values[i] - (values[i - 1] if i else 0.0) for i in range(n)
+            ]
+        # burn_rate: trailing-window bad fraction over the budget.
+        den_candidates = [
+            d
+            for d in by_name.get(rule.denominator, [])
+            if d.labels == inst.labels
+        ] or [
+            d for d in by_name.get(rule.denominator, []) if not d.labels
+        ]
+        if not den_candidates:
+            return None
+        den = den_candidates[0].series(n, factor)
+        w = rule.window
+        out = []
+        for i in range(n):
+            lo = i - w
+            num_d = values[i] - (values[lo] if lo >= 0 else 0.0)
+            den_d = den[i] - (den[lo] if lo >= 0 else 0.0)
+            out.append((num_d / den_d) / rule.budget if den_d > 0 else 0.0)
+        return out
+
+    def _fire(self, rule, inst, signal, interval) -> list[dict]:
+        op = _OPS[rule.op]
+        firings: list[dict] = []
+        run_start = None
+        peak = 0.0
+
+        def close(end_idx: int) -> None:
+            nonlocal run_start, peak
+            held = end_idx - run_start
+            if held >= rule.for_samples:
+                firings.append(
+                    {
+                        "rule": rule.name,
+                        "kind": rule.kind,
+                        "series": inst.key(),
+                        "labels": dict(inst.labels),
+                        "t_start": run_start * interval,
+                        "t_end": end_idx * interval,
+                        "samples": held,
+                        "value": peak,
+                        "threshold": rule.threshold,
+                    }
+                )
+            run_start = None
+            peak = 0.0
+
+        for i, v in enumerate(signal):
+            if op(v, rule.threshold):
+                if run_start is None:
+                    run_start = i
+                    peak = v
+                elif abs(v) > abs(peak):
+                    peak = v
+            elif run_start is not None:
+                close(i)
+        if run_start is not None:
+            close(len(signal))
+        return firings
+
+
+# -- default rule sets -------------------------------------------------------
+#
+# Each layer registers its rules when it wires telemetry up, so one
+# registry accumulates the full set and the report's firings cover the
+# whole stack.  Thresholds are deliberately conservative: they flag
+# genuinely degraded operation (a failed chip, exhausted retry ladders,
+# sustained deadline-miss burn), not routine fault-model noise.
+
+
+def default_engine_rules() -> list[AlertRule]:
+    return [
+        AlertRule(
+            name="engine-degraded-mode",
+            metric="engine_chips_failed",
+            kind="threshold",
+            op=">=",
+            threshold=1.0,
+            signal="level",
+        ),
+        AlertRule(
+            name="engine-read-retries-exhausted",
+            metric="fault_reads_exhausted",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="durability-corruption-detected",
+            metric="durability_corruption_detected",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="durability-journal-backlog",
+            metric="durability_journal_pending_records",
+            kind="threshold",
+            op=">=",
+            threshold=512.0,
+            signal="level",
+            for_samples=2,
+        ),
+    ]
+
+
+def default_service_rules(
+    *, miss_budget: float = 0.05, burn_threshold: float = 1.0,
+    window: int = 8,
+) -> list[AlertRule]:
+    return [
+        AlertRule(
+            name="service-deadline-miss-burn",
+            metric="service_deadline_misses",
+            kind="burn_rate",
+            denominator="service_responses",
+            budget=miss_budget,
+            threshold=burn_threshold,
+            op=">=",
+            window=window,
+        ),
+        AlertRule(
+            name="service-shed-burn",
+            metric="service_shed",
+            kind="burn_rate",
+            denominator="service_arrivals",
+            budget=miss_budget,
+            threshold=burn_threshold,
+            op=">=",
+            window=window,
+        ),
+        AlertRule(
+            name="service-breaker-open",
+            metric="service_breaker_open",
+            kind="threshold",
+            op=">=",
+            threshold=1.0,
+            signal="level",
+        ),
+    ]
+
+
+def default_cluster_rules(
+    *, miss_budget: float = 0.05, burn_threshold: float = 1.0,
+    window: int = 8,
+) -> list[AlertRule]:
+    return [
+        AlertRule(
+            name="cluster-deadline-miss-burn",
+            metric="cluster_deadline_misses",
+            kind="burn_rate",
+            denominator="cluster_responses",
+            budget=miss_budget,
+            threshold=burn_threshold,
+            op=">=",
+            window=window,
+        ),
+        AlertRule(
+            name="cluster-shed-burn",
+            metric="cluster_shed",
+            kind="burn_rate",
+            denominator="cluster_arrivals",
+            budget=miss_budget,
+            threshold=burn_threshold,
+            op=">=",
+            window=window,
+        ),
+        AlertRule(
+            name="cluster-failover",
+            metric="cluster_failovers",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="cluster-link-retransmit-storm",
+            metric="cluster_link_retransmits",
+            kind="threshold",
+            op=">=",
+            threshold=8.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="cluster-breaker-open",
+            metric="cluster_breaker_open",
+            kind="threshold",
+            op=">=",
+            threshold=1.0,
+            signal="level",
+        ),
+    ]

@@ -1,16 +1,22 @@
-"""Observability CLI: export traces, dump/diff reports, validate traces.
+"""Observability CLI: traces, reports, metrics, alerts, validation.
 
 ::
 
     python -m repro.obs.cli export-trace --dataset TT --walks 2000 --out trace.json
     python -m repro.obs.cli report --dataset TT --walks 2000 --out report.json
+    python -m repro.obs.cli metrics --dataset TT --format openmetrics
+    python -m repro.obs.cli alerts --report report.json --fail-on-fire
     python -m repro.obs.cli diff report_a.json report_b.json
     python -m repro.obs.cli validate trace.json
 
 ``export-trace`` and ``report`` run the quickstart workload (scaled
 dataset, unbiased walks) with tracing enabled and write the artifact;
-``diff`` compares two reports counter-by-counter; ``validate`` checks a
-trace file against the Chrome trace-event structure (the CI smoke job).
+``metrics`` runs it with the deterministic metrics registry enabled and
+exports the series (OpenMetrics text or JSON); ``alerts`` prints the
+alert-rule firings of a fresh run or of a saved v4 report; ``diff``
+compares two reports counter-by-counter and names the sections that
+differ; ``validate`` checks a trace file against the Chrome trace-event
+structure or a run report against the report schema (the CI smoke job).
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import argparse
 import json
 import sys
 
-from .report import diff_reports
+from .report import REPORT_SCHEMA, diff_reports, validate_report
 from .tracer import ALL_CATEGORIES, TraceConfig, validate_trace
 
 __all__ = ["main"]
@@ -87,6 +93,82 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _metered_run(args):
+    """Run one FlashWalker campaign with telemetry on; returns (result, fw)."""
+    from ..experiments.harness import WALK_LENGTH, ExperimentContext
+    from ..core.flashwalker import FlashWalker
+    from ..walks.spec import WalkSpec
+    from .metrics import MetricsConfig
+
+    ctx = ExperimentContext(seed=args.seed)
+    graph = ctx.graph(args.dataset)
+    overrides = {}
+    if args.exercise_hierarchy:
+        overrides = dict(
+            partition_subgraphs=4, board_hot_subgraphs=1, channel_hot_subgraphs=1
+        )
+    cfg = ctx.flashwalker_config(args.dataset, **overrides)
+    mcfg = MetricsConfig(sample_interval=args.interval)
+    fw = FlashWalker(graph, cfg, seed=args.seed, telemetry=mcfg)
+    n_walks = args.walks or ctx.default_walks(args.dataset)
+    spec = WalkSpec(length=args.length if args.length else WALK_LENGTH)
+    result = fw.run(num_walks=n_walks, spec=spec)
+    return result, fw
+
+
+def _cmd_metrics(args) -> int:
+    result, fw = _metered_run(args)
+    if args.format == "openmetrics":
+        text = fw.telemetry.to_openmetrics()
+    else:
+        text = json.dumps(fw.telemetry.to_json(), indent=2, sort_keys=False)
+        text += "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+        tel = result.telemetry
+        print(
+            f"wrote {args.out}: {len(tel['series'])} series x "
+            f"{tel['samples']} samples ({args.format})"
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _print_firings(firings: list) -> None:
+    if not firings:
+        print("no alert firings")
+        return
+    width = max(len(f["rule"]) for f in firings)
+    for f in firings:
+        print(
+            f"{f['rule'].ljust(width)}  {f['series']}  "
+            f"[{f['t_start']:.6g}s, {f['t_end']:.6g}s)  "
+            f"samples={f['samples']} value={f['value']:.4g} "
+            f"threshold={f['threshold']:g}"
+        )
+
+
+def _cmd_alerts(args) -> int:
+    if args.report:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+        tel = report.get("telemetry")
+        if tel is None:
+            print(f"{args.report}: no telemetry section (run with metrics "
+                  "enabled, schema v4)", file=sys.stderr)
+            return 2
+        firings = tel.get("alerts", {}).get("firings", [])
+    else:
+        result, _ = _metered_run(args)
+        firings = result.telemetry["alerts"]["firings"]
+    _print_firings(firings)
+    if firings and args.fail_on_fire:
+        return 1
+    return 0
+
+
 def _cmd_diff(args) -> int:
     with open(args.a, encoding="utf-8") as f:
         a = json.load(f)
@@ -100,6 +182,11 @@ def _cmd_diff(args) -> int:
     for key, row in changes.items():
         rel = f"{row['rel']:+.2%}" if row["rel"] is not None else ""
         print(f"{key.ljust(width)}  {row['a']!r} -> {row['b']!r}  {rel}")
+    # Name the top-level sections involved so a pair differing only in
+    # a new section (e.g. v4's "telemetry") reads as more than a bare
+    # mismatch.
+    sections = sorted({key.split(".")[0].split("[")[0] for key in changes})
+    print(f"{len(changes)} differences in: {', '.join(sections)}")
     return 1 if args.fail_on_change else 0
 
 
@@ -110,6 +197,18 @@ def _cmd_validate(args) -> int:
         except json.JSONDecodeError as exc:
             print(f"{args.path}: not valid JSON: {exc}", file=sys.stderr)
             return 1
+    # Dispatch on content: a run report names its schema, anything with
+    # traceEvents validates as a Chrome trace.
+    if isinstance(obj, dict) and obj.get("schema") == REPORT_SCHEMA:
+        problems = validate_report(obj)
+        if problems:
+            for p in problems:
+                print(f"{args.path}: {p}", file=sys.stderr)
+            return 1
+        version = obj.get("schema_version")
+        suffix = " + telemetry" if "telemetry" in obj else ""
+        print(f"{args.path}: valid run report (schema v{version}{suffix})")
+        return 0
     problems = validate_trace(obj)
     if problems:
         for p in problems:
@@ -140,6 +239,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--profile", action="store_true",
                    help="include event-loop wall-clock profile in the report")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("metrics", help="run a campaign with telemetry and "
+                                       "export the metric series")
+    _add_run_args(p)
+    p.add_argument("--format", choices=("openmetrics", "json"),
+                   default="openmetrics",
+                   help="export format (default: openmetrics)")
+    p.add_argument("--interval", type=float, default=20e-6,
+                   help="sample interval in simulated seconds (default: 20e-6)")
+    p.add_argument("--out", default=None, help="output path (default: stdout)")
+    p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser("alerts", help="print alert-rule firings (fresh run, "
+                                      "or a saved v4 report)")
+    _add_run_args(p)
+    p.add_argument("--report", default=None,
+                   help="read firings from this run-report JSON instead of "
+                        "running a campaign")
+    p.add_argument("--interval", type=float, default=20e-6,
+                   help="sample interval in simulated seconds (default: 20e-6)")
+    p.add_argument("--fail-on-fire", action="store_true",
+                   help="exit 1 when any alert fired")
+    p.set_defaults(fn=_cmd_alerts)
 
     p = sub.add_parser("diff", help="compare two run reports")
     p.add_argument("a")

@@ -1,0 +1,223 @@
+"""Perf-trajectory gate: diff fresh ``BENCH_*.json`` against a baseline.
+
+The ROADMAP's perf-gate item: benchmark wall-seconds are committed once
+as ``benchmarks/results/TRAJECTORY.json`` and every CI run diffs its
+fresh bench artifacts against that trajectory.  A bench that got slower
+by more than the tolerance band fails the gate (nonzero exit), so perf
+regressions fail loudly instead of silting up; a bench that got faster
+prints as an improvement and is a hint to re-seed the trajectory.
+
+Wall clocks are machine-dependent, so the gate compares *ratios* with a
+generous default band and ignores benches below ``--min-seconds``
+(noise floor).  Re-seed after intentional perf changes with::
+
+    python -m repro.obs.perfgate update --out benchmarks/results/TRAJECTORY.json \\
+        benchmarks/results/BENCH_*.json
+
+and gate with::
+
+    python -m repro.obs.perfgate check --trajectory benchmarks/results/TRAJECTORY.json \\
+        --fresh-dir benchmarks/results --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "build_trajectory",
+    "compare_to_trajectory",
+    "main",
+]
+
+TRAJECTORY_SCHEMA = "repro.obs.perf-trajectory"
+TRAJECTORY_SCHEMA_VERSION = 1
+
+BENCH_SCHEMA = "repro.obs.bench-artifact"
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _load_benches(paths) -> dict[str, dict]:
+    """Load BENCH artifacts keyed by bench stem; reject other JSON."""
+    out: dict[str, dict] = {}
+    for path in paths:
+        obj = _load(path)
+        if obj.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"{path}: not a bench artifact "
+                f"(schema={obj.get('schema')!r}, expected {BENCH_SCHEMA!r})"
+            )
+        out[str(obj["bench"])] = obj
+    return out
+
+
+def build_trajectory(bench_paths, *, note: str = "") -> dict:
+    """Trajectory dict from one set of BENCH artifacts."""
+    benches = _load_benches(bench_paths)
+    if not benches:
+        raise ValueError("no bench artifacts given")
+    entry = {}
+    for stem, obj in sorted(benches.items()):
+        entry[stem] = {
+            "wall_seconds": float(obj["wall_seconds"]),
+            "context": obj.get("context", {}),
+            "tests": {
+                name: float(rec["wall_seconds"])
+                for name, rec in sorted(obj.get("tests", {}).items())
+            },
+        }
+    out = {
+        "schema": TRAJECTORY_SCHEMA,
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "benches": entry,
+    }
+    if note:
+        out["note"] = note
+    return out
+
+
+def compare_to_trajectory(
+    trajectory: dict,
+    bench_paths,
+    *,
+    tolerance: float = 0.5,
+    min_seconds: float = 0.5,
+) -> tuple[list[dict], list[dict]]:
+    """Diff fresh artifacts against ``trajectory``.
+
+    Returns ``(rows, regressions)``: one row per bench present in either
+    side, with ``status`` in {"ok", "improved", "regressed", "missing",
+    "untracked", "skipped"}.  ``regressions`` is the subset that fails
+    the gate: fresh wall time above ``baseline * (1 + tolerance)`` with
+    both sides over the ``min_seconds`` noise floor.
+    """
+    if trajectory.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"trajectory schema {trajectory.get('schema')!r} "
+            f"!= {TRAJECTORY_SCHEMA!r}"
+        )
+    fresh = _load_benches(bench_paths)
+    base = trajectory.get("benches", {})
+    rows: list[dict] = []
+    regressions: list[dict] = []
+    for stem in sorted(set(base) | set(fresh)):
+        if stem not in fresh:
+            rows.append({"bench": stem, "status": "missing",
+                         "baseline": base[stem]["wall_seconds"]})
+            continue
+        wall = float(fresh[stem]["wall_seconds"])
+        if stem not in base:
+            rows.append({"bench": stem, "status": "untracked", "fresh": wall})
+            continue
+        baseline = float(base[stem]["wall_seconds"])
+        row = {
+            "bench": stem,
+            "baseline": baseline,
+            "fresh": wall,
+            "ratio": wall / baseline if baseline > 0 else float("inf"),
+        }
+        if baseline < min_seconds and wall < min_seconds:
+            row["status"] = "skipped"
+        elif wall > baseline * (1.0 + tolerance):
+            row["status"] = "regressed"
+            regressions.append(row)
+        elif wall < baseline / (1.0 + tolerance):
+            row["status"] = "improved"
+        else:
+            row["status"] = "ok"
+        rows.append(row)
+    return rows, regressions
+
+
+def _expand(paths_or_dir: list[str], fresh_dir: str | None) -> list[str]:
+    paths = list(paths_or_dir)
+    if fresh_dir:
+        paths.extend(
+            sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json")))
+        )
+    return paths
+
+
+def _cmd_check(args) -> int:
+    trajectory = _load(args.trajectory)
+    paths = _expand(args.bench, args.fresh_dir)
+    if not paths:
+        print("perfgate: no fresh BENCH_*.json artifacts found",
+              file=sys.stderr)
+        return 2
+    rows, regressions = compare_to_trajectory(
+        trajectory, paths,
+        tolerance=args.tolerance, min_seconds=args.min_seconds,
+    )
+    width = max(len(r["bench"]) for r in rows)
+    for r in rows:
+        if "ratio" in r:
+            detail = (f"{r['baseline']:8.2f}s -> {r['fresh']:8.2f}s "
+                      f"({r['ratio']:.2f}x)")
+        elif "baseline" in r:
+            detail = f"baseline {r['baseline']:.2f}s, not measured"
+        else:
+            detail = f"fresh {r['fresh']:.2f}s, not in trajectory"
+        print(f"{r['bench'].ljust(width)}  {r['status']:<10} {detail}")
+    if regressions:
+        names = ", ".join(r["bench"] for r in regressions)
+        print(f"perfgate: FAIL — {len(regressions)} regression(s) beyond "
+              f"+{args.tolerance:.0%}: {names}", file=sys.stderr)
+        return 1
+    print(f"perfgate: ok ({len(rows)} bench(es), "
+          f"tolerance +{args.tolerance:.0%})")
+    return 0
+
+
+def _cmd_update(args) -> int:
+    paths = _expand(args.bench, args.fresh_dir)
+    trajectory = build_trajectory(paths, note=args.note)
+    text = json.dumps(trajectory, indent=2, sort_keys=True)
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(text + "\n")
+    print(f"wrote {args.out} ({len(trajectory['benches'])} bench(es))")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.perfgate", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="gate fresh artifacts on the trajectory")
+    p.add_argument("bench", nargs="*", help="fresh BENCH_*.json paths")
+    p.add_argument("--trajectory", default="benchmarks/results/TRAJECTORY.json")
+    p.add_argument("--fresh-dir", default=None,
+                   help="directory to glob BENCH_*.json from")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed slowdown fraction (default 0.5 = +50%%)")
+    p.add_argument("--min-seconds", type=float, default=0.5,
+                   help="noise floor; benches under this on both sides "
+                        "are never gated (default 0.5s)")
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("update", help="(re-)seed the trajectory file")
+    p.add_argument("bench", nargs="*", help="BENCH_*.json paths")
+    p.add_argument("--fresh-dir", default=None,
+                   help="directory to glob BENCH_*.json from")
+    p.add_argument("--out", default="benchmarks/results/TRAJECTORY.json")
+    p.add_argument("--note", default="", help="free-form provenance note")
+    p.set_defaults(fn=_cmd_update)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

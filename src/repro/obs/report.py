@@ -24,6 +24,7 @@ __all__ = [
     "build_report",
     "config_fingerprint",
     "diff_reports",
+    "validate_report",
 ]
 
 REPORT_SCHEMA = "repro.obs.run-report"
@@ -32,7 +33,10 @@ REPORT_SCHEMA = "repro.obs.run-report"
 #: v3 (additive): optional "durability" section (checkpoint/journal/
 #: integrity stats) when the run had :class:`DurabilityConfig` enabled,
 #: with a "recovery" subsection (RPO/RTO) after a power-loss recovery.
-REPORT_SCHEMA_VERSION = 3
+#: v4 (additive): optional "telemetry" section (deterministic metrics
+#: series + alert firings, :mod:`repro.obs.metrics`) when the run was
+#: built with a :class:`~repro.obs.MetricsConfig`.
+REPORT_SCHEMA_VERSION = 4
 
 #: Percentiles quoted for every latency histogram.
 _PERCENTILES = (50.0, 90.0, 99.0)
@@ -122,6 +126,9 @@ def build_report(result, *, extra: dict | None = None) -> dict:
     durability = getattr(result, "durability", None)
     if durability is not None:
         report["durability"] = _jsonable(durability)
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        report["telemetry"] = _jsonable(telemetry)
     trace = getattr(result, "trace", None)
     if trace is not None:
         report["latency_percentiles"] = {
@@ -180,7 +187,10 @@ def diff_reports(a: dict, b: dict, rel_tol: float = 0.0) -> dict:
     ta, tb = a.get("traffic", {}), b.get("traffic", {})
     for name in sorted(set(ta) | set(tb)):
         _compare(f"traffic.{name}", ta.get(name, 0.0), tb.get(name, 0.0))
-    for section in ("service", "durability"):
+    # Structured sections are swept generically, so a report pair that
+    # differs only in a *new* section (e.g. v4's "telemetry") names that
+    # section instead of silently matching or failing bare.
+    for section in sorted(_sections(a) | _sections(b)):
         sa, sb = a.get(section), b.get(section)
         if (sa is None) != (sb is None):
             changes[section] = {
@@ -195,6 +205,25 @@ def diff_reports(a: dict, b: dict, rel_tol: float = 0.0) -> dict:
     return changes
 
 
+#: Top-level keys never swept as sections: scalars handled above, and
+#: wall-clock-derived content that legitimately differs between
+#: otherwise-identical runs.
+_NON_SECTION_KEYS = frozenset(
+    _DIFF_SCALARS
+) | {
+    "schema", "schema_version", "kind", "seed", "config_fingerprint",
+    "counters", "traffic", "event_loop_profile",
+}
+
+
+def _sections(report: dict) -> set[str]:
+    return {
+        key
+        for key, value in report.items()
+        if key not in _NON_SECTION_KEYS and isinstance(value, (dict, list))
+    }
+
+
 def _flatten(obj, prefix: str) -> dict:
     """Flatten a nested report section to dotted scalar leaves."""
     out: dict = {}
@@ -207,3 +236,92 @@ def _flatten(obj, prefix: str) -> dict:
     else:
         out[prefix] = obj
     return out
+
+
+# -- validation --------------------------------------------------------------
+
+_REQUIRED_KEYS = (
+    "schema", "schema_version", "seed", "elapsed", "total_walks",
+    "hops", "traffic", "counters",
+)
+
+
+def validate_report(obj) -> list[str]:
+    """Structural checks for a run-report dict; returns problem strings.
+
+    Accepts every schema version up to :data:`REPORT_SCHEMA_VERSION`
+    (additions are backwards-compatible), including v4's optional
+    ``telemetry`` section, whose series shapes are checked against its
+    declared sample count.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"report must be a JSON object, got {type(obj).__name__}"]
+    if obj.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"schema is {obj.get('schema')!r}, expected {REPORT_SCHEMA!r}"
+        )
+    version = obj.get("schema_version")
+    if not isinstance(version, int) or not 1 <= version <= REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version!r} not in 1..{REPORT_SCHEMA_VERSION}"
+        )
+    for key in _REQUIRED_KEYS:
+        if key not in obj:
+            problems.append(f"missing required key {key!r}")
+    if not isinstance(obj.get("counters", {}), dict):
+        problems.append("counters must be an object")
+    if not isinstance(obj.get("traffic", {}), dict):
+        problems.append("traffic must be an object")
+    telemetry = obj.get("telemetry")
+    if telemetry is not None:
+        problems.extend(_validate_telemetry(telemetry))
+    return problems
+
+
+def _validate_telemetry(tel) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(tel, dict):
+        return ["telemetry must be an object"]
+    if not (isinstance(tel.get("sample_interval"), (int, float))
+            and tel.get("sample_interval", 0) > 0):
+        problems.append("telemetry.sample_interval must be > 0")
+    n = tel.get("samples")
+    if not isinstance(n, int) or n < 1:
+        problems.append("telemetry.samples must be a positive integer")
+        n = None
+    series = tel.get("series")
+    if not isinstance(series, list):
+        problems.append("telemetry.series must be a list")
+        series = []
+    for i, entry in enumerate(series):
+        where = f"telemetry.series[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if entry.get("kind") not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where}.kind {entry.get('kind')!r} unknown")
+        if not entry.get("name"):
+            problems.append(f"{where} missing name")
+        values = entry.get("values")
+        if not isinstance(values, list) or (
+            n is not None and len(values) != n
+        ):
+            problems.append(
+                f"{where}.values must be a list of length telemetry.samples"
+            )
+        if entry.get("kind") == "histogram":
+            buckets = entry.get("buckets")
+            counts = entry.get("counts")
+            if not isinstance(buckets, list) or not isinstance(counts, list) \
+                    or len(counts) != len(buckets) + 1:
+                problems.append(
+                    f"{where}: histogram needs counts of len(buckets)+1"
+                )
+    alerts = tel.get("alerts")
+    if alerts is not None:
+        if not isinstance(alerts, dict) or not isinstance(
+            alerts.get("firings", []), list
+        ):
+            problems.append("telemetry.alerts.firings must be a list")
+    return problems

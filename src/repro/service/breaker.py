@@ -31,11 +31,19 @@ class CircuitBreaker:
         self._seen_chip_failures = 0
         self._seen_exhausted = 0
         self._seen_corruption = 0
+        # Last open/closed state recorded into telemetry, so the gauge
+        # only gets a point on transitions (polls are frequent).
+        self._open_recorded = False
 
     def is_open(self, now: float) -> bool:
         """Poll degradation signals, then report whether the breaker is open."""
         self._update(now)
-        return now < self.open_until
+        open_now = now < self.open_until
+        mx = getattr(self.engine, "telemetry", None)
+        if mx is not None and open_now != self._open_recorded:
+            self._open_recorded = open_now
+            mx.gauge("service_breaker_open").set(1.0 if open_now else 0.0, now)
+        return open_now
 
     def _update(self, now: float) -> None:
         if not self.cfg.breaker_enabled:

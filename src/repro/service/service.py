@@ -34,6 +34,7 @@ import numpy as np
 
 from ..common.errors import ConfigError, SimulationError
 from ..core.metrics import RunResult
+from ..obs.alerts import default_service_rules
 from ..walks.spec import WalkSpec, start_vertices
 from ..walks.state import WalkSet
 from .audit import ServiceAuditor
@@ -43,6 +44,13 @@ from .queue import AdmissionQueue
 from .request import QueryRequest, QueryResult
 
 __all__ = ["ServiceOutcome", "WalkQueryService"]
+
+#: Fixed query-latency histogram bounds (simulated seconds); spans the
+#: sub-millisecond deadlines the SLO suite exercises up to whole-run
+#: scale so the overflow bucket only catches pathological stragglers.
+_LATENCY_BUCKETS = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+)
 
 
 @dataclass
@@ -117,6 +125,13 @@ class WalkQueryService:
         # drawing from the crashed timeline's (stale) generator.
         return self.fw.rngs.stream("service")
 
+    @property
+    def _mx(self):
+        # Same discipline as ``_rng``: the engine rebuilds its metrics
+        # registry on every session reset, so it is fetched per use.
+        # None when the engine runs without telemetry.
+        return self.fw.telemetry
+
     # ------------------------------------------------------------------- run
 
     def run(
@@ -151,6 +166,10 @@ class WalkQueryService:
         self._t0 = fw.start_session(
             WalkSpec(length=self.cfg.max_walk_length), expected_walks=expected
         )
+        # start_session rebuilt the registry, so the SLO burn-rate rules
+        # are re-armed here, once per serving session.
+        if fw.telemetry is not None:
+            fw.telemetry.add_rules(default_service_rules())
         fw._on_completed = self._on_completed
         fw._checkpoint_extra = self._snapshot_state
         try:
@@ -295,6 +314,8 @@ class WalkQueryService:
             )
         self._restore_state(extra)
         now = fw.sim.now
+        if fw.telemetry is not None:
+            fw.telemetry.add_rules(default_service_rules())
         fw._on_completed = self._on_completed
         fw._checkpoint_extra = self._snapshot_state
         # Audit cadence restarts on the recovered timeline; the event
@@ -334,6 +355,9 @@ class WalkQueryService:
     def _arrive(self, req: QueryRequest) -> None:
         t = self.fw.sim.now
         self.arrivals += 1
+        mx = self._mx
+        if mx is not None:
+            mx.counter("service_arrivals").inc(1.0, t)
         st = _QueryState(req=req, t_arrival=t, deadline_abs=t + req.deadline)
         self.states[req.query_id] = st
         if (
@@ -352,6 +376,8 @@ class WalkQueryService:
             self._respond(st, "shed", t, shed_reason=refusal, admitted=False)
             self.auditor.maybe_audit()
             return
+        if mx is not None:
+            mx.gauge("service_queue_depth").set(float(len(self.queue)), t)
         st.deadline_event = self.fw.sim.at(
             st.deadline_abs, lambda qid=req.query_id: self._deadline(qid)
         )
@@ -407,6 +433,9 @@ class WalkQueryService:
             st.injected = True
             self.walks_injected += head.num_walks
             fw.inject_walks(walks)
+        mx = self._mx
+        if mx is not None:
+            mx.gauge("service_queue_depth").set(float(len(self.queue)), t)
         self.auditor.maybe_audit()
 
     def _schedule_retry(self, at: float) -> None:
@@ -466,6 +495,9 @@ class WalkQueryService:
         if st.responded:
             return
         self.deadline_misses += 1
+        mx = self._mx
+        if mx is not None:
+            mx.counter("service_deadline_misses").inc(1.0, self.fw.sim.now)
         self._respond(st, "timed_out", self.fw.sim.now, admitted=True)
         # Freed deadline headroom does not add capacity, but queued
         # work may have been blocked purely on this query's backlog.
@@ -511,6 +543,15 @@ class WalkQueryService:
         else:
             self.shed_count += 1
             stats.counter("svc_queries_shed").add(1)
+        mx = self._mx
+        if mx is not None:
+            mx.counter("service_responses").inc(1.0, t)
+            mx.counter("service_status", status=status).inc(1.0, t)
+            if status == "shed":
+                mx.counter("service_shed").inc(1.0, t)
+            else:
+                mx.histogram("service_latency_seconds",
+                             _LATENCY_BUCKETS).observe(latency, t)
 
     # --------------------------------------------------------------- report
 
