@@ -30,6 +30,7 @@ __all__ = [
     "DRAMConfig",
     "AcceleratorConfig",
     "AcceleratorLevels",
+    "FTLConfig",
     "FaultConfig",
     "DurabilityConfig",
     "GraphWalkerConfig",
@@ -59,6 +60,83 @@ def _non_negative(name: str, value: float) -> None:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class FTLConfig:
+    """DFTL translation layer + device housekeeping (strictly opt-in).
+
+    With ``enabled=False`` (the default) the mapping cache is never
+    constructed, no background GC events are scheduled, and every flash
+    operation takes the exact pre-DFTL code path, so default runs stay
+    bit-identical to a build without this subsystem (test-guarded).
+
+    Enabled, the device pays for its own translation layer: a Cached
+    Mapping Table (:mod:`repro.flash.cmt`) holds ``cmt_entries`` mapping
+    entries in controller DRAM; a miss reads the owning chip's
+    translation page across the channel bus, and a dirty eviction writes
+    it back.  Background GC runs as deterministically scheduled engine
+    events whose valid-page migrations and erases occupy the same
+    channel/chip resources walks and the durability journal/scrub use.
+    """
+
+    enabled: bool = False
+
+    # -- cached mapping table ------------------------------------------------
+    #: Mapping entries resident in controller DRAM (LRU-evicted).
+    cmt_entries: int = 1024
+    #: Bytes of one mapping entry as stored in a translation page; a
+    #: 4 KB translation page then holds ``page_bytes // this`` entries.
+    translation_entry_bytes: int = 8
+
+    # -- write stream / over-provisioning -------------------------------------
+    #: Pages of the circular log region engine write-back streams (walk
+    #: spills, journal commits, completed-walk flushes) rotate through.
+    #: Rewrites invalidate prior copies, which is what generates GC work.
+    log_region_pages: int = 4096
+    #: Fraction of capacity reserved as spare: shrinks the exported
+    #: logical page span and raises the per-plane free-block watermark
+    #: below which background GC engages.
+    over_provisioning: float = 0.07
+
+    # -- background garbage collection ----------------------------------------
+    #: Simulated seconds between background GC passes; 0 keeps GC purely
+    #: synchronous (the allocator's emergency path) even when enabled.
+    gc_interval: float = 500e-6
+    #: A plane is a GC candidate when its free blocks drop to or below
+    #: ``max(this, over_provisioning * blocks_per_plane)``.
+    gc_low_water_blocks: int = 2
+    #: Planes collected per background pass (bounds per-event work).
+    gc_planes_per_pass: int = 2
+
+    # -- wear leveling ---------------------------------------------------------
+    #: Pick the least-erased free block on allocation instead of FIFO.
+    wear_leveling: bool = True
+
+    def validate(self) -> "FTLConfig":
+        if self.cmt_entries < 1:
+            raise ConfigError(
+                f"cmt_entries must be >= 1, got {self.cmt_entries!r}"
+            )
+        _positive("translation_entry_bytes", self.translation_entry_bytes)
+        _positive("log_region_pages", self.log_region_pages)
+        if not 0.0 <= self.over_provisioning < 0.5:
+            raise ConfigError(
+                "over_provisioning must be in [0, 0.5), "
+                f"got {self.over_provisioning!r}"
+            )
+        _non_negative("gc_interval", self.gc_interval)
+        if self.gc_low_water_blocks < 1:
+            raise ConfigError(
+                f"gc_low_water_blocks must be >= 1, "
+                f"got {self.gc_low_water_blocks!r}"
+            )
+        if self.gc_planes_per_pass < 1:
+            raise ConfigError(
+                f"gc_planes_per_pass must be >= 1, "
+                f"got {self.gc_planes_per_pass!r}"
+            )
+        return self
+
+
 @dataclass
 class SSDConfig:
     """SSD architectural characteristics (paper Tables I and III)."""
@@ -86,6 +164,10 @@ class SSDConfig:
     #: paper's quoted 55.8 GB/s aggregate read throughput corresponds to
     #: 4 concurrent plane reads per chip (128 chips x 4 x 4 KB / 35 us).
     max_concurrent_plane_ops_per_chip: int = 4
+
+    #: DFTL translation layer + background GC/wear leveling (opt-in;
+    #: disabled keeps the free in-memory mapping and synchronous GC).
+    ftl: FTLConfig = field(default_factory=FTLConfig)
 
     # -- derived ------------------------------------------------------------
 
@@ -167,6 +249,12 @@ class SSDConfig:
                 "max_concurrent_plane_ops_per_chip "
                 f"({self.max_concurrent_plane_ops_per_chip}) exceeds planes per "
                 f"chip ({self.planes_per_chip})"
+            )
+        self.ftl.validate()
+        if self.ftl.enabled and self.ftl.translation_entry_bytes > self.page_bytes:
+            raise ConfigError(
+                f"translation_entry_bytes ({self.ftl.translation_entry_bytes}) "
+                f"exceeds page_bytes ({self.page_bytes})"
             )
         return self
 

@@ -25,7 +25,12 @@ import math
 import numpy as np
 
 from ..common.config import FlashWalkerConfig
-from ..common.errors import InvariantViolation, PowerLossError, SimulationError
+from ..common.errors import (
+    ConfigError,
+    InvariantViolation,
+    PowerLossError,
+    SimulationError,
+)
 from ..common.rng import RngRegistry, derive_seed
 from ..durability.integrity import RNG_STREAM, IntegrityTracker
 from ..durability.journal import WalkJournal
@@ -75,6 +80,7 @@ _PRIO_POWER_LOSS = -100
 _PRIO_JOURNAL = -20
 _PRIO_CORRUPT = -15
 _PRIO_SCRUB = -10
+_PRIO_FTL_GC = -5
 
 #: Fixed ``le`` bounds of the sink-flush page-count histogram
 #: (telemetry only; power-of-two spacing covers group commits).
@@ -130,6 +136,24 @@ class FlashWalker:
         self.block_chip = placement[:, 0] * cpc + placement[:, 1]  # flat chip id
         # Pristine placement; chip failures remap block_chip per run.
         self._block_chip0 = self.block_chip.copy()
+        if self.ssd.dftl is not None:
+            # The engine's write-back streams (sink flushes, journal
+            # commits, spills) rotate through a circular log region above
+            # the placed subgraph pages; wrapping it overwrites old log
+            # pages, which is what generates the invalid pages background
+            # GC reclaims.
+            log_base = self.part.num_blocks * self.cfg.subgraph_pages()
+            span = self.ssd.ftl.total_pages - log_base
+            if span < 1:
+                raise ConfigError(
+                    "DFTL log region is empty: the graph's "
+                    f"{log_base} placed pages fill the device's "
+                    f"{self.ssd.ftl.total_pages} exported pages — lower "
+                    "ftl.over_provisioning or enlarge the device"
+                )
+            self.ssd.dftl.set_log_region(
+                log_base, min(self.cfg.ssd.ftl.log_region_pages, span)
+            )
         # Accelerators.
         slots = self.cfg.chip_subgraph_slots()
         self.chips = [
@@ -312,6 +336,13 @@ class FlashWalker:
         self._next_scrub: float | None = None
         self._next_corruption: float | None = None
         self._dur_events: dict[str, object] = {}
+        # Background FTL GC (DFTL layer): scheduled on the same absolute
+        # grid as the durability events, but independent of them — the
+        # device housekeeps whether or not the journal/scrub stack is on.
+        self._next_ftl_gc: float | None = None
+        self._restored_ftlgc_armed: bool | None = None
+        if self.ssd.dftl is not None:
+            self.ssd.dftl.telemetry = self.telemetry
         # Extra-state hook pair for layers above the engine (the query
         # service): _checkpoint_extra() is packed into snapshots, and a
         # restore leaves the packed dict in _restored_extra.
@@ -404,6 +435,7 @@ class FlashWalker:
                     lambda c=int(chip_flat): self._fail_chip(c),
                 )
         self._arm_durability()
+        self._arm_ftl_gc()
         self.sim.run(max_events=max_events)
         return self._finalize_run()
 
@@ -447,6 +479,7 @@ class FlashWalker:
                     lambda c=int(chip_flat): self._fail_chip(c),
                 )
         self._arm_durability()
+        self._arm_ftl_gc()
         return t0
 
     def inject_walks(self, walks: WalkSet) -> None:
@@ -472,8 +505,12 @@ class FlashWalker:
         # power loss is not recurring work — it must not keep the
         # journal/scrub events from re-arming, or the epoch it is
         # armed in runs with journal flushes silently off.
-        if all(k.startswith("powerloss") for k in self._dur_events):
+        if all(
+            k.startswith("powerloss") or k == "ftlgc" for k in self._dur_events
+        ):
             self._arm_durability()
+        if "ftlgc" not in self._dur_events:
+            self._arm_ftl_gc()
         self._board_direct(walks, scoped=False)
 
     def _finalize_run(self) -> RunResult:
@@ -505,6 +542,23 @@ class FlashWalker:
             result.finals = finals
         result.seed = self._seed
         result.config_fingerprint = config_fingerprint(self.cfg)
+        dftl = self.ssd.dftl
+        if dftl is not None:
+            result.ftl = dftl.stats(self.ssd.ftl)
+            result.counters["ftl_cmt_hits"] = float(dftl.cmt.hits)
+            result.counters["ftl_cmt_misses"] = float(dftl.cmt.misses)
+            result.counters["ftl_translation_page_reads"] = float(
+                dftl.translation_page_reads
+            )
+            result.counters["ftl_translation_page_writes"] = float(
+                dftl.translation_page_writes
+            )
+            result.counters["ftl_gc_background_runs"] = float(
+                self.ssd.ftl.gc_background_runs
+            )
+            result.counters["ftl_gc_moved_pages"] = float(
+                self.ssd.ftl.gc_moved_pages
+            )
         if self.cfg.durability.enabled:
             result.durability = self._durability_section()
         if self.telemetry is not None:
@@ -846,7 +900,18 @@ class FlashWalker:
         t_bus = ch.transfer_data(t, nbytes)
         self._record_bus(ch.bus, t, nbytes, t_bus)
         pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
-        t_prog = chip_hw.program_pages_striped(t_bus, pages)
+        if self.ssd.dftl is None:
+            t_prog = chip_hw.program_pages_striped(t_bus, pages)
+        else:
+            cpc = self.cfg.ssd.chips_per_channel
+            t_prog = t_bus
+            for k in range(pages):
+                t_prog = max(
+                    t_prog,
+                    self._dftl_program(
+                        t_bus, chip_flat // cpc, chip_flat % cpc, k, chip_hw
+                    ),
+                )
         self.metrics.record_flash_write(
             t_bus, pages * self.cfg.ssd.page_bytes, t_prog
         )
@@ -911,15 +976,23 @@ class FlashWalker:
         pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
         end = t
         c = self.cfg.ssd
+        dftl = self.ssd.dftl
         for _ in range(pages):
             # Stripe pages over channels, then chips (persistent cursor),
             # so write-back never concentrates on one chip's planes.
             p = self._flush_cursor
             self._flush_cursor += 1
-            ch = self.ssd.channel(p % c.channels)
+            ch_idx = p % c.channels
+            chip_idx = (p // c.channels) % c.chips_per_channel
+            ch = self.ssd.channel(ch_idx)
             t_bus = ch.transfer_data(t, c.page_bytes)
-            chip_hw = ch.chip((p // c.channels) % c.chips_per_channel)
-            end = max(end, chip_hw.program_pages_striped(t_bus, 1))
+            chip_hw = ch.chip(chip_idx)
+            if dftl is None:
+                end = max(end, chip_hw.program_pages_striped(t_bus, 1))
+            else:
+                end = max(
+                    end, self._dftl_program(t_bus, ch_idx, chip_idx, p, chip_hw)
+                )
         self.metrics.record_channel(t, nbytes, end)
         self.metrics.record_flash_write(t, pages * self.cfg.ssd.page_bytes, end)
         mx = self.telemetry
@@ -928,6 +1001,27 @@ class FlashWalker:
                 pages, t
             )
         return end
+
+    def _dftl_program(
+        self, t: float, ch_idx: int, chip_idx: int, cursor: int, chip_hw
+    ) -> float:
+        """Allocate + program one engine log page through the DFTL/FTL.
+
+        The page gets the next circular-log lpn, whose mapping entry
+        enters the CMT dirty (misses pay translation-page traffic on the
+        target chip), then goes through the FTL allocator — so wear
+        leveling sees it and overwritten log pages build the invalid
+        counts background GC reclaims.
+        """
+        c = self.cfg.ssd
+        lpn = self.ssd.dftl.next_log_lpn()
+        chip_flat = ch_idx * c.chips_per_channel + chip_idx
+        t_xl = self.ssd.dftl_probe(t, chip_flat, (lpn,), write=True)
+        planes_base = self.ssd.ftl.flat_plane(ch_idx, chip_idx, 0, 0)
+        addr = self.ssd.ftl.write(
+            lpn, plane_hint=planes_base + (cursor % c.planes_per_chip)
+        )
+        return chip_hw.program_page(t_xl, addr.die, addr.plane)
 
     def _read_scattered(self, t: float, nbytes: int) -> float:
         """Read ``nbytes`` of walk records striped over all channels."""
@@ -986,6 +1080,14 @@ class FlashWalker:
         t_pages = t_cmd
         if chip.touch_block(block):
             pages = self.cfg.subgraph_pages()
+            if self.ssd.dftl is not None:
+                # The load must translate its lpns first; CMT misses pay
+                # translation-page reads on this chip before any subgraph
+                # page can be sensed.
+                base_lpn = block * pages
+                t_cmd = self.ssd.dftl_probe(
+                    t_cmd, chip.index, range(base_lpn, base_lpn + pages)
+                )
             t_pages = chip_hw.read_pages_striped(t_cmd, pages)
             m.record_flash_read(t_cmd, pages * ssd_cfg.page_bytes, t_pages)
             m.subgraph_loads.add()
@@ -1090,7 +1192,13 @@ class FlashWalker:
             chip.pending_completed = 0
             pages = max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
             chip_hw = self.ssd.chip(chip.channel_id, chip.chip_in_channel)
-            chip_hw.program_pages_striped(t, pages)
+            if self.ssd.dftl is None:
+                chip_hw.program_pages_striped(t, pages)
+            else:
+                for k in range(pages):
+                    self._dftl_program(
+                        t, chip.channel_id, chip.chip_in_channel, k, chip_hw
+                    )
             self.metrics.record_flash_write(t, pages * self.cfg.ssd.page_bytes)
 
     def _after_chip_batch(self, chip: ChipAccelerator) -> None:
@@ -1369,6 +1477,7 @@ class FlashWalker:
                         lambda c=int(chip_flat): self._fail_chip(c),
                     )
         self._arm_durability()
+        self._arm_ftl_gc()
         # Restore the armed-event *set* as of capture: a snapshot taken
         # at a drained rest point (cluster epoch boundary) had no
         # recurring events armed — the resumed timeline must re-arm
@@ -1379,6 +1488,10 @@ class FlashWalker:
             for key in list(self._dur_events):
                 if not key.startswith("powerloss") and key not in armed:
                     self._dur_events.pop(key).cancel()
+        # Same lazy-re-arm contract for the FTL GC event, which exists
+        # with or without the durability layer's armed-set machinery.
+        if self._restored_ftlgc_armed is False and "ftlgc" in self._dur_events:
+            self._dur_events.pop("ftlgc").cancel()
         return snap
 
     def resume(
@@ -1486,7 +1599,9 @@ class FlashWalker:
             # The journal pays normal write-back cost and competes for
             # channel/NAND bandwidth like any sink flush.
             end = self._flush_to_flash(t, nbytes)
-            j.mark_flushed(end)
+            j.mark_flushed(
+                end, pages=max(1, math.ceil(nbytes / self.cfg.ssd.page_bytes))
+            )
             mx = self.telemetry
             if mx is not None:
                 mx.counter("durability_journal_flushes").inc(1.0, t)
@@ -1538,6 +1653,57 @@ class FlashWalker:
             )
         else:
             self._dur_events.pop("scrub", None)
+
+    def _arm_ftl_gc(self) -> None:
+        """(Re-)schedule the background FTL-GC event from now.
+
+        Independent of the durability layer: an enabled DFTL housekeeps
+        even when journal/scrub are off.  Same absolute-grid discipline
+        as the durability events so an uninterrupted run and a resumed
+        one share fire times.
+        """
+        if self.ssd.dftl is None or not self.ssd.ftl.background_gc:
+            return
+        if "ftlgc" in self._dur_events:
+            return
+        interval = self.cfg.ssd.ftl.gc_interval
+        t = self.sim.now
+        if self._next_ftl_gc is None:
+            self._next_ftl_gc = (math.floor(t / interval) + 1) * interval
+        self._next_ftl_gc = max(self._next_ftl_gc, t)
+        self._dur_events["ftlgc"] = self.sim.at(
+            self._next_ftl_gc, self._ftl_gc_pass, priority=_PRIO_FTL_GC
+        )
+
+    def _ftl_gc_pass(self) -> None:
+        """Background-GC event: reclaim the neediest planes' worst blocks.
+
+        Each pass collects at most ``gc_planes_per_pass`` planes whose
+        free-block counts sit at/below the watermark; the migrations and
+        erases occupy the owning chips' dispatchers, planes, and channel
+        buses — the housekeeping traffic walks contend with.
+        """
+        t = self.sim.now
+        self._next_ftl_gc = t + self.cfg.ssd.ftl.gc_interval
+        ftl = self.ssd.ftl
+        for flat in ftl.gc_candidates()[: self.cfg.ssd.ftl.gc_planes_per_pass]:
+            self.ssd.ftl_gc_collect(t, flat)
+        mx = self.telemetry
+        if mx is not None:
+            if ftl._touched:
+                mx.gauge("ftl_free_blocks_min").set(
+                    min(ftl.free_blocks(f) for f in ftl._touched), t
+                )
+            mx.gauge("ftl_write_amplification").set(
+                self.ssd.dftl.write_amplification(ftl), t
+            )
+            mx.gauge("ftl_cmt_hit_rate").set(self.ssd.dftl.cmt.hit_rate, t)
+        if not self._done:
+            self._dur_events["ftlgc"] = self.sim.at(
+                self._next_ftl_gc, self._ftl_gc_pass, priority=_PRIO_FTL_GC
+            )
+        else:
+            self._dur_events.pop("ftlgc", None)
 
     def _power_loss(self, index: int) -> None:
         """Cut power: volatile state is lost, torn pages drawn, run aborts."""

@@ -91,8 +91,11 @@ class SubgraphMappingTable:
         first = self.partitioning._dense_first_block
         if first is not None:
             blocks = first[blocks]
-        scope = self.n_entries if scope_entries is None else min(
-            scope_entries, self.n_entries
+        # Clamp the modeled scope to [1, n_entries]: a range tag can name
+        # an empty scope (0 subgraphs beyond the first), but the guider
+        # still performs at least one comparison to confirm the entry.
+        scope = self.n_entries if scope_entries is None else max(
+            1, min(scope_entries, self.n_entries)
         )
         steps = binary_search_steps(scope)
         self.lookups += v.size

@@ -158,6 +158,11 @@ class RunResult:
     #: on the sample grid plus alert-rule firings.  None for default
     #: runs, in which case the report carries no "telemetry" section.
     telemetry: dict | None = None
+    #: FTL section attached by the engine when ``FTLConfig.enabled``:
+    #: CMT hit/miss stats, translation traffic, write amplification and
+    #: wear counters.  None for default runs, in which case the report
+    #: carries no "ftl" section.
+    ftl: dict | None = None
 
     @property
     def flash_read_bandwidth(self) -> float:

@@ -212,6 +212,14 @@ class IntegrityTracker:
                 self._in_scrub = False
             ch = ssd.channel(flat // c.chips_per_channel)
             r_end = ch.transfer_data(r_end, c.page_bytes)
+            dftl = getattr(ssd, "dftl", None)
+            if dftl is not None and dftl.log_span > 0:
+                # Verifying a scanned page means cross-checking its
+                # recorded checksum against the mapping metadata, so a
+                # DFTL device pays one translation probe per scanned
+                # plane (deterministic lpn choice off the scan index).
+                lpn = dftl.log_base + (idx % dftl.log_span)
+                r_end = ssd.dftl_probe(r_end, flat, (lpn,))
             m = self.metrics
             if m is not None:
                 m.record_flash_read(t, c.page_bytes, r_end)

@@ -67,6 +67,7 @@ class WalkJournal:
         self.flushes = 0
         self.records_flushed = 0
         self.bytes_flushed = 0
+        self.pages_flushed = 0
         self.last_flush_at = 0.0
 
     # -- writing --------------------------------------------------------------
@@ -90,14 +91,20 @@ class WalkJournal:
     def pending_bytes(self) -> int:
         return len(self._pending) * self.record_bytes
 
-    def mark_flushed(self, t: float) -> int:
-        """Group commit: every pending record becomes durable at ``t``."""
+    def mark_flushed(self, t: float, pages: int = 0) -> int:
+        """Group commit: every pending record becomes durable at ``t``.
+
+        ``pages`` is the flash-page count the commit occupied (reported
+        by the engine's flush path) — the journal's share of the
+        device's write-amplification denominator.
+        """
         n = len(self._pending)
         self._durable.extend(self._pending)
         self._pending.clear()
         self.flushes += 1
         self.records_flushed += n
         self.bytes_flushed += n * self.record_bytes
+        self.pages_flushed += int(pages)
         self.last_flush_at = float(t)
         return n
 
@@ -148,6 +155,7 @@ class WalkJournal:
             "flushes": self.flushes,
             "records_flushed": self.records_flushed,
             "bytes_flushed": self.bytes_flushed,
+            "pages_flushed": self.pages_flushed,
             "last_flush_at": self.last_flush_at,
         }
 
@@ -161,6 +169,7 @@ class WalkJournal:
         self.flushes = state["flushes"]
         self.records_flushed = state["records_flushed"]
         self.bytes_flushed = state["bytes_flushed"]
+        self.pages_flushed = int(state.get("pages_flushed", 0))
         self.last_flush_at = state["last_flush_at"]
 
     def stats(self) -> dict:
@@ -171,6 +180,7 @@ class WalkJournal:
             "flushes": self.flushes,
             "records_flushed": self.records_flushed,
             "bytes_flushed": self.bytes_flushed,
+            "pages_flushed": self.pages_flushed,
             "last_flush_at": self.last_flush_at,
         }
 

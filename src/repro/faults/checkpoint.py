@@ -309,6 +309,14 @@ def capture_checkpoint(fw, t: float) -> Checkpoint:
         "board_pipe": _fcfs_state(fw._board_pipe),
         # FTL remap history (replayed against a pristine FTL on restore)
         "ftl_remap_log": list(fw.ssd.ftl.remap_log),
+        # DFTL-enabled runs: background GC makes the FTL's state
+        # time-dependent (no longer derivable by replaying placement +
+        # remap log), so the full mapping/allocation state — and the
+        # CMT/translation counters — are snapshotted explicitly.
+        "ftl_state": None if fw.ssd.dftl is None else fw.ssd.ftl.state(),
+        "dftl_state": None if fw.ssd.dftl is None else fw.ssd.dftl.state(),
+        "next_ftl_gc": fw._next_ftl_gc,
+        "ftlgc_armed": "ftlgc" in fw._dur_events,
         # durability layer: journal/integrity state + the recurring
         # events' next absolute fire times (the negative durability
         # event priorities guarantee these are strictly > ckpt.time)
@@ -579,9 +587,20 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
     _set_fcfs(fw._board_pipe, d["board_pipe"])
     # FTL: rebuild pristine placement and replay the remap log so
     # post-recovery page routing matches the crashed timeline's.
-    # Legacy snapshots (no log recorded) skip the FTL as before.
+    # DFTL-enabled snapshots carry the full FTL state instead (replay
+    # can't reproduce background GC's block shuffling); legacy
+    # snapshots (no log recorded) skip the FTL as before.
+    ftl_state = d.get("ftl_state")
     remap = d.get("ftl_remap_log")
-    if remap is not None:
+    if ftl_state is not None:
+        from ..flash.ftl import FTL
+
+        ftl = FTL(fw.cfg.ssd)
+        ftl.restore_state(ftl_state)
+        fw.ssd.ftl = ftl
+        if fw.ssd.dftl is not None and d.get("dftl_state") is not None:
+            fw.ssd.dftl.restore_state(d["dftl_state"])
+    elif remap is not None:
         from ..flash.ftl import FTL
 
         ftl = FTL(fw.cfg.ssd)
@@ -589,6 +608,8 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
         for flat in remap:
             ftl.retire_active_block(int(flat))
         fw.ssd.ftl = ftl
+    fw._next_ftl_gc = d.get("next_ftl_gc")
+    fw._restored_ftlgc_armed = d.get("ftlgc_armed")
     # Durability layer: journal/integrity contents + next fire times
     # (the caller's _arm_durability re-schedules from these).
     dur = d.get("durability")

@@ -1,6 +1,7 @@
 """SSD substrate: NAND timing, channels, FTL, DRAM, host interface."""
 
 from .channel import ONFI_COMMAND_BYTES, FlashChannel
+from .cmt import DFTL, CachedMappingTable
 from .dram import DRAM
 from .ftl import FTL, FlashAddress
 from .hostif import NVME_COMMAND_OVERHEAD, HostInterface
@@ -11,6 +12,8 @@ from .tsu import Transaction, TransactionScheduler, TransactionType
 __all__ = [
     "ONFI_COMMAND_BYTES",
     "FlashChannel",
+    "DFTL",
+    "CachedMappingTable",
     "DRAM",
     "FTL",
     "FlashAddress",

@@ -116,6 +116,21 @@ class FlashChannel:
             self._trace_transfer(tr, now, first_end, end, nbytes)
         return end
 
+    def transfer_meta(self, now: float, nbytes: int | float) -> float:
+        """Move FTL metadata (translation pages) over the bus.
+
+        Charged full bus time — translation traffic steals bandwidth from
+        walks, which is what the DFTL layer models — but exempt from the
+        CRC fault draws: metadata transfers consuming draws would shift
+        every subsequent fault arrival in runs that never enable DFTL's
+        counterpart knobs, breaking default-path byte-identity.
+        """
+        end = self.bus.transfer(now, nbytes)
+        tr = self.tracer
+        if tr is not None:
+            self._trace_bus_busy(tr, end, nbytes)
+        return end
+
     def _trace_bus_busy(self, tr, end: float, nbytes: int | float) -> None:
         """Attribute one raw transfer's bus occupancy ending at ``end``."""
         duration = float(nbytes) / self.bus.bytes_per_sec

@@ -85,9 +85,27 @@ class FTL:
             raise FlashError(f"gc_threshold must be >= 1, got {gc_threshold}")
         self.cfg = cfg
         self.gc_threshold = gc_threshold
-        self.total_pages = (
+        fcfg = getattr(cfg, "ftl", None)
+        self.ftl_cfg = fcfg
+        #: Wear-leveling allocation and background GC follow FTLConfig;
+        #: both default off so the pre-DFTL allocator is byte-identical.
+        self.wear_leveling = bool(
+            fcfg is not None and fcfg.enabled and fcfg.wear_leveling
+        )
+        self.background_gc = bool(
+            fcfg is not None and fcfg.enabled and fcfg.gc_interval > 0
+        )
+        self.physical_pages = (
             cfg.total_planes * cfg.blocks_per_plane * cfg.pages_per_block
         )
+        # Over-provisioning shrinks the *exported* logical span; the
+        # physical geometry (and ppa space) is unchanged.
+        if fcfg is not None and fcfg.enabled and fcfg.over_provisioning > 0:
+            self.total_pages = max(
+                1, int(self.physical_pages * (1.0 - fcfg.over_provisioning))
+            )
+        else:
+            self.total_pages = self.physical_pages
         self.total_blocks = cfg.total_planes * cfg.blocks_per_plane
         # Logical -> physical page map and the reverse map for GC.
         self.l2p: dict[int, int] = {}
@@ -105,9 +123,25 @@ class FTL:
         self._invalid = np.zeros((n_planes, cfg.blocks_per_plane), dtype=np.int64)
         self._erase_counts = np.zeros((n_planes, cfg.blocks_per_plane), dtype=np.int64)
         self._next_plane = 0
-        self._gc_victim: dict[int, int] = {}
+        # Per-plane set of blocks a GC/retire copy-forward is mid-move
+        # on: they must be invisible to victim selection until their
+        # survivors land (a single dict entry let nested GC re-pick a
+        # partially moved victim).
+        self._gc_inflight: list[set[int]] = [set() for _ in range(n_planes)]
+        # Per-plane stack of already-erased GC victims reserved for the
+        # caller's post-GC block advance; _advance_block may consume one
+        # as the allocation of last resort mid-move.
+        self._gc_reserve: list[list[int]] = [[] for _ in range(n_planes)]
         self.gc_runs = 0
         self.gc_moved_pages = 0
+        self.gc_foreground_runs = 0
+        self.gc_background_runs = 0
+        #: Host/engine pages written through :meth:`write` (the WAF
+        #: denominator; GC/retire copy-forwards are the amplification).
+        self.data_pages_written = 0
+        #: Planes whose allocation state ever left pristine, so
+        #: :meth:`state` snapshots stay sparse on big geometries.
+        self._touched: set[int] = set()
         # Grown-bad blocks per flat plane: permanently out of circulation.
         self._bad_blocks: list[set[int]] = [set() for _ in range(n_planes)]
         self.bad_block_count = 0
@@ -173,27 +207,63 @@ class FTL:
         ppa = self._allocate_page(flat)
         self.l2p[lpn] = ppa
         self.p2l[ppa] = lpn
+        self.data_pages_written += 1
         return FlashAddress.decode(ppa, self.cfg)
 
     def _allocate_page(self, flat: int) -> int:
         c = self.cfg
+        self._touched.add(flat)
         if self._active_page[flat] >= c.pages_per_block:
-            # active block full: advance to a fresh block
-            if len(self._free_list[flat]) <= self.gc_threshold:
+            # Active block full: advance to a fresh block.  With
+            # background GC the engine reclaims space on its own
+            # schedule, so the allocator only collects synchronously as
+            # an emergency (free list empty); otherwise it keeps the
+            # original threshold-triggered foreground GC.
+            free = self._free_list[flat]
+            if self.background_gc:
+                if not free:
+                    self._garbage_collect(flat)
+            elif len(free) <= self.gc_threshold:
                 self._garbage_collect(flat)
-            self._advance_block(flat)
+            # GC may already have advanced the cursor: when the move
+            # consumed its reserved victim as the allocation of last
+            # resort, the active block is that victim, partially filled
+            # by survivors — advancing again would strand its remaining
+            # pages and (on a full plane) raise a spurious device-full.
+            if self._active_page[flat] >= c.pages_per_block:
+                self._advance_block(flat)
         block = int(self._active_block[flat])
         page = int(self._active_page[flat])
         self._active_page[flat] += 1
         return self._ppa(flat, block, page)
 
     def _advance_block(self, flat: int) -> None:
-        if not self._free_list[flat]:
+        free = self._free_list[flat]
+        if not free:
+            # Allocation of last resort: a GC copy-forward in progress
+            # has already *erased* its victim even if the survivors are
+            # still moving — consuming it here is what keeps a near-full
+            # plane from raising device-full mid-move (the victim's
+            # erase must be visible to allocation).
+            reserve = self._gc_reserve[flat]
+            if reserve:
+                blk = reserve.pop()
+                self._gc_inflight[flat].discard(blk)
+                self._active_block[flat] = blk
+                self._active_page[flat] = 0
+                return
             raise FlashError(
                 f"plane {flat}: out of free blocks even after GC "
                 "(device over-full)"
             )
-        self._active_block[flat] = self._free_list[flat].pop(0)
+        if self.wear_leveling and len(free) > 1:
+            # Erase-count-aware allocation: take the least-worn free
+            # block (ties break to the lowest block id, deterministic).
+            ec = self._erase_counts[flat]
+            idx = min(range(len(free)), key=lambda i: (ec[free[i]], free[i]))
+            self._active_block[flat] = free.pop(idx)
+        else:
+            self._active_block[flat] = free.pop(0)
         self._active_page[flat] = 0
 
     def _invalidate(self, ppa: int) -> None:
@@ -225,37 +295,117 @@ class FTL:
 
     # -- garbage collection ------------------------------------------------------------
 
-    def _garbage_collect(self, flat: int) -> None:
-        """Greedy GC on one plane: reclaim the most-invalid block."""
-        c = self.cfg
-        active = int(self._active_block[flat])
+    def _select_victim(self, flat: int) -> int | None:
+        """Greedy victim choice: the plane's most-invalid eligible block."""
         candidates = self._invalid[flat].copy()
-        candidates[active] = -1  # never collect the active block
+        if self._active_page[flat] < self.cfg.pages_per_block:
+            # A partially written active block is off limits (collecting
+            # it would fight the write cursor), but once it fills it is
+            # a block like any other — on a plane whose only invalid
+            # pages sit under the cursor, shielding it forever starves
+            # GC into a spurious device-full.
+            candidates[int(self._active_block[flat])] = -1
         candidates[self._free_list[flat]] = -1  # already free
-        in_progress = self._gc_victim.get(flat)
-        if in_progress is not None:
-            candidates[in_progress] = -1  # re-entrant GC during a move
+        for blk in self._gc_inflight[flat]:
+            candidates[blk] = -1  # survivors still mid-move
         victim = int(np.argmax(candidates))
         if candidates[victim] <= 0:
-            return  # nothing reclaimable; caller may still fail on alloc
-        self._gc_victim[flat] = victim
-        # Move still-valid pages of the victim forward.
+            return None  # nothing reclaimable; caller may still fail on alloc
+        return victim
+
+    def _collect_block(self, flat: int, victim: int) -> int:
+        """Erase-first copy-forward of one victim block; returns pages moved.
+
+        The victim's still-valid lpns are staged, then the block is
+        *logically erased* (reverse map cleared, invalid count reset,
+        erase counted) **before** the survivors reallocate.  Ordering
+        matters: on a near-full plane the copy-forward allocations may
+        need the very block being collected — erasing first and holding
+        it as a reservation makes it visible to ``_advance_block``
+        instead of raising a spurious device-full :class:`FlashError`
+        mid-move.  Survivor moves still prefer other blocks (nested GC
+        keeps reclaiming the plane as before), so when the reservation
+        goes unused the victim joins the free list only after the last
+        survivor lands — a half-moved block can never be re-picked.
+        """
         base = self._ppa(flat, victim, 0)
-        for page in range(c.pages_per_block):
-            ppa = base + page
-            lpn = self.p2l.get(ppa)
-            if lpn is None:
-                continue
-            del self.p2l[ppa]
+        survivors = [
+            lpn
+            for page in range(self.cfg.pages_per_block)
+            if (lpn := self.p2l.pop(base + page, None)) is not None
+        ]
+        self._invalid[flat, victim] = 0
+        self._erase_counts[flat, victim] += 1
+        self._gc_inflight[flat].add(victim)
+        self._gc_reserve[flat].append(victim)
+        for lpn in survivors:
             new_ppa = self._allocate_page(flat)
             self.l2p[lpn] = new_ppa
             self.p2l[new_ppa] = lpn
             self.gc_moved_pages += 1
-        self._invalid[flat, victim] = 0
-        self._erase_counts[flat, victim] += 1
-        self._free_list[flat].append(victim)
-        self._gc_victim.pop(flat, None)
+        if victim in self._gc_inflight[flat]:
+            # Reservation unused: release the victim into circulation.
+            self._gc_inflight[flat].discard(victim)
+            self._gc_reserve[flat].remove(victim)
+            self._free_list[flat].append(victim)
+        return len(survivors)
+
+    def _garbage_collect(self, flat: int) -> None:
+        """Synchronous (foreground) GC: reclaim one block on the plane."""
+        victim = self._select_victim(flat)
+        if victim is None:
+            return
+        self._collect_block(flat, victim)
         self.gc_runs += 1
+        self.gc_foreground_runs += 1
+
+    def gc_once(self, flat: int) -> dict | None:
+        """One background-GC cycle on a plane (driven by engine events).
+
+        Returns ``{"victim", "moved", "lpns"}`` for the engine to charge
+        the migration reads/programs and the erase against the owning
+        chip's resources, or ``None`` when the plane has nothing
+        reclaimable.  ``lpns`` are the survivors whose mapping entries
+        the move dirtied (they re-enter the CMT as dirty entries).
+        """
+        if not 0 <= flat < self.cfg.total_planes:
+            raise FlashAddressError(f"flat plane {flat} out of range")
+        victim = self._select_victim(flat)
+        if victim is None:
+            return None
+        base = self._ppa(flat, victim, 0)
+        lpns = [
+            self.p2l[base + page]
+            for page in range(self.cfg.pages_per_block)
+            if base + page in self.p2l
+        ]
+        moved = self._collect_block(flat, victim)
+        self.gc_runs += 1
+        self.gc_background_runs += 1
+        return {"victim": victim, "moved": moved, "lpns": lpns}
+
+    def free_blocks(self, flat: int) -> int:
+        """Free blocks on a plane (the active block not counted)."""
+        return len(self._free_list[flat])
+
+    def gc_watermark(self) -> int:
+        """Free-block count at or below which a plane wants background GC."""
+        fcfg = self.ftl_cfg
+        if fcfg is None or not fcfg.enabled:
+            return self.gc_threshold
+        reserve = int(np.ceil(fcfg.over_provisioning * self.cfg.blocks_per_plane))
+        return max(fcfg.gc_low_water_blocks, reserve)
+
+    def gc_candidates(self, watermark: int | None = None) -> list[int]:
+        """Touched planes at/below the free-block watermark, worst first."""
+        if watermark is None:
+            watermark = self.gc_watermark()
+        low = [
+            (len(self._free_list[flat]), flat)
+            for flat in self._touched
+            if len(self._free_list[flat]) <= watermark
+        ]
+        return [flat for _, flat in sorted(low)]
 
     # -- bad-block management ------------------------------------------------------------
 
@@ -273,24 +423,37 @@ class FTL:
         if not 0 <= flat < self.cfg.total_planes:
             raise FlashAddressError(f"flat plane {flat} out of range")
         self.remap_log.append(int(flat))
+        self._touched.add(flat)
         victim = int(self._active_block[flat])
-        # Move the write cursor off the bad block before relocating into
-        # the plane (mirrors the _allocate_page advance path).
-        if len(self._free_list[flat]) <= self.gc_threshold:
-            self._garbage_collect(flat)
-        self._advance_block(flat)
-        # Copy-forward the victim's surviving pages, GC-style.
-        base = self._ppa(flat, victim, 0)
-        for page in range(self.cfg.pages_per_block):
-            ppa = base + page
-            lpn = self.p2l.get(ppa)
-            if lpn is None:
-                continue
-            del self.p2l[ppa]
-            new_ppa = self._allocate_page(flat)
-            self.l2p[lpn] = new_ppa
-            self.p2l[new_ppa] = lpn
-            self.bad_block_moved_pages += 1
+        # The retiring block must stay invisible to any GC the relocation
+        # below triggers: it still has an invalid count and is in neither
+        # the free list nor the active slot, so victim selection would
+        # otherwise pick it and return a grown-bad block to circulation.
+        self._gc_inflight[flat].add(victim)
+        try:
+            # Move the write cursor off the bad block before relocating
+            # into the plane (mirrors the _allocate_page advance path).
+            if len(self._free_list[flat]) <= self.gc_threshold:
+                self._garbage_collect(flat)
+            # GC may already have moved the cursor by consuming its
+            # reserved victim; advancing again would strand that
+            # partially filled block outside the free list.
+            if int(self._active_block[flat]) == victim:
+                self._advance_block(flat)
+            # Copy-forward the victim's surviving pages, GC-style.
+            base = self._ppa(flat, victim, 0)
+            for page in range(self.cfg.pages_per_block):
+                ppa = base + page
+                lpn = self.p2l.get(ppa)
+                if lpn is None:
+                    continue
+                del self.p2l[ppa]
+                new_ppa = self._allocate_page(flat)
+                self.l2p[lpn] = new_ppa
+                self.p2l[new_ppa] = lpn
+                self.bad_block_moved_pages += 1
+        finally:
+            self._gc_inflight[flat].discard(victim)
         # The victim never re-enters the free list: with all its pages
         # unmapped and its invalid count cleared, GC can't select it and
         # the allocator can't reach it.
@@ -336,17 +499,116 @@ class FTL:
 
     # -- wear statistics -----------------------------------------------------------------
 
+    def write_amplification(self) -> float:
+        """Physical pages programmed per host/engine page written.
+
+        Only data-path amplification (GC + bad-block copy-forwards);
+        translation-page writebacks are the DFTL layer's to report.
+        """
+        data = self.data_pages_written
+        if data <= 0:
+            return 1.0
+        extra = self.gc_moved_pages + self.bad_block_moved_pages
+        return (data + extra) / data
+
     def wear_stats(self) -> dict[str, float]:
         ec = self._erase_counts
+        # Retired (grown-bad) blocks can never be erased again, so their
+        # historical erase counts must not skew the wear-leveling signal:
+        # max/mean cover in-service blocks only, with the retired
+        # population reported separately.
+        bad_mask = np.zeros(ec.shape, dtype=bool)
+        for flat, bad in enumerate(self._bad_blocks):
+            if bad:
+                bad_mask[flat, list(bad)] = True
+        live = ec[~bad_mask]
+        retired = ec[bad_mask]
         return {
             "total_erases": float(ec.sum()),
-            "max_erase": float(ec.max()),
-            "mean_erase": float(ec.mean()),
+            "max_erase": float(live.max()) if live.size else 0.0,
+            "mean_erase": float(live.mean()) if live.size else 0.0,
+            "retired_blocks": float(self.bad_block_count),
+            "retired_total_erases": float(retired.sum()) if retired.size else 0.0,
+            "retired_max_erase": float(retired.max()) if retired.size else 0.0,
             "gc_runs": float(self.gc_runs),
+            "gc_foreground_runs": float(self.gc_foreground_runs),
+            "gc_background_runs": float(self.gc_background_runs),
             "gc_moved_pages": float(self.gc_moved_pages),
+            "data_pages_written": float(self.data_pages_written),
+            "write_amplification": float(self.write_amplification()),
             "bad_blocks": float(self.bad_block_count),
             "bad_block_moved_pages": float(self.bad_block_moved_pages),
         }
+
+    # -- snapshot / restore ----------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Copy-out of the full mapping/allocation/wear state.
+
+        Background GC makes the FTL's state time-dependent (it is no
+        longer derivable by replaying ``place_striped`` + ``remap_log``
+        against a pristine FTL), so DFTL-enabled checkpoints snapshot it
+        explicitly.  Only *touched* planes are stored — untouched planes
+        are pristine by construction — keeping snapshots sparse on
+        full-size geometries.
+        """
+        planes = {}
+        for flat in sorted(self._touched):
+            inv = self._invalid[flat]
+            ecp = self._erase_counts[flat]
+            nz_inv = np.flatnonzero(inv)
+            nz_ec = np.flatnonzero(ecp)
+            planes[int(flat)] = {
+                "active_block": int(self._active_block[flat]),
+                "active_page": int(self._active_page[flat]),
+                "free_list": [int(b) for b in self._free_list[flat]],
+                "invalid": [[int(b), int(inv[b])] for b in nz_inv],
+                "erase": [[int(b), int(ecp[b])] for b in nz_ec],
+                "bad": sorted(int(b) for b in self._bad_blocks[flat]),
+            }
+        return {
+            "l2p": dict(self.l2p),
+            "next_plane": int(self._next_plane),
+            "planes": planes,
+            "counters": {
+                "gc_runs": self.gc_runs,
+                "gc_foreground_runs": self.gc_foreground_runs,
+                "gc_background_runs": self.gc_background_runs,
+                "gc_moved_pages": self.gc_moved_pages,
+                "data_pages_written": self.data_pages_written,
+                "bad_block_count": self.bad_block_count,
+                "bad_block_moved_pages": self.bad_block_moved_pages,
+            },
+            "remap_log": list(self.remap_log),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a :meth:`state` snapshot onto a pristine FTL."""
+        self.l2p = dict(data["l2p"])
+        self.p2l = {ppa: lpn for lpn, ppa in self.l2p.items()}
+        self._next_plane = int(data["next_plane"])
+        for flat, p in data["planes"].items():
+            flat = int(flat)
+            self._touched.add(flat)
+            self._active_block[flat] = p["active_block"]
+            self._active_page[flat] = p["active_page"]
+            self._free_list[flat] = [int(b) for b in p["free_list"]]
+            self._invalid[flat, :] = 0
+            for blk, v in p["invalid"]:
+                self._invalid[flat, int(blk)] = int(v)
+            self._erase_counts[flat, :] = 0
+            for blk, v in p["erase"]:
+                self._erase_counts[flat, int(blk)] = int(v)
+            self._bad_blocks[flat] = set(int(b) for b in p["bad"])
+        c = data["counters"]
+        self.gc_runs = int(c["gc_runs"])
+        self.gc_foreground_runs = int(c["gc_foreground_runs"])
+        self.gc_background_runs = int(c["gc_background_runs"])
+        self.gc_moved_pages = int(c["gc_moved_pages"])
+        self.data_pages_written = int(c["data_pages_written"])
+        self.bad_block_count = int(c["bad_block_count"])
+        self.bad_block_moved_pages = int(c["bad_block_moved_pages"])
+        self.remap_log = list(data["remap_log"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -232,6 +232,27 @@ class FlashChip:
                     args={"die": die, "plane": plane})
         return end
 
+    def internal_read_page(self, now: float, die: int, plane: int) -> float:
+        """Device-housekeeping page sense (DFTL translation fetch, GC move).
+
+        Occupies the same chip dispatcher slot and plane as a host read —
+        housekeeping *contends* with walk traffic, which is the point —
+        but skips the fault-retry ladder and the integrity hook: those
+        draw from seeded RNG streams, and housekeeping reads consuming
+        draws would perturb every fault arrival in default-path runs.
+        """
+        end = self._array_op(now, die, plane, self.cfg.read_latency)
+        pl = self.plane(die, plane)
+        pl.reads += 1
+        pl.bytes_read += self.cfg.page_bytes
+        self.reads += 1
+        self.bytes_read += self.cfg.page_bytes
+        tr = self.tracer
+        if tr is not None:
+            tr.span("flash", _PID_FLASH, self.chip_id, "internal_read", now, end,
+                    args={"die": die, "plane": plane})
+        return end
+
     def program_page(self, now: float, die: int, plane: int) -> float:
         """Program one page from the page register; returns end time.
 

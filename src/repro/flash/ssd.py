@@ -14,6 +14,7 @@ import numpy as np
 from ..common.config import DRAMConfig, SSDConfig
 from ..common.errors import FlashAddressError, FlashError
 from .channel import FlashChannel
+from .cmt import DFTL
 from .dram import DRAM
 from .ftl import FTL
 from .hostif import HostInterface
@@ -34,6 +35,10 @@ class SSD:
         self.fault_model = None
         self.tracer = None
         self.integrity = None
+        fcfg = getattr(self.cfg, "ftl", None)
+        #: DFTL coordinator (cached mapping table + translation traffic);
+        #: None on the default path, where translation is modeled as free.
+        self.dftl = DFTL(self.cfg) if fcfg is not None and fcfg.enabled else None
 
     def attach_fault_model(self, fault_model) -> None:
         """Wire a :class:`~repro.faults.FaultModel` through the device.
@@ -100,6 +105,98 @@ class SSD:
                 f"[0, {self.cfg.total_chips})"
             )
         return self.chip(flat_index // cpc, flat_index % cpc)
+
+    # -- DFTL translation + background-GC charging -----------------------------
+
+    def _charge_translation(self, now: float, chip_flat: int, charge) -> float:
+        """Charge one CMT probe's translation traffic to a chip's resources.
+
+        Translation-page *reads* are blocking (the walk/flush that missed
+        cannot proceed until its mapping arrives): array sense plus a bus
+        transfer of the page, serialized in probe order.  Dirty-eviction
+        *writebacks* are charged (bus + program occupancy) but do not
+        extend the returned completion time — the controller fires them
+        and moves on.
+        """
+        dftl = self.dftl
+        chip = self.chip_flat(chip_flat)
+        ch = self.channels[chip_flat // self.cfg.chips_per_channel]
+        end = now
+        for tpage in charge.tpage_reads:
+            die, plane = dftl.tpage_home(tpage)
+            sensed = chip.internal_read_page(end, die, plane)
+            end = ch.transfer_meta(sensed, self.cfg.page_bytes)
+        dftl.translation_page_reads += len(charge.tpage_reads)
+        for tpage in charge.tpage_writebacks:
+            die, plane = dftl.tpage_home(tpage)
+            arrived = ch.transfer_meta(end, self.cfg.page_bytes)
+            chip.program_page(arrived, die, plane)
+        dftl.translation_page_writes += len(charge.tpage_writebacks)
+        tel = dftl.telemetry
+        if tel is not None and (charge.hits or charge.misses):
+            if charge.hits:
+                tel.counter("ftl_cmt_hits_total").inc(float(charge.hits), now)
+            if charge.misses:
+                tel.counter("ftl_cmt_misses_total").inc(float(charge.misses), now)
+            if charge.tpage_reads:
+                tel.counter("ftl_translation_page_reads_total").inc(
+                    float(len(charge.tpage_reads)), now
+                )
+            if charge.tpage_writebacks:
+                tel.counter("ftl_translation_page_writes_total").inc(
+                    float(len(charge.tpage_writebacks)), now
+                )
+        return end
+
+    def dftl_probe(
+        self, now: float, chip_flat: int, lpns, write: bool = False
+    ) -> float:
+        """Translate a batch of lpns through the CMT, charging misses.
+
+        No-op (returns ``now``) when DFTL is disabled, keeping the
+        default path at one attribute check.  ``chip_flat`` names the
+        chip whose accelerator (or whose resident subgraph) issued the
+        batch — its dispatcher/planes and its channel's bus absorb the
+        translation traffic.
+        """
+        dftl = self.dftl
+        if dftl is None:
+            return now
+        charge = dftl.cmt.probe(lpns, write=write)
+        if not charge:
+            return now
+        return self._charge_translation(now, chip_flat, charge)
+
+    def ftl_gc_collect(self, now: float, flat: int) -> tuple[float, dict | None]:
+        """One background-GC block reclaim on a plane, hardware-charged.
+
+        Runs :meth:`FTL.gc_once` and pays for it: each surviving page is
+        an internal read + program serialized on the victim's plane, then
+        the erase.  Survivor mapping entries re-enter the CMT dirty, so
+        the move also pays translation traffic.  Returns (completion
+        time, gc_once result).
+        """
+        res = self.ftl.gc_once(flat)
+        if res is None:
+            return now, None
+        channel, chip_idx, die, plane = self.ftl._plane_addr(flat)
+        chip = self.chip(channel, chip_idx)
+        end = now
+        for _ in range(res["moved"]):
+            end = chip.internal_read_page(end, die, plane)
+            end = chip.program_page(end, die, plane)
+        end = chip.erase_block(end, die, plane)
+        dftl = self.dftl
+        if dftl is not None and res["lpns"]:
+            charge = dftl.cmt.probe(res["lpns"], write=True)
+            if charge:
+                end = self._charge_translation(end, channel * self.cfg.chips_per_channel + chip_idx, charge)
+        tel = dftl.telemetry if dftl is not None else None
+        if tel is not None:
+            tel.counter("ftl_gc_runs_total").inc(1.0, now)
+            if res["moved"]:
+                tel.counter("ftl_gc_moved_pages_total").inc(float(res["moved"]), now)
+        return end, res
 
     # -- logical I/O through the FTL ------------------------------------------
 

@@ -237,6 +237,28 @@ def default_engine_rules() -> list[AlertRule]:
             signal="level",
             for_samples=2,
         ),
+        # DFTL/GC health (the metrics only exist on DFTL-enabled runs;
+        # rules on absent metrics never fire, so these are safe
+        # unconditionally).  WAF >= 4 sustained means GC is rewriting
+        # several pages per host page — the device is thrashing.
+        AlertRule(
+            name="ftl-write-amplification-high",
+            metric="ftl_write_amplification",
+            kind="threshold",
+            op=">=",
+            threshold=4.0,
+            signal="level",
+            for_samples=2,
+        ),
+        AlertRule(
+            name="ftl-free-blocks-low",
+            metric="ftl_free_blocks_min",
+            kind="threshold",
+            op="<=",
+            threshold=1.0,
+            signal="level",
+            for_samples=2,
+        ),
     ]
 
 

@@ -36,7 +36,10 @@ REPORT_SCHEMA = "repro.obs.run-report"
 #: v4 (additive): optional "telemetry" section (deterministic metrics
 #: series + alert firings, :mod:`repro.obs.metrics`) when the run was
 #: built with a :class:`~repro.obs.MetricsConfig`.
-REPORT_SCHEMA_VERSION = 4
+#: v5 (additive): optional "ftl" section (DFTL mapping-cache hit rates,
+#: GC/wear/write-amplification stats, :mod:`repro.flash.cmt`) when the
+#: run had :class:`~repro.common.config.FTLConfig` enabled.
+REPORT_SCHEMA_VERSION = 5
 
 #: Percentiles quoted for every latency histogram.
 _PERCENTILES = (50.0, 90.0, 99.0)
@@ -74,8 +77,38 @@ def config_fingerprint(config) -> str:
         obj = dataclasses.asdict(config)
     else:
         obj = config
+    obj = _canonical_config(obj)
     canonical = json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
     return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _canonical_config(obj):
+    """Drop opt-in subsystems introduced after v1 when they are disabled.
+
+    Opt-in config sections added to the dataclasses after fingerprints
+    were first committed (currently ``ssd.ftl``) are hashed only when
+    ``enabled`` is true, so a default config keeps the exact fingerprint
+    it had before the subsystem existed — turning the knob off must
+    reproduce the pre-subsystem run *and* its identity.
+    """
+    if not isinstance(obj, dict):
+        return obj
+
+    def _strip(d: dict) -> dict:
+        ftl = d.get("ftl")
+        if isinstance(ftl, dict) and not ftl.get("enabled", False):
+            d = dict(d)
+            del d["ftl"]
+        return d
+
+    obj = _strip(obj)  # a bare SSDConfig
+    ssd = obj.get("ssd")
+    if isinstance(ssd, dict):
+        stripped = _strip(ssd)
+        if stripped is not ssd:
+            obj = dict(obj)
+            obj["ssd"] = stripped
+    return obj
 
 
 def _percentile_block(hist) -> dict:
@@ -126,6 +159,9 @@ def build_report(result, *, extra: dict | None = None) -> dict:
     durability = getattr(result, "durability", None)
     if durability is not None:
         report["durability"] = _jsonable(durability)
+    ftl = getattr(result, "ftl", None)
+    if ftl is not None:
+        report["ftl"] = _jsonable(ftl)
     telemetry = getattr(result, "telemetry", None)
     if telemetry is not None:
         report["telemetry"] = _jsonable(telemetry)

@@ -41,11 +41,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="scale the dataset down (CI-sized run)")
     parser.add_argument("--chaos", action="store_true",
                         help="enable fault injection + one chip failure")
+    parser.add_argument("--dftl", action="store_true",
+                        help="enable the DFTL translation layer (cached "
+                             "mapping table, background GC, wear leveling)")
     parser.add_argument("--out", default=None,
                         help="write the run report JSON here")
     args = parser.parse_args(argv)
 
     # Imports deferred so --help works in stripped environments.
+    import dataclasses
+
+    from ..common.config import FTLConfig
     from ..common.errors import InvariantViolation
     from ..core.flashwalker import FlashWalker
     from ..experiments.harness import ExperimentContext
@@ -63,6 +69,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.chaos:
         probe = FlashWalker(graph, cfg, seed=ctx.seed)
         cfg = ctx.flashwalker_config(args.dataset, faults=chaos_faults(probe))
+    if args.dftl:
+        cfg = cfg.replace(
+            ssd=dataclasses.replace(cfg.ssd, ftl=FTLConfig(enabled=True))
+        )
     fw = FlashWalker(graph, cfg, seed=ctx.seed + 10)
 
     walks_per_query, _ = walk_budget(ctx, args.dataset)

@@ -61,6 +61,17 @@ class TestSubgraphMappingTable:
         _, scoped = table.lookup(v, scope_entries=4)
         assert scoped < full
 
+    def test_zero_scope_clamps_to_one_entry(self, part):
+        # scope_entries=0 (an empty accelerator scope) must clamp to a
+        # 1-entry search, not emit zero/negative binary-search steps.
+        table = SubgraphMappingTable(part, 0, part.num_blocks - 1)
+        v = np.array([int(part.block_lo[0])])
+        blocks, steps = table.lookup(v, scope_entries=0)
+        assert steps == binary_search_steps(1)
+        _, one = table.lookup(v, scope_entries=1)
+        assert steps == one
+        np.testing.assert_array_equal(blocks, part.block_of_vertex(v))
+
     def test_lookup_outside_span_rejected(self, part):
         if part.num_blocks < 4:
             pytest.skip("too few blocks")

@@ -121,7 +121,7 @@ class TestDefaultRunsUntouched:
         assert res.durability is None
         report = res.to_report()
         assert "durability" not in report
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
 
     def test_default_report_deterministic(self, graph):
         r1 = make_engine(graph).run(WALKS, SPEC).to_report()

@@ -426,7 +426,7 @@ class TestEngineTelemetry:
             mx_graph, mx_config, seed=3, telemetry=MetricsConfig()
         ).run(num_walks=200)
         report = json.loads(json.dumps(res.to_report()))
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         assert validate_report(report) == []
 
     def test_validate_flags_broken_telemetry(self):
@@ -456,7 +456,7 @@ class TestEngineTelemetry:
             "telemetry": {"a": None, "b": "present", "rel": None}
         }
 
-    def test_cli_validate_accepts_v4_report(self, mx_graph, mx_config,
+    def test_cli_validate_accepts_v5_report(self, mx_graph, mx_config,
                                             tmp_path, capsys):
         res = FlashWalker(
             mx_graph, mx_config, seed=3, telemetry=MetricsConfig()
@@ -465,7 +465,7 @@ class TestEngineTelemetry:
         path.write_text(json.dumps(res.to_report()))
         assert obs_main(["validate", str(path)]) == 0
         out = capsys.readouterr().out
-        assert "schema v4" in out and "telemetry" in out
+        assert "schema v5" in out and "telemetry" in out
 
     def test_cli_alerts_reads_report(self, mx_graph, mx_config, tmp_path,
                                      capsys):

@@ -210,7 +210,7 @@ class TestServiceHappyPath:
         svc = make_service(graph, engine=ENGINE)
         out = svc.run(burst_requests(3, gap=30e-6))
         report = out.result.to_report()
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         assert report["service"]["requests"]["ok"] == 3
         assert "p99" in report["service"]["latency"]
 
