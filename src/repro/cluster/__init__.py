@@ -5,7 +5,11 @@ FlashWalker shards with partition-aware vertex placement, cross-shard
 walk migration over a fault-injected network link, per-shard circuit
 breakers, replica promotion on shard kills, and cluster-wide graceful
 degradation — all deterministic for a given seed, byte-identical
-between serial and process-pool execution.
+between serial and process-pool execution.  Elastic membership
+(DESIGN.md §14) makes the shard set dynamic: the
+:class:`~repro.cluster.resize.ResizeController` drives live grow /
+shrink / rebalance through a walk-preserving prepare → transfer →
+commit handoff with tested rollback.
 """
 
 from .audit import ClusterAuditor
@@ -13,8 +17,9 @@ from .cluster import ClusterOutcome, ClusterService
 from .config import ClusterConfig
 from .health import HealthBoard, ShardHealthProxy
 from .link import NetworkLink
-from .placement import VertexPlacement
+from .placement import VertexPlacement, even_bounds
 from .pool import ShardHosts
+from .resize import ResizeController, ResizeRequest, rebalanced_bounds
 from .shard import ShardRuntime, ShardStepCommand, ShardStepResult
 
 __all__ = [
@@ -24,10 +29,14 @@ __all__ = [
     "ClusterService",
     "HealthBoard",
     "NetworkLink",
+    "ResizeController",
+    "ResizeRequest",
     "ShardHealthProxy",
     "ShardHosts",
     "ShardRuntime",
     "ShardStepCommand",
     "ShardStepResult",
     "VertexPlacement",
+    "even_bounds",
+    "rebalanced_bounds",
 ]

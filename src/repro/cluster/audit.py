@@ -19,11 +19,18 @@ chaos soak failing in CI stays readable.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..common.errors import InvariantViolation
 
 __all__ = ["ClusterAuditor"]
 
 _STATES = ("queued", "leased", "migrating", "done")
+
+#: Above this vertex count ownership is spot-checked at the cut
+#: boundaries instead of exhaustively (placements near the int64
+#: overflow regime would otherwise need 2**60-element scans).
+_EXHAUSTIVE_VERTS = 1 << 20
 
 
 class ClusterAuditor:
@@ -35,6 +42,56 @@ class ClusterAuditor:
         self.audits = 0
         self.violations_found = 0
         self._last_t = 0.0
+
+    def check_placement(self, placement) -> None:
+        """Prove a placement is a partition of the vertex space: every
+        vertex owned by exactly one *live* slot, histogram summing to
+        ``n_vertices``.  Called at resize prepare and commit barriers so
+        router/shards/auditor can never adopt a torn ownership map."""
+        violations: list[str] = []
+        V = placement.n_vertices
+        if V <= _EXHAUSTIVE_VERTS:
+            vertices = np.arange(V, dtype=np.int64)
+        else:
+            probes = [0, V - 1]
+            for b in (placement.bounds or ()):
+                for v in (b - 1, b):
+                    if 0 <= v < V:
+                        probes.append(int(v))
+            vertices = np.asarray(sorted(set(probes)), dtype=np.int64)
+        slots = placement.slot_of(vertices)
+        if slots.size and (
+            int(slots.min()) < 0 or int(slots.max()) >= placement.n_shards
+        ):
+            violations.append(
+                f"placement epoch {placement.epoch}: slot out of range "
+                f"[{int(slots.min())}, {int(slots.max())}] for "
+                f"{placement.n_shards} slots"
+            )
+        else:
+            counts = np.bincount(slots, minlength=placement.n_shards)
+            if int(counts.sum()) != int(vertices.size):
+                violations.append(
+                    f"placement epoch {placement.epoch}: {int(counts.sum())} "
+                    f"owned of {int(vertices.size)} vertices checked"
+                )
+            if V <= _EXHAUSTIVE_VERTS and placement.mode == "range" and (
+                int(counts.min()) == 0
+            ):
+                violations.append(
+                    f"placement epoch {placement.epoch}: empty range slot "
+                    f"(counts {counts.tolist()})"
+                )
+        if violations:
+            self.violations_found += len(violations)
+            raise InvariantViolation(
+                f"placement audit found {len(violations)} violation(s): "
+                f"{violations[0]}",
+                violations=violations,
+                state={"placement": placement.describe()},
+                at=self.cluster.now,
+                context="cluster",
+            )
 
     def maybe_audit(self, epoch: int) -> None:
         if self.interval_epochs <= 0:
@@ -83,8 +140,19 @@ class ClusterAuditor:
                 f"final audit: {accounted - counts['done']} walks not done"
             )
 
-        # Per-shard engines drained and fed exactly what the router leased.
-        for sid in range(cl.ccfg.n_shards):
+        # No live walk may reside on (or be flying to) a retired shard.
+        retired = cl.health.retired
+        if retired:
+            for w in cl.walks.values():
+                if w.state != "done" and w.shard in retired:
+                    violations.append(
+                        f"walk {w.wid} ({w.state}) resident on retired "
+                        f"shard {w.shard}"
+                    )
+
+        # Per-shard engines drained and fed exactly what the router
+        # leased (physical ids: retired shards keep frozen counters).
+        for sid in range(len(cl.engine_totals)):
             total = cl.engine_totals[sid]
             injected = cl.segments_injected[sid]
             if total != injected:

@@ -23,15 +23,22 @@ from .config import ClusterConfig
 
 __all__ = [
     "DEFAULT_KILLS",
+    "DEFAULT_RESIZES",
     "cluster_config",
     "cluster_shard_config",
     "points",
+    "resize_points",
     "run_point",
+    "run_resize_point",
     "run_scenario",
 ]
 
 #: Default kill schedule: two mid-run shard power failures.
 DEFAULT_KILLS = ((60e-6, 1), (140e-6, 2))
+
+#: Default elasticity schedule: grow 2 -> 4 early, shrink away the
+#: first seed shard once the grown cluster is serving.
+DEFAULT_RESIZES = ((50e-6, "grow", 2), (250e-6, "shrink", 0))
 
 
 def cluster_shard_config(ctx, dataset: str, *, chaos: bool = True):
@@ -66,11 +73,19 @@ def cluster_config(
     segment_hops: int = 2,
     length: int = 6,
     telemetry: bool = False,
+    placement: str = "hash",
+    resizes=(),
+    rebalance: bool = False,
 ) -> ClusterConfig:
     """Deployment config for one chaos scenario."""
-    kills = tuple((float(t), int(s) % n_shards) for t, s in kills)
+    resizes = tuple((float(t), str(k), int(a)) for t, k, a in resizes)
+    # Grows mint physical ids above n_shards, so kill targets wrap at
+    # the largest id the schedule can ever create.
+    n_phys_max = n_shards + sum(a for _, k, a in resizes if k == "grow")
+    kills = tuple((float(t), int(s) % n_phys_max) for t, s in kills)
     return ClusterConfig(
         n_shards=n_shards,
+        placement=placement,
         segment_hops=segment_hops,
         max_walk_length=length,
         link_loss_prob=loss,
@@ -82,6 +97,8 @@ def cluster_config(
         max_inflight_walks_per_shard=max(64, 4 * walks_per_query),
         breaker_cooldown=150e-6,
         telemetry_enabled=telemetry,
+        resize_schedule=resizes,
+        rebalance_enabled=rebalance,
     ).validate()
 
 
@@ -100,6 +117,9 @@ def run_scenario(
     chaos: bool = True,
     seed_offset: int = 0,
     telemetry: bool = False,
+    placement: str = "hash",
+    resizes=(),
+    rebalance: bool = False,
 ):
     """Run one kill-a-shard scenario; returns a ClusterOutcome."""
     graph = ctx.graph(dataset)
@@ -113,6 +133,7 @@ def run_scenario(
         n_shards=n_shards, kills=kills, loss=loss, corrupt=corrupt,
         policy=policy, walks_per_query=walks_per_query,
         length=requests[0].length, telemetry=telemetry,
+        placement=placement, resizes=resizes, rebalance=rebalance,
     )
     svc = ClusterService(
         graph, shard_cfg, ccfg, seed=ctx.seed + 20 + seed_offset, jobs=jobs
@@ -155,6 +176,52 @@ def run_point(ctx, point: CampaignPoint):
         "shed": svc["requests"]["shed"],
         "migrations": cluster["migrations"]["total"],
         "rto_max_ms": cluster["rto"]["max"] * 1e3,
+        "audit_violations": cluster["audit"]["violations"],
+    }
+    return row, outcome.report
+
+
+def resize_points(ctx, datasets: list[str] | None = None) -> list[CampaignPoint]:
+    return [
+        CampaignPoint.make("cluster_resize", name, placement=placement)
+        for name in (datasets or ctx.datasets)
+        for placement in ("hash", "range")
+    ]
+
+
+@point_runner("cluster_resize")
+def run_resize_point(ctx, point: CampaignPoint):
+    """One elasticity scenario: grow 2 -> 4 with a kill landing on a
+    freshly-added shard mid-handoff, then shrink 4 -> 3."""
+    name = point.dataset
+    placement = str(point.param("placement", "hash"))
+    outcome = run_scenario(
+        ctx,
+        name,
+        n_shards=int(point.param("n_shards", 2)),
+        n_requests=int(point.param("n_requests", 12)),
+        rate_qps=float(point.param("rate_qps", 20e3)),
+        kills=((60e-6, 2),),
+        placement=placement,
+        resizes=DEFAULT_RESIZES,
+        seed_offset=int(point.param("seed_offset", 0)),
+    )
+    svc = outcome.report["service"]
+    cluster = outcome.report["cluster"]
+    handoff = cluster["handoff"]
+    committed = sum(1 for r in cluster["resizes"] if r.get("committed"))
+    row = {
+        "dataset": name,
+        "placement": placement,
+        "resizes": len(cluster["resizes"]),
+        "committed": committed,
+        "handoff_walks": handoff["walks"],
+        "handoff_deferred": handoff["deferred_batches"],
+        "rpo_walks": handoff["rpo_walks"],
+        "resize_rto_max_ms": handoff["rto"]["max"] * 1e3,
+        "live_shards": len(cluster["membership"]["live_shards"]),
+        "ok": svc["requests"]["ok"],
+        "arrivals": svc["requests"]["arrivals"],
         "audit_violations": cluster["audit"]["violations"],
     }
     return row, outcome.report

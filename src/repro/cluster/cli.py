@@ -5,6 +5,8 @@
     python -m repro.cluster --quick --shards 4 --jobs 4
     python -m repro.cluster --kill 60e-6:1 --kill 140e-6:2 --loss 0.05 \\
         --verify-identity --verify-baseline --out cluster_report.json
+    python -m repro.cluster --quick --shards 2 --placement range \\
+        --grow 50e-6:2 --shrink 250e-6:0 --kill 60e-6:2 --verify-identity
 
 Runs an open-loop query stream against an N-shard cluster while the
 kill schedule power-fails shards mid-epoch (each recovers by replica
@@ -16,6 +18,12 @@ and across a process pool and gates on byte-identical reports;
 ``--verify-baseline`` re-runs without kills and gates on the report
 matching outside the ``cluster`` section.  The CI chaos-soak job runs
 all three gates.
+
+Elastic membership: ``--grow TIME:N`` adds N shards live at TIME,
+``--shrink TIME:SHARD`` removes a shard live (its resident walks hand
+off first), ``--rebalance`` enables the load-driven range recut
+trigger.  Resizes run the prepare → transfer → commit protocol with
+walk conservation audited at every barrier.
 """
 
 from __future__ import annotations
@@ -48,6 +56,20 @@ def _parse_kill(text: str) -> tuple[float, int]:
         ) from None
 
 
+def _parse_resize(kind: str):
+    def parse(text: str) -> tuple[float, str, int]:
+        try:
+            t, arg = text.split(":")
+            return float(t), kind, int(arg)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected TIME:{'COUNT' if kind == 'grow' else 'SHARD'} "
+                f"(e.g. 50e-6:2), got {text!r}"
+            ) from None
+
+    return parse
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cluster",
@@ -73,6 +95,19 @@ def main(argv: list[str] | None = None) -> int:
                              "default: 60e-6:1 and 140e-6:2)")
     parser.add_argument("--no-kills", action="store_true",
                         help="disable the kill schedule")
+    parser.add_argument("--placement", default="hash",
+                        choices=("hash", "range"),
+                        help="vertex placement mode (default: hash)")
+    parser.add_argument("--grow", type=_parse_resize("grow"),
+                        action="append", default=None, metavar="TIME:COUNT",
+                        help="add COUNT shards live at cluster TIME "
+                             "(repeatable)")
+    parser.add_argument("--shrink", type=_parse_resize("shrink"),
+                        action="append", default=None, metavar="TIME:SHARD",
+                        help="remove SHARD live at cluster TIME (repeatable)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="enable the load-driven range rebalance "
+                             "trigger (requires --placement range)")
     parser.add_argument("--loss", type=float, default=0.05,
                         help="migration-link loss probability (default: 0.05)")
     parser.add_argument("--corrupt", type=float, default=0.02,
@@ -103,6 +138,9 @@ def main(argv: list[str] | None = None) -> int:
         else ExperimentContext(seed=args.seed)
     )
     kills = () if args.no_kills else tuple(args.kill or DEFAULT_KILLS)
+    resizes = tuple(sorted(
+        (args.grow or []) + (args.shrink or []), key=lambda r: r[0]
+    ))
 
     def scenario(*, jobs: int, kills=kills):
         return run_scenario(
@@ -117,6 +155,9 @@ def main(argv: list[str] | None = None) -> int:
             policy=args.policy,
             jobs=jobs,
             telemetry=args.telemetry,
+            placement=args.placement,
+            resizes=resizes,
+            rebalance=args.rebalance,
         )
 
     try:
@@ -155,6 +196,16 @@ def main(argv: list[str] | None = None) -> int:
         f"p99={lat['p99'] * 1e3:.3f}ms  audits={cluster['audit']['audits']} "
         f"violations={cluster['audit']['violations']}"
     )
+    if "handoff" in cluster:
+        ho, mem = cluster["handoff"], cluster["membership"]
+        committed = sum(1 for r in cluster["resizes"] if r.get("committed"))
+        print(
+            f"resizes={len(cluster['resizes'])} committed={committed} "
+            f"aborted={ho['aborts']} live={mem['live_shards']} "
+            f"handoff_walks={ho['walks']} deferred={ho['deferred_batches']} "
+            f"rpo_walks={ho['rpo_walks']} "
+            f"resize_rto_max={ho['rto']['max'] * 1e3:.3f}ms"
+        )
 
     rc = 0
     if args.verify_identity:

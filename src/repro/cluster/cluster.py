@@ -47,6 +47,7 @@ from .health import HealthBoard
 from .link import NetworkLink
 from .placement import VertexPlacement
 from .pool import ShardHosts
+from .resize import ResizeController
 from .shard import ShardStepCommand
 
 __all__ = ["ClusterOutcome", "ClusterService"]
@@ -64,7 +65,7 @@ class _Walk:
 
     __slots__ = (
         "wid", "query_id", "vertex", "remaining", "state", "shard",
-        "eligible_at", "leased_hops", "migrations",
+        "eligible_at", "leased_hops", "migrations", "handoffs",
     )
 
     def __init__(self, wid, query_id, vertex, remaining, shard, eligible_at):
@@ -77,6 +78,7 @@ class _Walk:
         self.eligible_at = eligible_at
         self.leased_hops = 0
         self.migrations = 0
+        self.handoffs = 0
 
 
 @dataclass
@@ -131,8 +133,12 @@ class ClusterService:
             self.svc_cfg.rate_limit_qps,
             self.svc_cfg.rate_limit_burst,
         )
-        self.health = HealthBoard(self.svc_cfg, n)
+        self.health = HealthBoard(
+            self.svc_cfg, n,
+            load_window_epochs=self.ccfg.rebalance_window_epochs,
+        )
         self.auditor = ClusterAuditor(self, self.ccfg.audit_interval_epochs)
+        self.resizer = ResizeController(self, self.ccfg)
         self._start_rng = np.random.default_rng(
             derive_seed(self.seed, "cluster:starts")
         )
@@ -158,8 +164,14 @@ class ClusterService:
         self.migrations_out = [0] * n
         self.migrations_in = [0] * n
         self.epochs_stepped = [0] * n
+        self.handoffs_out = [0] * n
+        self.handoffs_in = [0] * n
+        self.prev_duration = [0.0] * n
         self.failovers: list[dict] = []
         self.kills_unfired: list = []
+        self._retired_reports: dict[int, dict] = {}
+        self._expected_walks = 0
+        self._shard_mcfg = None
         self._t0 = 0.0
         # -- telemetry (opt-in; None keeps every path at one is-None check)
         if self.ccfg.telemetry_enabled:
@@ -193,22 +205,11 @@ class ClusterService:
                 )
         ordered = sorted(requests, key=lambda r: (r.arrival, r.query_id))
         n = self.ccfg.n_shards
-        expected = sum(r.num_walks for r in ordered) // n + 1
-        shard_mcfg = (
+        self._expected_walks = sum(r.num_walks for r in ordered) // n + 1
+        self._shard_mcfg = (
             self.ccfg.metrics_cfg() if self.ccfg.telemetry_enabled else None
         )
-        params = [
-            {
-                "shard_id": i,
-                "graph": self.graph,
-                "cfg": self.shard_cfgs[i],
-                "seed": derive_seed(self.seed, f"shard:{i}"),
-                "spec_length": self.ccfg.max_walk_length,
-                "expected_walks": expected,
-                "telemetry": shard_mcfg,
-            }
-            for i in range(n)
-        ]
+        params = [self._shard_params(i) for i in range(n)]
         hosts = ShardHosts(
             params, jobs=self.jobs, start_method=self.start_method
         )
@@ -217,26 +218,84 @@ class ClusterService:
             self._t0 = self.now = max(t0s.values())
             self._drive(hosts, ordered)
             self.auditor.audit(final=True)
-            shard_reports = hosts.finalize()
+            shard_reports = dict(self._retired_reports)
+            shard_reports.update(hosts.finalize())
         finally:
             hosts.close()
         report = self._build_report(
-            [shard_reports[i] for i in range(n)], jobs=hosts.jobs
+            [shard_reports[i] for i in range(self.n_phys)], jobs=hosts.jobs
         )
         return ClusterOutcome(report=report, responses=list(self.responses))
+
+    def _shard_params(self, shard_id: int) -> dict:
+        """Runtime-construction params for one physical shard (also the
+        template a live grow uses for shards minted mid-run)."""
+        return {
+            "shard_id": shard_id,
+            "graph": self.graph,
+            "cfg": self.shard_cfgs[shard_id % len(self.shard_cfgs)],
+            "seed": derive_seed(self.seed, f"shard:{shard_id}"),
+            "spec_length": self.ccfg.max_walk_length,
+            "expected_walks": self._expected_walks,
+            "telemetry": self._shard_mcfg,
+        }
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def n_phys(self) -> int:
+        """Physical shards ever created (live + retired); all per-shard
+        arrays are indexed by physical id and only ever grow."""
+        return len(self.engine_totals)
+
+    def add_shards(self, count: int, hosts: ShardHosts) -> list[int]:
+        """Live grow: mint ``count`` fresh shards (new physical ids),
+        open their engine sessions, and register router-side state.
+        Returns the new ids; the caller folds them into the placement."""
+        added = []
+        for _ in range(int(count)):
+            sid = self.n_phys
+            hosts.add_shard(self._shard_params(sid))
+            self.health.add_shard()
+            for arr in (
+                self.engine_totals, self.engine_completed,
+                self.segments_injected, self.segments_collected,
+                self.migrations_out, self.migrations_in,
+                self.epochs_stepped, self.handoffs_out, self.handoffs_in,
+            ):
+                arr.append(0)
+            self.prev_duration.append(0.0)
+            self._breaker_recorded.append(False)
+            added.append(sid)
+        return added
+
+    def retire_shard(self, shard_id: int, hosts: ShardHosts) -> None:
+        """Live removal of an emptied shard: finalize its engine, stash
+        its run report, and retire health/breaker/link state so nothing
+        stale can reroute to or report for it."""
+        sid = int(shard_id)
+        resident = [
+            w.wid for w in self.walks.values()
+            if w.state != "done" and w.shard == sid
+        ]
+        if resident:
+            raise SimulationError(
+                f"cannot retire shard {sid}: {len(resident)} walks resident"
+            )
+        self._retired_reports[sid] = hosts.remove_shard(sid)
+        self.health.retire(sid)
+        self.link.retire_shard(sid)
 
     # ------------------------------------------------------------ epoch loop
 
     def _drive(self, hosts: ShardHosts, ordered: list[QueryRequest]) -> None:
         ccfg = self.ccfg
-        n = ccfg.n_shards
         arrivals = [(self._t0 + r.arrival, r) for r in ordered]
         next_arrival = 0
         kills = sorted(
             ((float(t), int(s)) for t, s in ccfg.kill_schedule),
             key=lambda ts: (ts[0], ts[1]),
         )
-        prev_duration = [0.0] * n
         while True:
             if self.epoch >= ccfg.max_epochs:
                 raise SimulationError(
@@ -252,7 +311,7 @@ class ClusterService:
             # 2. Health poll + breaker-driven replica promotion.
             open_now = self.health.poll(T)
             if ccfg.promote_after_open_epochs > 0:
-                for sid in range(n):
+                for sid in range(len(open_now)):
                     if (
                         self.health.consecutive_open[sid]
                         >= ccfg.promote_after_open_epochs
@@ -261,25 +320,39 @@ class ClusterService:
                         open_now[sid] = False
             mx = self.telemetry
             if mx is not None:
-                for sid in range(n):
+                for sid in range(len(open_now)):
                     if open_now[sid] != self._breaker_recorded[sid]:
                         self._breaker_recorded[sid] = open_now[sid]
                         mx.gauge("cluster_breaker_open", shard=str(sid)).set(
                             1.0 if open_now[sid] else 0.0, T
                         )
-            # 3. Admit queued queries under the healthy-capacity budget.
+            # 3. Elastic membership barrier step: fire due resizes, hand
+            #    off wrong-owner residents, commit / roll back.  Runs
+            #    after the health poll (so deferrals see fresh breaker
+            #    state) and before leasing (so a walk is never leased
+            #    and handed off in the same barrier).  Shards added this
+            #    barrier join `open_now` closed; they are polled from
+            #    the next barrier on.
+            self.resizer.tick(T, hosts, open_now)
+            if len(open_now) < self.n_phys:
+                open_now.extend([False] * (self.n_phys - len(open_now)))
+            # 4. Admit queued queries under the healthy-capacity budget.
             self._admit(T, open_now)
-            # 4. Lease eligible walks to shards.
+            # 5. Lease eligible walks to shards.
             cmds = self._lease(T, open_now)
-            # 5. Attach due kills to victims that have work this epoch.
+            leased = [0] * self.n_phys
+            for sid, cmd in cmds.items():
+                leased[sid] = sum(len(b[1]) for b in cmd.batches)
+            self.health.note_loads(leased)
+            # 6. Attach due kills to victims that have work this epoch.
             for i, (t_kill, sid) in enumerate(kills):
                 if t_kill <= T and sid in cmds and cmds[sid].kill_delay is None:
                     cmds[sid].kill_delay = (
-                        ccfg.kill_epoch_frac * prev_duration[sid]
+                        ccfg.kill_epoch_frac * self.prev_duration[sid]
                     )
                     kills[i] = None
             kills = [k for k in kills if k is not None]
-            # 6. Nothing to step: finish, or advance the clock to the
+            # 7. Nothing to step: finish, or advance the clock to the
             #    next actionable instant (arrival, delivery, reopen).
             if not cmds:
                 if self._finished(next_arrival, len(arrivals)):
@@ -290,12 +363,12 @@ class ClusterService:
                 )
                 self.epoch += 1
                 continue
-            # 7. Step the loaded shards (concurrently when pooled).
+            # 8. Step the loaded shards (concurrently when pooled).
             results = hosts.step(cmds)
             t_next = T
             for sid in sorted(results):
                 r = results[sid]
-                prev_duration[sid] = r.t_end - r.t_start
+                self.prev_duration[sid] = r.t_end - r.t_start
                 t_next = max(t_next, r.t_end)
                 self.epochs_stepped[sid] += 1
                 self.engine_totals[sid] = r.engine_total
@@ -306,6 +379,7 @@ class ClusterService:
                         {"kind": "kill", "cluster_epoch": self.epoch,
                          "t_barrier": T, **r.failover}
                     )
+                    self.resizer.note_failover(r.failover)
                     if mx is not None:
                         mx.counter("cluster_failovers").inc(1.0, T)
                         rto = r.failover.get("rto_time")
@@ -314,7 +388,7 @@ class ClusterService:
                                 "cluster_failover_rto_seconds", _RTO_BUCKETS,
                                 shard=str(sid),
                             ).observe(float(rto), T)
-            # 8. Barrier: collect completions, migrate, credit, sweep.
+            # 9. Barrier: collect completions, migrate, credit, sweep.
             self._collect(results, t_next)
             self.now = t_next
             self._sweep_deadlines(t_next)
@@ -348,7 +422,8 @@ class ClusterService:
         breakers shrink it, the queue backs up, and the admission
         policy sheds — the router's graceful-degradation path.
         """
-        healthy = sum(1 for o in open_now if not o)
+        live = self.resizer.routing_placement().shard_ids
+        healthy = sum(1 for sid in live if not open_now[sid])
         capacity = healthy * self.ccfg.max_inflight_walks_per_shard
         inflight = self.walks_created - self.walks_done
         while len(self.queue):
@@ -373,7 +448,8 @@ class ClusterService:
             starts = np.asarray(req.starts, dtype=np.int64)
         else:
             starts = start_vertices(self.graph, req.num_walks, self._start_rng)
-        owners = self.placement.shard_of(starts)
+        # Mid-resize, new walks go straight to their *future* owners.
+        owners = self.resizer.routing_placement().shard_of(starts)
         t_eligible = max(T, st.t_arrival)
         for v, owner in zip(starts.tolist(), owners.tolist()):
             wid = self.walks_created
@@ -397,9 +473,15 @@ class ClusterService:
             return owner
         if not self.ccfg.reroute_to_replica:
             return None
-        n = self.ccfg.n_shards
-        for k in range(1, n):
-            candidate = (owner + k) % n
+        # Ring order follows the placement's slot table; a departing
+        # shard (still executing mid-transfer but absent from the
+        # routing target) falls back to the committed placement's ring.
+        placement = self.resizer.routing_placement()
+        if owner not in placement.shard_ids:
+            placement = self.placement
+        if owner not in placement.shard_ids:
+            return None
+        for candidate in placement.ring_successors(owner):
             if not open_now[candidate]:
                 self.health.reroutes[owner] += 1
                 return candidate
@@ -407,7 +489,7 @@ class ClusterService:
 
     def _lease(self, T: float, open_now: list[bool]) -> dict[int, ShardStepCommand]:
         ccfg = self.ccfg
-        budget = [ccfg.max_inflight_walks_per_shard] * ccfg.n_shards
+        budget = [ccfg.max_inflight_walks_per_shard] * self.n_phys
         # (host, t_min) -> [walk ...]; filled in deterministic wid order.
         groups: dict[tuple[int, float], list[_Walk]] = {}
         eligible = sorted(
@@ -445,9 +527,13 @@ class ClusterService:
         """Process completed segments and launch migrations, all in
         deterministic (shard, event) order at the barrier."""
         migrating: dict[tuple[int, int], list[_Walk]] = {}
+        # Mid-resize the routing (target) placement decides migration
+        # destinations, so collected walks flow to their future owners
+        # instead of bouncing through the outgoing map.
+        placement = self.resizer.routing_placement()
         for sid in sorted(results):
             for t_done, ids, verts in results[sid].completions:
-                owners = self.placement.shard_of(verts)
+                owners = placement.shard_of(verts)
                 self.segments_collected[sid] += len(ids)
                 for wid, v, owner in zip(
                     ids.tolist(), verts.tolist(), owners.tolist()
@@ -552,6 +638,8 @@ class ClusterService:
     def _finished(self, next_arrival: int, n_arrivals: int) -> bool:
         if next_arrival < n_arrivals or len(self.queue):
             return False
+        if self.resizer.active():
+            return False
         if any(w.state != "done" for w in self.walks.values()):
             return False
         return all(st.responded for st in self.states.values())
@@ -561,14 +649,19 @@ class ClusterService:
         candidates: list[float] = []
         if next_arrival < len(arrivals):
             candidates.append(arrivals[next_arrival][0])
+        t_resize = self.resizer.next_event_after(T)
+        if t_resize is not None:
+            candidates.append(t_resize)
         for w in self.walks.values():
             if w.state in ("queued", "migrating") and w.eligible_at > T:
                 candidates.append(w.eligible_at)
         if any(open_now):
+            # A mid-resize deferred handoff batch is blocked work too:
+            # its destination's breaker reopening is the next event.
             blocked = any(
                 w.state in ("queued", "migrating") and w.eligible_at <= T
                 for w in self.walks.values()
-            ) or len(self.queue)
+            ) or len(self.queue) or self.resizer.active()
             if blocked:
                 candidates.extend(
                     b.open_until
@@ -631,21 +724,30 @@ class ClusterService:
         rtos = [f["rto_time"] for f in self.failovers if "rto_time" in f]
         migrations_total = int(sum(self.migrations_out))
         per_walk = [w.migrations for w in self.walks.values()]
+        # Elastic sections (and per-shard handoff keys) appear only when
+        # the elastic machinery is configured, so no-resize reports stay
+        # byte-identical to the pre-elastic schema.
+        elastic = bool(self.ccfg.resize_schedule) or self.ccfg.rebalance_enabled
+        shard_rows = []
+        for i in range(self.n_phys):
+            row = {
+                "shard": i,
+                "epochs_stepped": self.epochs_stepped[i],
+                "segments_injected": self.segments_injected[i],
+                "migrations_out": self.migrations_out[i],
+                "migrations_in": self.migrations_in[i],
+            }
+            if elastic:
+                row["handoffs_out"] = self.handoffs_out[i]
+                row["handoffs_in"] = self.handoffs_in[i]
+                row["retired"] = i in self.health.retired
+            shard_rows.append(row)
         cluster = {
             "epochs": self.epoch,
             "placement": self.ccfg.placement,
             "segment_hops": self.ccfg.segment_hops,
             "barrier_time": self.now,
-            "shards": [
-                {
-                    "shard": i,
-                    "epochs_stepped": self.epochs_stepped[i],
-                    "segments_injected": self.segments_injected[i],
-                    "migrations_out": self.migrations_out[i],
-                    "migrations_in": self.migrations_in[i],
-                }
-                for i in range(self.ccfg.n_shards)
-            ],
+            "shards": shard_rows,
             "migrations": {
                 "total": migrations_total,
                 "max_per_walk": int(max(per_walk, default=0)),
@@ -665,6 +767,18 @@ class ClusterService:
             },
             "audit": self.auditor.stats(),
         }
+        if elastic:
+            rz = self.resizer.stats()
+            cluster["membership"] = {
+                "initial_shards": self.ccfg.n_shards,
+                "live_shards": list(self.placement.shard_ids),
+                "retired_shards": sorted(self.health.retired),
+                "placement": self.placement.describe(),
+                "window_loads": self.health.window_loads(range(self.n_phys)),
+            }
+            cluster["resizes"] = rz["resizes"]
+            cluster["resizes_unfired"] = rz["unfired"]
+            cluster["handoff"] = rz["handoff"]
         if self.telemetry is not None:
             # Inside the "cluster" section on purpose: the baseline gate
             # compares killed vs uninterrupted runs with this section
@@ -672,7 +786,7 @@ class ClusterService:
             cluster["telemetry"] = self.telemetry.section(self.now)
         return {
             "schema": CLUSTER_SCHEMA,
-            "schema_version": CLUSTER_SCHEMA_VERSION,
+            "schema_version": 2 if elastic else CLUSTER_SCHEMA_VERSION,
             "seed": self.seed,
             "n_shards": self.ccfg.n_shards,
             "jobs": jobs,

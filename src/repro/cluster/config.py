@@ -92,6 +92,23 @@ class ClusterConfig:
     audit_interval_epochs: int = 1
     #: Hard cap on coordination rounds (runaway guard, like max_events).
     max_epochs: int = 100_000
+    # -- elastic membership -------------------------------------------------
+    #: Scheduled membership changes: ``(t, kind, arg)`` triples in
+    #: cluster time.  ``kind`` is ``"grow"`` (arg = shard count to add),
+    #: ``"shrink"`` (arg = physical shard id to remove) or
+    #: ``"rebalance"`` (arg ignored; recuts range bounds from the load
+    #: window).  Requests execute strictly one at a time, in time order.
+    resize_schedule: tuple[tuple[float, str, int], ...] = ()
+    #: Abort a resize whose transfer phase has not drained after this
+    #: many barriers (rollback to the old placement, tested path).
+    resize_transfer_budget_epochs: int = 64
+    #: Load-driven automatic rebalancing (range placement only).
+    rebalance_enabled: bool = False
+    rebalance_check_epochs: int = 8
+    rebalance_window_epochs: int = 8
+    rebalance_imbalance_ratio: float = 2.0
+    rebalance_cooldown_epochs: int = 16
+    rebalance_min_walks: int = 32
     # -- telemetry ----------------------------------------------------------
     #: Enable the router's deterministic metrics registry plus per-shard
     #: engine telemetry (:mod:`repro.obs.metrics`).  Off by default so
@@ -124,12 +141,57 @@ class ClusterConfig:
             raise ConfigError(
                 f"negative reliable_fallback_latency {self.reliable_fallback_latency}"
             )
+        _RESIZE_KINDS = ("grow", "shrink", "rebalance")
+        for entry in self.resize_schedule:
+            if len(entry) != 3:
+                raise ConfigError(
+                    f"resize entries are (t, kind, arg) triples, got {entry!r}"
+                )
+            t, kind, arg = entry
+            if t < 0:
+                raise ConfigError(f"resize time must be >= 0, got {t}")
+            if kind not in _RESIZE_KINDS:
+                raise ConfigError(
+                    f"unknown resize kind {kind!r}; expected one of {_RESIZE_KINDS}"
+                )
+            if kind == "grow" and int(arg) < 1:
+                raise ConfigError(f"grow must add >= 1 shard, got {arg}")
+            if kind == "shrink" and int(arg) < 0:
+                raise ConfigError(f"shrink shard id must be >= 0, got {arg}")
+            if kind == "rebalance" and self.placement != "range":
+                raise ConfigError("rebalance requires range placement")
+        if self.resize_transfer_budget_epochs < 1:
+            raise ConfigError(
+                "resize_transfer_budget_epochs must be >= 1, got "
+                f"{self.resize_transfer_budget_epochs}"
+            )
+        if self.rebalance_enabled and self.placement != "range":
+            raise ConfigError("rebalance_enabled requires range placement")
+        for name in ("rebalance_check_epochs", "rebalance_window_epochs",
+                     "rebalance_cooldown_epochs"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.rebalance_imbalance_ratio < 1.0:
+            raise ConfigError(
+                "rebalance_imbalance_ratio must be >= 1, got "
+                f"{self.rebalance_imbalance_ratio}"
+            )
+        if self.rebalance_min_walks < 0:
+            raise ConfigError(
+                f"negative rebalance_min_walks {self.rebalance_min_walks}"
+            )
+        # Grows mint new physical ids above n_shards, so a scheduled
+        # kill may legally target a not-yet-added shard.
+        max_physical = self.n_shards + sum(
+            int(arg) for _, kind, arg in self.resize_schedule if kind == "grow"
+        )
         for t, shard in self.kill_schedule:
             if t < 0:
                 raise ConfigError(f"kill time must be >= 0, got {t}")
-            if not 0 <= int(shard) < self.n_shards:
+            if not 0 <= int(shard) < max_physical:
                 raise ConfigError(
-                    f"kill shard {shard} out of range for {self.n_shards} shards"
+                    f"kill shard {shard} out of range for {max_physical} "
+                    "possible shards"
                 )
         if not 0.0 <= self.kill_epoch_frac <= 1.0:
             raise ConfigError(

@@ -1,4 +1,4 @@
-"""Per-shard health tracking for the cluster router.
+"""Per-shard health and load tracking for the cluster router.
 
 Each shard gets its own :class:`~repro.service.breaker.CircuitBreaker`
 — the *same* class the single-device service uses — fed through a
@@ -9,10 +9,18 @@ carries back.  The proxy exists because in process-pool mode the
 engine object lives in a worker; the coordinator polls the mirrored
 counters instead, and serial mode uses the identical path so the two
 execution modes cannot diverge.
+
+Elastic membership adds two responsibilities: a trailing per-shard
+*load window* (walk segments leased per epoch) that the load-driven
+rebalance trigger reads, and shard lifecycle — :meth:`add_shard` for a
+live grow, :meth:`retire` for a removal, which permanently silences
+the departed shard's breaker and freezes its counters so stale state
+cannot pollute reports or reroute decisions.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from types import SimpleNamespace
 
 from ..service.breaker import CircuitBreaker
@@ -34,24 +42,65 @@ class ShardHealthProxy:
 
 
 class HealthBoard:
-    """Breakers + degradation bookkeeping for every shard."""
+    """Breakers + degradation + load bookkeeping for every shard.
 
-    def __init__(self, svc_cfg, n_shards: int):
+    All per-shard sequences are indexed by *physical* shard id and only
+    ever grow — a retired shard keeps its slot (frozen) so report and
+    audit indexing stay stable across membership changes.
+    """
+
+    def __init__(self, svc_cfg, n_shards: int, *, load_window_epochs: int = 8):
+        self._svc_cfg = svc_cfg
+        self._window = max(1, int(load_window_epochs))
         self.proxies = [ShardHealthProxy() for _ in range(n_shards)]
         self.breakers = [CircuitBreaker(svc_cfg, p) for p in self.proxies]
         self.open_epochs = [0] * n_shards
         self.consecutive_open = [0] * n_shards
         self.reroutes = [0] * n_shards
+        self.loads = [deque(maxlen=self._window) for _ in range(n_shards)]
+        self.retired: set[int] = set()
         self.promotions: list[dict] = []
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.breakers)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def add_shard(self) -> int:
+        """Register a freshly-added shard; returns its physical id."""
+        proxy = ShardHealthProxy()
+        self.proxies.append(proxy)
+        self.breakers.append(CircuitBreaker(self._svc_cfg, proxy))
+        self.open_epochs.append(0)
+        self.consecutive_open.append(0)
+        self.reroutes.append(0)
+        self.loads.append(deque(maxlen=self._window))
+        return len(self.breakers) - 1
+
+    def retire(self, shard_id: int) -> None:
+        """A departed shard's health state is frozen, not polled: its
+        breaker is permanently silenced, its load window cleared, so
+        it can never trip, reroute, or skew a rebalance again."""
+        self.retired.add(int(shard_id))
+        self.breakers[shard_id].retire()
+        self.consecutive_open[shard_id] = 0
+        self.loads[shard_id].clear()
+
+    # --------------------------------------------------------------- health
 
     def update(self, shard_id: int, health: dict) -> None:
         self.proxies[shard_id].update(health)
 
     def poll(self, now: float) -> list[bool]:
         """Breaker state per shard at cluster time ``now``; updates the
-        consecutive-open counters the promotion policy watches."""
+        consecutive-open counters the promotion policy watches.
+        Retired shards report closed without touching any counter."""
         state = []
         for i, brk in enumerate(self.breakers):
+            if i in self.retired:
+                state.append(False)
+                continue
             is_open = brk.is_open(now)
             if is_open:
                 self.open_epochs[i] += 1
@@ -76,7 +125,30 @@ class HealthBoard:
             {"kind": "breaker", "shard": shard_id, "epoch": epoch, "t": now}
         )
 
+    # ----------------------------------------------------------------- load
+
+    def note_loads(self, leased: list[int]) -> None:
+        """Record one epoch's leased-segment count per shard (the
+        rebalance trigger's trailing window).  ``leased`` is indexed by
+        physical id and must cover every registered shard."""
+        for sid, n in enumerate(leased):
+            if sid not in self.retired:
+                self.loads[sid].append(int(n))
+
+    def window_load(self, shard_id: int) -> int:
+        return sum(self.loads[shard_id])
+
+    def window_loads(self, shard_ids) -> list[int]:
+        """Trailing-window loads for ``shard_ids``, in their order
+        (slot order when called with a placement's id table)."""
+        return [self.window_load(sid) for sid in shard_ids]
+
+    # ---------------------------------------------------------------- report
+
     def stats(self) -> dict:
+        # Keys kept identical to the pre-elastic board: retired/load
+        # details live in the report's elastic-only ``membership``
+        # section so no-resize reports stay byte-identical.
         return {
             "breaker_trips": [b.trips for b in self.breakers],
             "open_epochs": list(self.open_epochs),

@@ -40,8 +40,37 @@ class NetworkLink:
         self.retransmits = 0
         self.escalations = 0
         self.total_delay = 0.0
+        # Optional per-(src, dst) traffic accounting.  Pairs touching a
+        # retired shard are folded into a single tombstone so a removed
+        # shard's counters cannot linger as live reroute/report state.
+        self.pair_messages: dict[tuple[int, int], int] = {}
+        self.pair_walks: dict[tuple[int, int], int] = {}
+        self._retired: set[int] = set()
 
-    def transmit(self, t_send: float, n_walks: int) -> float:
+    def _note_pair(self, src, dst, n_walks: int) -> None:
+        if src is None or dst is None:
+            return
+        key = (int(src), int(dst))
+        if key[0] in self._retired or key[1] in self._retired:
+            key = (-1, -1)
+        self.pair_messages[key] = self.pair_messages.get(key, 0) + 1
+        self.pair_walks[key] = self.pair_walks.get(key, 0) + n_walks
+
+    def retire_shard(self, shard_id: int) -> None:
+        """Fold a departed shard's per-pair counters into the
+        ``("retired", "retired")`` tombstone and refuse future
+        attribution to it — stale pairs must not survive a removal."""
+        sid = int(shard_id)
+        self._retired.add(sid)
+        for table in (self.pair_messages, self.pair_walks):
+            dead = [k for k in table if sid in k]
+            folded = sum(table.pop(k) for k in dead)
+            if folded:
+                key = (-1, -1)
+                table[key] = table.get(key, 0) + folded
+
+    def transmit(self, t_send: float, n_walks: int,
+                 *, src: int | None = None, dst: int | None = None) -> float:
         """Deliver one migration batch; returns the delivery time.
 
         Loss eats the message in flight; corruption is detected at the
@@ -56,6 +85,7 @@ class NetworkLink:
         self.messages += 1
         self.walks_moved += n_walks
         self.bytes_moved += nbytes
+        self._note_pair(src, dst, n_walks)
         t = t_send
         attempt = 0
         while True:
@@ -80,7 +110,7 @@ class NetworkLink:
         return delivery
 
     def stats(self) -> dict:
-        return {
+        out = {
             "messages": self.messages,
             "walks_moved": self.walks_moved,
             "bytes_moved": self.bytes_moved,
@@ -92,3 +122,13 @@ class NetworkLink:
                 self.total_delay / self.messages if self.messages else 0.0
             ),
         }
+        # Pair counters exist only when callers attribute traffic
+        # (handoffs do, plain migrations do not), so no-resize reports
+        # keep the exact pre-elastic key set.
+        if self.pair_walks:
+            out["pairs"] = {
+                f"{s}->{d}": self.pair_walks[(s, d)]
+                for s, d in sorted(self.pair_walks)
+            }
+            out["retired_pairs_folded"] = self.pair_walks.get((-1, -1), 0)
+        return out

@@ -1,8 +1,8 @@
-"""Vertex -> shard placement maps.
+"""Epoch-versioned vertex -> shard placement maps.
 
-Two modes, both pure functions of ``(vertex, n_shards, n_vertices)`` so
-the router, the auditor, and every shard agree on ownership without
-any shared state:
+Two modes, both pure functions of the placement's *frozen* parameters
+(mode, cut points, shard-id table) so the router, the auditor, and
+every shard agree on ownership without any shared mutable state:
 
 * ``hash`` — consistent hashing via a splitmix64 finalizer.  Spreads
   hot vertices uniformly; adjacent vertices land on different shards,
@@ -11,6 +11,19 @@ any shared state:
   numbers subgraph blocks in vertex-ID order, so equal ID ranges align
   with block locality: hops inside a community usually stay home
   (best traffic, load follows the graph's skew).
+
+Elastic membership (PR 9) versions the map: every placement carries an
+``epoch`` counter, and the derived constructors (:meth:`grown`,
+:meth:`shrunk`, :meth:`rebalanced`) return an ``epoch + 1`` placement
+over an explicit ``shard_ids`` table — physical shard ids per placement
+*slot* — so live shard sets need not be contiguous after a removal.
+Range mode stores its cut points as Python-int ``bounds`` and resolves
+owners with a ``searchsorted`` over them: that is what makes weighted
+(load-driven) rebalancing expressible, and it also removes the int64
+overflow the old ``(v * n_shards) // n_vertices`` formula hit once
+``n_vertices * n_shards`` exceeded 2**63.  The default even-split
+bounds reproduce that legacy formula bit-for-bit for every in-range
+vertex (``bounds[s] = ceil(s * n_vertices / n_shards)``).
 """
 
 from __future__ import annotations
@@ -19,7 +32,7 @@ import numpy as np
 
 from ..common.errors import ConfigError
 
-__all__ = ["VertexPlacement"]
+__all__ = ["VertexPlacement", "even_bounds"]
 
 _U64 = np.uint64
 
@@ -35,10 +48,29 @@ def _splitmix64(x: np.ndarray) -> np.ndarray:
     return z
 
 
-class VertexPlacement:
-    """Deterministic ownership map over one graph's vertex space."""
+def even_bounds(n_shards: int, n_vertices: int) -> tuple[int, ...]:
+    """Even-split range cut points, computed with exact Python ints.
 
-    def __init__(self, mode: str, n_shards: int, n_vertices: int):
+    ``bounds[s] = ceil(s * n_vertices / n_shards)``: the smallest vertex
+    the legacy ``(v * n_shards) // n_vertices`` formula assigned to slot
+    ``s``, so searchsorted over these bounds matches it exactly.
+    """
+    return tuple(
+        -(-s * n_vertices // n_shards) for s in range(n_shards)
+    ) + (n_vertices,)
+
+
+class VertexPlacement:
+    """Deterministic, versioned ownership map over one vertex space.
+
+    ``shard_ids[slot]`` maps a placement slot (what the hash / range
+    arithmetic produces) to a *physical* shard id; the identity table is
+    the default, so a never-resized cluster behaves exactly like the
+    pre-elastic one.
+    """
+
+    def __init__(self, mode: str, n_shards: int, n_vertices: int, *,
+                 shard_ids=None, bounds=None, epoch: int = 0):
         if n_shards < 1:
             raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
         if n_vertices < 1:
@@ -48,21 +80,128 @@ class VertexPlacement:
         self.mode = mode
         self.n_shards = int(n_shards)
         self.n_vertices = int(n_vertices)
+        self.epoch = int(epoch)
+        if shard_ids is None:
+            shard_ids = range(n_shards)
+        self.shard_ids = tuple(int(s) for s in shard_ids)
+        if len(self.shard_ids) != self.n_shards:
+            raise ConfigError(
+                f"{len(self.shard_ids)} shard ids for {self.n_shards} slots"
+            )
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise ConfigError(f"duplicate shard ids in {self.shard_ids}")
+        if any(s < 0 for s in self.shard_ids):
+            raise ConfigError(f"negative shard id in {self.shard_ids}")
+        self._ids = np.asarray(self.shard_ids, dtype=np.int64)
+        if self.mode == "range":
+            if bounds is None:
+                bounds = even_bounds(self.n_shards, self.n_vertices)
+            self.bounds = tuple(int(b) for b in bounds)
+            self._validate_bounds()
+            self._cuts = np.asarray(self.bounds, dtype=np.int64)
+        else:
+            if bounds is not None:
+                raise ConfigError("bounds are only meaningful in range mode")
+            self.bounds = None
+            self._cuts = None
 
-    def shard_of(self, vertices) -> np.ndarray:
-        """Owner shard id(s) for ``vertices`` (scalar or array)."""
+    def _validate_bounds(self) -> None:
+        b = self.bounds
+        if len(b) != self.n_shards + 1:
+            raise ConfigError(
+                f"range bounds need {self.n_shards + 1} cut points, got {len(b)}"
+            )
+        if b[0] != 0 or b[-1] != self.n_vertices:
+            raise ConfigError(
+                f"range bounds must span [0, {self.n_vertices}], got "
+                f"[{b[0]}, {b[-1]}]"
+            )
+        if any(lo >= hi for lo, hi in zip(b, b[1:])):
+            raise ConfigError(
+                f"range bounds must be strictly increasing, got {b}"
+            )
+
+    # -------------------------------------------------------------- queries
+
+    def slot_of(self, vertices) -> np.ndarray:
+        """Placement *slot* (0..n_shards-1) for ``vertices``."""
         v = np.asarray(vertices, dtype=np.int64)
         if v.size and (int(v.min()) < 0 or int(v.max()) >= self.n_vertices):
             raise ConfigError(
                 f"vertex id out of range [0, {self.n_vertices}) in placement"
             )
         if self.mode == "hash":
-            owners = _splitmix64(v) % _U64(self.n_shards)
-            return owners.astype(np.int64)
-        # range: contiguous vertex-ID spans, block-locality preserving.
-        return (v * self.n_shards) // self.n_vertices
+            return (_splitmix64(v) % _U64(self.n_shards)).astype(np.int64)
+        # range: rightmost cut <= v.  No multiplication, so no overflow
+        # for huge n_vertices x n_shards products.
+        return np.searchsorted(self._cuts, v, side="right") - 1
+
+    def shard_of(self, vertices) -> np.ndarray:
+        """Owner *physical* shard id(s) for ``vertices``."""
+        return self._ids[self.slot_of(vertices)]
 
     def counts(self, vertices) -> np.ndarray:
-        """Histogram of owners over ``vertices`` (length ``n_shards``)."""
-        owners = self.shard_of(vertices)
-        return np.bincount(owners, minlength=self.n_shards)
+        """Per-slot owner histogram over ``vertices`` (length
+        ``n_shards``, aligned with :attr:`shard_ids`)."""
+        return np.bincount(self.slot_of(vertices), minlength=self.n_shards)
+
+    def slot_of_shard(self, shard_id: int) -> int:
+        """Slot a physical shard occupies (ConfigError if not placed)."""
+        try:
+            return self.shard_ids.index(int(shard_id))
+        except ValueError:
+            raise ConfigError(
+                f"shard {shard_id} is not in placement {self.shard_ids}"
+            ) from None
+
+    def ring_successors(self, shard_id: int):
+        """Physical ids after ``shard_id`` in slot-ring order (the
+        reroute path walks this to find a healthy replica host)."""
+        slot = self.slot_of_shard(shard_id)
+        n = self.n_shards
+        for k in range(1, n):
+            yield self.shard_ids[(slot + k) % n]
+
+    # ------------------------------------------------- derived placements
+
+    def grown(self, new_ids) -> "VertexPlacement":
+        """Epoch+1 placement with ``new_ids`` appended as fresh slots
+        (range mode re-splits evenly over the wider cluster)."""
+        ids = self.shard_ids + tuple(int(s) for s in new_ids)
+        return VertexPlacement(
+            self.mode, len(ids), self.n_vertices,
+            shard_ids=ids, epoch=self.epoch + 1,
+        )
+
+    def shrunk(self, shard_id: int) -> "VertexPlacement":
+        """Epoch+1 placement with physical ``shard_id`` removed."""
+        self.slot_of_shard(shard_id)  # membership check
+        ids = tuple(s for s in self.shard_ids if s != int(shard_id))
+        if not ids:
+            raise ConfigError("cannot shrink the last shard away")
+        return VertexPlacement(
+            self.mode, len(ids), self.n_vertices,
+            shard_ids=ids, epoch=self.epoch + 1,
+        )
+
+    def rebalanced(self, bounds) -> "VertexPlacement":
+        """Epoch+1 range placement over the same shards, new cuts."""
+        if self.mode != "range":
+            raise ConfigError("only range placements can be rebalanced")
+        return VertexPlacement(
+            self.mode, self.n_shards, self.n_vertices,
+            shard_ids=self.shard_ids, bounds=bounds, epoch=self.epoch + 1,
+        )
+
+    # --------------------------------------------------------------- report
+
+    def describe(self) -> dict:
+        out = {
+            "mode": self.mode,
+            "epoch": self.epoch,
+            "n_shards": self.n_shards,
+            "shard_ids": list(self.shard_ids),
+        }
+        if self.bounds is not None:
+            out["bounds"] = list(self.bounds)
+        return out

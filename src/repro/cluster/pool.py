@@ -49,6 +49,12 @@ def _worker_main(conn, shard_params: list[dict]) -> None:
                 out = [(sid, rt.setup()) for sid, rt in sorted(runtimes.items())]
             elif op == "step":
                 out = [(sid, runtimes[sid].step(cmd)) for sid, cmd in payload]
+            elif op == "add":
+                sid = payload["shard_id"]
+                runtimes[sid] = _build_runtime(payload)
+                out = [(sid, runtimes[sid].setup())]
+            elif op == "remove":
+                out = [(payload, runtimes.pop(payload).finalize())]
             elif op == "finalize":
                 out = [
                     (sid, rt.finalize()) for sid, rt in sorted(runtimes.items())
@@ -114,6 +120,15 @@ class ShardHosts:
                 out.update(dict(value))
         return out
 
+    def _call(self, worker: int, op: str, payload) -> dict:
+        """Send ``op`` to one worker, gather ``{shard_id: value}``."""
+        conn = self._conns[worker]
+        conn.send((op, payload))
+        status, value = conn.recv()
+        if status == "error":
+            raise SimulationError(f"shard worker failed:\n{value}")
+        return dict(value)
+
     # -------------------------------------------------------------- lifecycle
 
     def setup(self) -> dict[int, float]:
@@ -132,6 +147,30 @@ class ShardHosts:
             payloads[self._worker_of[sid]].append((sid, cmd))
         # Workers without commands this epoch get an empty step list.
         return self._broadcast("step", payloads)
+
+    def add_shard(self, params: dict) -> float:
+        """Live grow: build + set up one new shard runtime (in-process,
+        or on the worker its physical id hashes to); returns its ready
+        time on the shard's local clock."""
+        sid = params["shard_id"]
+        self.n_shards += 1
+        if not self._conns:
+            rt = _build_runtime(params)
+            self._local[sid] = rt
+            return rt.setup()
+        worker = sid % self.jobs
+        self._worker_of[sid] = worker
+        return self._call(worker, "add", params)[sid]
+
+    def remove_shard(self, shard_id: int) -> dict:
+        """Live removal: finalize and drop one shard runtime; returns
+        its engine run report."""
+        sid = int(shard_id)
+        self.n_shards -= 1
+        if not self._conns:
+            return self._local.pop(sid).finalize()
+        worker = self._worker_of.pop(sid)
+        return self._call(worker, "remove", sid)[sid]
 
     def finalize(self) -> dict[int, dict]:
         """Close sessions; returns shard id -> engine run report."""

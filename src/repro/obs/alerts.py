@@ -347,4 +347,32 @@ def default_cluster_rules(
             threshold=1.0,
             signal="level",
         ),
+        # -- elastic membership -------------------------------------------
+        AlertRule(
+            name="cluster-resize-abort",
+            metric="cluster_resize_aborts",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="cluster-rebalance",
+            metric="cluster_rebalances",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            # Phase gauge: 2 = transfer, 3 = rollback.  A transfer pinned
+            # high across many samples means handoff is not draining.
+            name="cluster-resize-stuck",
+            metric="cluster_resize_phase",
+            kind="threshold",
+            op=">=",
+            threshold=2.0,
+            signal="level",
+            for_samples=4,
+        ),
     ]

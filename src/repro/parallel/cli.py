@@ -22,7 +22,7 @@ __all__ = ["main"]
 
 #: Experiments that expose point enumerators (module.points(ctx, datasets)).
 PARALLEL_EXPERIMENTS = ("fig5", "fig7", "fig9", "service_slo",
-                        "cluster_failover")
+                        "cluster_failover", "cluster_resize")
 
 
 def _points_for(experiment: str, ctx, datasets):
@@ -34,6 +34,10 @@ def _points_for(experiment: str, ctx, datasets):
         from ..cluster import campaign as cluster_campaign
 
         return cluster_campaign.points(ctx, datasets)
+    if experiment == "cluster_resize":
+        from ..cluster import campaign as cluster_campaign
+
+        return cluster_campaign.resize_points(ctx, datasets)
     from ..experiments import fig5, fig7, fig9
 
     mod = {"fig5": fig5, "fig7": fig7, "fig9": fig9}[experiment]

@@ -31,12 +31,24 @@ class CircuitBreaker:
         self._seen_chip_failures = 0
         self._seen_exhausted = 0
         self._seen_corruption = 0
+        self.retired = False
         # Last open/closed state recorded into telemetry, so the gauge
         # only gets a point on transitions (polls are frequent).
         self._open_recorded = False
 
+    def retire(self) -> None:
+        """Permanently close the breaker (its device left the system).
+
+        A retired breaker never reports open and never trips again —
+        the cluster calls this when a shard is removed so the departed
+        shard cannot keep rerouting traffic."""
+        self.retired = True
+        self.open_until = 0.0
+
     def is_open(self, now: float) -> bool:
         """Poll degradation signals, then report whether the breaker is open."""
+        if self.retired:
+            return False
         self._update(now)
         open_now = now < self.open_until
         mx = getattr(self.engine, "telemetry", None)
@@ -74,4 +86,5 @@ class CircuitBreaker:
             "policy": self.cfg.breaker_policy,
             "trips": self.trips,
             "open_until": self.open_until,
+            "retired": self.retired,
         }

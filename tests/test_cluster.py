@@ -460,3 +460,297 @@ class TestClusterService:
         assert [r.status for r in out.responses] == ["ok"] * 4
         assert out.report["cluster"]["audit"]["violations"] == 0
         assert out.report["cluster"]["placement"] == "range"
+
+
+# ------------------------------------------------------ elastic placement
+
+
+class TestElasticPlacement:
+    def test_range_slot_near_int64_overflow_boundary(self):
+        # The legacy formula (v * n_shards) // n_vertices overflowed in
+        # int64 once v * n_shards crossed 2**63; searchsorted over
+        # Python-int bounds must match exact integer arithmetic there.
+        n, V = 3, (1 << 62) + 11
+        pl = VertexPlacement("range", n, V)
+        probes = [0, 1, V // 3, V // 2, (2 * V) // 3, V - 2, V - 1]
+        for b in pl.bounds[1:-1]:
+            probes.extend([b - 1, b])
+        for v in probes:
+            assert 0 <= v < V
+            expected = (v * n) // V  # exact Python ints
+            assert int(pl.slot_of(np.int64(v))) == expected, v
+
+    def test_default_bounds_match_legacy_formula_everywhere(self):
+        from repro.cluster import even_bounds
+
+        for n, V in ((3, 512), (4, 511), (7, 1000), (5, 5)):
+            pl = VertexPlacement("range", n, V)
+            assert pl.bounds == even_bounds(n, V)
+            verts = np.arange(V, dtype=np.int64)
+            legacy = np.array([(int(v) * n) // V for v in verts])
+            assert np.array_equal(pl.slot_of(verts), legacy)
+
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    def test_partition_property_across_resize_epochs(self, mode):
+        V = 512
+        verts = np.arange(V, dtype=np.int64)
+        pl = VertexPlacement(mode, 2, V)
+        grown = pl.grown([2, 3])
+        shrunk = grown.shrunk(0)
+        assert (pl.epoch, grown.epoch, shrunk.epoch) == (0, 1, 2)
+        assert grown.shard_ids == (0, 1, 2, 3)
+        assert shrunk.shard_ids == (1, 2, 3)
+        for p in (pl, grown, shrunk):
+            owners = p.shard_of(verts)
+            # Every vertex owned by exactly one live shard.
+            assert int(p.counts(verts).sum()) == V
+            assert set(owners.tolist()) <= set(p.shard_ids)
+
+    def test_rebalanced_keeps_shards_changes_bounds(self):
+        pl = VertexPlacement("range", 4, 512)
+        rb = pl.rebalanced((0, 64, 128, 256, 512))
+        assert rb.epoch == 1 and rb.shard_ids == pl.shard_ids
+        assert int(rb.counts(np.arange(512)).sum()) == 512
+        with pytest.raises(ConfigError):
+            VertexPlacement("hash", 4, 512).rebalanced((0, 64, 128, 256, 512))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bounds=(0, 100, 400)),            # wrong span end
+            dict(bounds=(1, 100, 512)),            # wrong span start
+            dict(bounds=(0, 300, 200, 512)),       # not increasing
+            dict(shard_ids=(0, 0, 1)),             # duplicate ids
+            dict(shard_ids=(0, -1, 2)),            # negative id
+            dict(shard_ids=(0, 1)),                # wrong length
+        ],
+    )
+    def test_bad_elastic_construction_rejected(self, kwargs):
+        n = len(kwargs.get("bounds", (0,) * 4)) - 1
+        with pytest.raises(ConfigError):
+            VertexPlacement("range", n, 512, **kwargs)
+
+    def test_bounds_meaningless_in_hash_mode(self):
+        with pytest.raises(ConfigError, match="range mode"):
+            VertexPlacement("hash", 2, 512, bounds=(0, 256, 512))
+
+    def test_ring_successors_follow_slot_table(self):
+        pl = VertexPlacement("hash", 3, 512, shard_ids=(4, 1, 7))
+        assert list(pl.ring_successors(1)) == [7, 4]
+        assert pl.slot_of_shard(7) == 2
+        with pytest.raises(ConfigError):
+            pl.slot_of_shard(0)
+
+    def test_rebalanced_bounds_shift_toward_load(self):
+        from repro.cluster import rebalanced_bounds
+
+        bounds = (0, 256, 512)
+        # All observed load on slot 0: its range should shrink.
+        skew = rebalanced_bounds(bounds, [300, 20])
+        assert skew[0] == 0 and skew[-1] == 512
+        assert skew[1] < 256
+        assert all(hi > lo for lo, hi in zip(skew, skew[1:]))
+        # Balanced or zero load: unchanged.
+        assert rebalanced_bounds(bounds, [50, 50]) == bounds
+        assert rebalanced_bounds(bounds, [0, 0]) == bounds
+
+
+# ------------------------------------------------------- elastic config
+
+
+class TestElasticConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(resize_schedule=((1e-4, "split", 1),)),
+            dict(resize_schedule=((-1e-4, "grow", 1),)),
+            dict(resize_schedule=((1e-4, "grow", 0),)),
+            dict(resize_schedule=((1e-4, "rebalance", 0),)),  # hash mode
+            dict(rebalance_enabled=True),                      # hash mode
+            dict(placement="range", rebalance_imbalance_ratio=0.5),
+            dict(resize_transfer_budget_epochs=0),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterConfig(**kwargs).validate()
+
+    def test_kill_may_target_shard_minted_by_grow(self):
+        # Shard 5 does not exist at t=0 but a grow can mint it.
+        ClusterConfig(
+            n_shards=4, kill_schedule=((1e-3, 5),),
+            resize_schedule=((1e-4, "grow", 2),),
+        ).validate()
+        with pytest.raises(ConfigError):
+            ClusterConfig(n_shards=4, kill_schedule=((1e-3, 5),)).validate()
+
+
+# ------------------------------------------------------- elastic cluster
+
+
+def resize_cfg(**kw):
+    kw.setdefault("n_shards", 2)
+    kw.setdefault("placement", "range")
+    return cluster_cfg(**kw)
+
+
+class TestClusterResize:
+    def test_grow_live_commits_and_uses_new_shards(self, graph):
+        ccfg = resize_cfg(resize_schedule=((5e-5, "grow", 2),))
+        _, out = run_cluster(graph, ccfg)
+        assert [r.status for r in out.responses] == ["ok"] * 4
+        c = out.report["cluster"]
+        assert out.report["schema_version"] == 2
+        (rz,) = c["resizes"]
+        assert rz["kind"] == "grow" and rz["committed"] is True
+        assert rz["added"] == [2, 3] and rz["rto_time"] > 0.0
+        assert c["membership"]["live_shards"] == [0, 1, 2, 3]
+        assert c["handoff"]["walks"] >= 1
+        # The new shards actually served work after the handoff.
+        assert sum(s["epochs_stepped"] for s in c["shards"][2:]) >= 1
+        assert c["audit"]["violations"] == 0
+
+    def test_shrink_live_retires_departed_state(self, graph):
+        ccfg = resize_cfg(n_shards=3, resize_schedule=((5e-5, "shrink", 1),))
+        svc, out = run_cluster(graph, ccfg)
+        assert [r.status for r in out.responses] == ["ok"] * 4
+        c = out.report["cluster"]
+        (rz,) = c["resizes"]
+        assert rz["removed"] == [1] and rz["committed"] is True
+        assert c["membership"]["live_shards"] == [0, 2]
+        assert c["membership"]["retired_shards"] == [1]
+        # Health/breaker state is retired, not left to reroute to.
+        assert svc.health.breakers[1].retired is True
+        svc.health.breakers[1].open_until = 1e9
+        assert svc.health.poll(1.0)[1] is False
+        # Per-pair link counters folded into the tombstone.
+        assert all(1 not in k for k in svc.link.pair_walks)
+        assert c["link"]["retired_pairs_folded"] >= 1
+        # The departed shard's engine report still made it out.
+        assert len(out.report["shards"]) == 3
+        assert c["shards"][1]["retired"] is True
+        assert c["audit"]["violations"] == 0
+
+    def test_shrink_unknown_shard_fails_cleanly(self, graph):
+        ccfg = resize_cfg(resize_schedule=((5e-5, "shrink", 9),))
+        with pytest.raises(SimulationError, match="not in live"):
+            run_cluster(graph, ccfg)
+
+    def test_kill_mid_handoff_conserves_walks(self, graph):
+        # Kill a freshly-minted shard while the grow handoff is live:
+        # replica promotion + epoch-checkpoint replay inside the epoch.
+        ccfg = resize_cfg(
+            resize_schedule=((5e-5, "grow", 2), (2.5e-4, "shrink", 0)),
+            kill_schedule=((6e-5, 2),),
+        )
+        _, out = run_cluster(graph, ccfg, reqs=requests(6))
+        assert [r.status for r in out.responses] == ["ok"] * 6
+        c = out.report["cluster"]
+        assert len(c["failovers"]) == 1
+        assert sum(r["kills_during"] for r in c["resizes"]) == 1
+        assert all(r["committed"] for r in c["resizes"])
+        assert c["membership"]["live_shards"] == [1, 2, 3]
+        ho = c["handoff"]
+        assert ho["walks"] >= 1 and ho["rto"]["count"] == 2
+        assert ho["rpo_walks"] >= 0
+        s = out.report["service"]
+        assert s["walks"]["created"] == s["walks"]["done"]
+        assert s["walks"]["zombie"] == 0
+        assert c["audit"]["violations"] == 0
+
+    def test_exhausted_transfer_aborts_and_rolls_back(self, graph):
+        # A slow link keeps migrations toward the departing shard in
+        # flight past the budget -> abort -> rollback to old placement.
+        ccfg = cluster_cfg(
+            n_shards=3, placement="hash", segment_hops=1,
+            link_latency=1e-3, link_loss_prob=0.0, link_corrupt_prob=0.0,
+            resize_schedule=((2e-4, "shrink", 1),),
+            resize_transfer_budget_epochs=1,
+        )
+        _, out = run_cluster(graph, ccfg, reqs=requests(8))
+        c = out.report["cluster"]
+        (rz,) = c["resizes"]
+        assert rz["aborted"] is True and rz["committed"] is False
+        assert rz["rollback_epochs"] >= 1
+        # Clean abort: the old placement survives untouched.
+        assert c["membership"]["live_shards"] == [0, 1, 2]
+        assert c["membership"]["placement"]["epoch"] == 0
+        assert c["handoff"]["aborts"] == 1
+        assert [r.status for r in out.responses] == ["ok"] * 8
+        assert c["audit"]["violations"] == 0
+
+    def test_breaker_open_target_defers_handoff(self, graph):
+        ccfg = resize_cfg(n_shards=2, resize_schedule=((5e-5, "shrink", 1),))
+        svc = ClusterService(graph, shard_cfg(), ccfg, seed=7)
+        # Destination shard 0 starts with its breaker open well past
+        # the first transfer barriers: handoffs must defer, not drop.
+        svc.health.breakers[0].open_until = 2e-3
+        out = svc.run(requests())
+        c = out.report["cluster"]
+        assert c["handoff"]["deferred_batches"] >= 1
+        (rz,) = c["resizes"]
+        assert rz["committed"] is True
+        assert c["membership"]["live_shards"] == [0]
+        s = out.report["service"]
+        assert s["walks"]["created"] == s["walks"]["done"]
+        assert c["audit"]["violations"] == 0
+
+    def test_load_driven_rebalance_recuts_range(self, graph):
+        # Every walk starts in shard 0's range: the trigger must fire
+        # and shrink slot 0's span toward the observed load.
+        reqs = [
+            QueryRequest(query_id=i, arrival=i * 30e-6, num_walks=16,
+                         length=6, deadline=50e-3, starts=tuple(range(16)))
+            for i in range(8)
+        ]
+        ccfg = resize_cfg(
+            link_loss_prob=0.0, link_corrupt_prob=0.0,
+            rebalance_enabled=True, rebalance_check_epochs=2,
+            rebalance_window_epochs=4, rebalance_imbalance_ratio=1.3,
+            rebalance_min_walks=8, rebalance_cooldown_epochs=4,
+        )
+        _, out = run_cluster(graph, ccfg, reqs=reqs)
+        c = out.report["cluster"]
+        assert c["handoff"]["rebalances"] >= 1
+        auto = [r for r in c["resizes"] if r["kind"] == "rebalance"]
+        assert auto and all(r["auto"] for r in auto)
+        assert c["membership"]["placement"]["bounds"][1] < 256
+        assert c["audit"]["violations"] == 0
+
+    def test_serial_pool_identity_with_resizes_and_kill(self, graph):
+        ccfg = resize_cfg(
+            resize_schedule=((5e-5, "grow", 2), (2.5e-4, "shrink", 0)),
+            kill_schedule=((6e-5, 2),),
+        )
+        _, serial = run_cluster(graph, ccfg, reqs=requests(6))
+        _, pooled = run_cluster(graph, ccfg, reqs=requests(6), jobs=3)
+        assert canonical(serial.report, drop=("jobs",)) == canonical(
+            pooled.report, drop=("jobs",)
+        )
+
+    def test_no_resize_report_keeps_pre_elastic_schema(self, graph):
+        _, out = run_cluster(graph)
+        assert out.report["schema_version"] == 1
+        c = out.report["cluster"]
+        for key in ("membership", "resizes", "resizes_unfired", "handoff"):
+            assert key not in c
+        assert "pairs" not in c["link"]
+        assert all("handoffs_out" not in s for s in c["shards"])
+        assert set(c["health"]) == {
+            "breaker_trips", "open_epochs", "reroutes", "breaker_promotions"
+        }
+
+    def test_placement_agrees_with_auditor_ownership(self, graph):
+        svc, _ = run_cluster(graph, resize_cfg(
+            resize_schedule=((5e-5, "grow", 1),)
+        ))
+        pl = svc.placement
+        svc.auditor.check_placement(pl)
+        verts = np.arange(graph.num_vertices, dtype=np.int64)
+        assert int(pl.counts(verts).sum()) == graph.num_vertices
+        bad = VertexPlacement("range", 2, 64)
+        bad.bounds = (0, 32, 63)  # torn map: vertex 63 unowned
+        bad._cuts = np.asarray(bad.bounds, dtype=np.int64)
+        bad.n_vertices = 64
+        with pytest.raises(InvariantViolation, match="placement"):
+            svc.auditor.check_placement(bad)
