@@ -172,6 +172,40 @@ class ClusterAuditor:
                     f"router collected {cl.segments_collected[sid]}"
                 )
 
+        # Hedged leases: both copies resolve at the barrier they were
+        # issued in, so no walk may still carry a hedge shard here; the
+        # collected-segment ledger must split exactly into one commit
+        # per lease plus the discarded hedge losers (exactly-one-commit
+        # duplicate suppression); and every issued hedge produced
+        # exactly one winner.
+        if cl.ccfg.hedging_enabled:
+            for w in cl.walks.values():
+                if w.hedge_shard is not None:
+                    violations.append(
+                        f"walk {w.wid} ({w.state}) still hedged to shard "
+                        f"{w.hedge_shard} at the barrier"
+                    )
+            collected = sum(cl.segments_collected)
+            if collected != cl.segments_committed + cl.hedge_wasted_segments:
+                violations.append(
+                    f"segment ledger: collected {collected} != committed "
+                    f"{cl.segments_committed} + hedge-wasted "
+                    f"{cl.hedge_wasted_segments}"
+                )
+            wins = cl.hedge_wins_primary + cl.hedge_wins_hedge
+            if wins != cl.hedges_issued:
+                violations.append(
+                    f"hedge resolution: {cl.hedges_issued} issued but "
+                    f"{wins} resolved (primary {cl.hedge_wins_primary} + "
+                    f"hedge {cl.hedge_wins_hedge})"
+                )
+            if cl.hedge_wasted_segments != cl.hedges_issued:
+                violations.append(
+                    f"hedge waste: {cl.hedges_issued} hedges must discard "
+                    f"exactly one loser each, counted "
+                    f"{cl.hedge_wasted_segments}"
+                )
+
         # Attribution: finished walks credit exactly one query each.
         credited = sum(st.walks_done for st in cl.states.values())
         if credited != cl.walks_done:

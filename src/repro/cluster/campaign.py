@@ -15,7 +15,9 @@ so every consumer runs the same code path.
 
 from __future__ import annotations
 
-from ..common.config import DurabilityConfig, FaultConfig
+from dataclasses import replace
+
+from ..common.config import DurabilityConfig, FaultConfig, SlowFaultConfig
 from ..parallel.campaign import CampaignPoint, point_runner
 from ..service.campaign import build_requests, walk_budget
 from .cluster import ClusterService
@@ -24,6 +26,9 @@ from .config import ClusterConfig
 __all__ = [
     "DEFAULT_KILLS",
     "DEFAULT_RESIZES",
+    "DEFAULT_SLOW_FAULTS",
+    "GRAY_DEFAULTS",
+    "sustained_slow_faults",
     "cluster_config",
     "cluster_shard_config",
     "points",
@@ -40,21 +45,80 @@ DEFAULT_KILLS = ((60e-6, 1), (140e-6, 2))
 #: first seed shard once the grown cluster is serving.
 DEFAULT_RESIZES = ((50e-6, "grow", 2), (250e-6, "shrink", 0))
 
+#: Default slow-fault injection for gray scenarios: seeded random
+#: chip-read and channel-bus degradation windows on the victim shards.
+DEFAULT_SLOW_FAULTS = SlowFaultConfig(
+    enabled=True,
+    n_random=6,
+    horizon=400e-6,
+    factor_min=4.0,
+    factor_max=10.0,
+)
 
-def cluster_shard_config(ctx, dataset: str, *, chaos: bool = True):
+
+def sustained_slow_faults(
+    *,
+    factor: float = 6.0,
+    t_start: float = 0.0,
+    t_end: float = 1.0,
+    n_chips: int = 256,
+    n_channels: int = 64,
+) -> SlowFaultConfig:
+    """Whole-device sustained degradation: every chip's sense/program
+    and every channel bus stretched by ``factor`` across the window.
+
+    This is the canonical gray failure — the device still answers
+    everything correctly, no fault counter moves, it is just uniformly
+    slow — and what the straggler detector is expected to catch.
+    ``n_chips``/``n_channels`` only need to cover the target geometry
+    (windows for units the device doesn't have are never consulted).
+    """
+    windows = tuple(
+        ("chip-read", u, t_start, t_end, factor) for u in range(n_chips)
+    ) + tuple(
+        ("chip-program", u, t_start, t_end, factor) for u in range(n_chips)
+    ) + tuple(
+        ("channel-bus", c, t_start, t_end, factor) for c in range(n_channels)
+    )
+    return SlowFaultConfig(enabled=True, windows=windows)
+
+#: Gray-resilience knobs the ``--hedging`` paths switch on together:
+#: straggler detection tuned for short scenarios, hedged leases,
+#: deadline propagation, and per-query retry budgets.
+GRAY_DEFAULTS = dict(
+    straggler_detection=True,
+    straggler_window_epochs=4,
+    straggler_min_epochs=1,
+    straggler_median_multiple=2.0,
+    hedging_enabled=True,
+    hedge_delay=10e-6,
+    deadline_propagation=True,
+    # Generous by default: the budget's job is to stop retransmit
+    # storms and past-deadline retries, not to starve hedging (every
+    # hedged walk-segment charges one unit, and a query can fan out
+    # hundreds of walks).  Tests pin small budgets explicitly.
+    query_retry_budget=4096,
+)
+
+
+def cluster_shard_config(ctx, dataset: str, *, chaos: bool = True,
+                         slow: SlowFaultConfig | None = None):
     """Per-shard engine config for cluster serving.
 
     Durability is mandatory (failover replays checkpoint + journal);
     periodic checkpoints stay off because the cluster checkpoints at
     every epoch boundary itself.  ``chaos`` adds background NAND read
     faults and CRC noise — the degraded-mode signals the per-shard
-    circuit breakers watch.
+    circuit breakers watch.  ``slow`` attaches a gray-failure slow-
+    fault model (latent chip/bus degradation no breaker can see).
     """
     faults = FaultConfig(
         enabled=chaos,
         page_error_rate=0.05 if chaos else 0.0,
         crc_error_rate=0.02 if chaos else 0.0,
     )
+    if slow is not None:
+        faults = replace(faults, slow=slow)
     return ctx.flashwalker_config(
         dataset,
         durability=DurabilityConfig(enabled=True, journal_interval=25e-6),
@@ -76,8 +140,14 @@ def cluster_config(
     placement: str = "hash",
     resizes=(),
     rebalance: bool = False,
+    gray: dict | None = None,
 ) -> ClusterConfig:
-    """Deployment config for one chaos scenario."""
+    """Deployment config for one chaos scenario.
+
+    ``gray`` is a dict of extra :class:`ClusterConfig` field overrides
+    (straggler/hedging/deadline/brownout/ramp knobs); None leaves every
+    gray layer off and the config byte-identical to pre-gray builds.
+    """
     resizes = tuple((float(t), str(k), int(a)) for t, k, a in resizes)
     # Grows mint physical ids above n_shards, so kill targets wrap at
     # the largest id the schedule can ever create.
@@ -99,6 +169,7 @@ def cluster_config(
         telemetry_enabled=telemetry,
         resize_schedule=resizes,
         rebalance_enabled=rebalance,
+        **(gray or {}),
     ).validate()
 
 
@@ -120,10 +191,18 @@ def run_scenario(
     placement: str = "hash",
     resizes=(),
     rebalance: bool = False,
+    slow_shards=(),
+    slow: SlowFaultConfig | None = None,
+    gray: dict | None = None,
 ):
-    """Run one kill-a-shard scenario; returns a ClusterOutcome."""
+    """Run one kill-a-shard scenario; returns a ClusterOutcome.
+
+    ``slow_shards`` names the shard ids whose engines carry a slow-
+    fault model (``slow`` or :data:`DEFAULT_SLOW_FAULTS`) — gray-
+    degraded hardware the breakers cannot see; ``gray`` passes
+    resilience overrides through to :func:`cluster_config`.
+    """
     graph = ctx.graph(dataset)
-    shard_cfg = cluster_shard_config(ctx, dataset, chaos=chaos)
     walks_per_query, _ = walk_budget(ctx, dataset)
     requests = build_requests(
         ctx, dataset, n_requests=n_requests, rate_qps=rate_qps,
@@ -134,7 +213,18 @@ def run_scenario(
         policy=policy, walks_per_query=walks_per_query,
         length=requests[0].length, telemetry=telemetry,
         placement=placement, resizes=resizes, rebalance=rebalance,
+        gray=gray,
     )
+    if slow_shards:
+        slow_cfg = slow if slow is not None else DEFAULT_SLOW_FAULTS
+        base = cluster_shard_config(ctx, dataset, chaos=chaos)
+        degraded = cluster_shard_config(ctx, dataset, chaos=chaos, slow=slow_cfg)
+        slow_set = {int(s) for s in slow_shards}
+        shard_cfg = [
+            degraded if i in slow_set else base for i in range(n_shards)
+        ]
+    else:
+        shard_cfg = cluster_shard_config(ctx, dataset, chaos=chaos)
     svc = ClusterService(
         graph, shard_cfg, ccfg, seed=ctx.seed + 20 + seed_offset, jobs=jobs
     )

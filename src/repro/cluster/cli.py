@@ -7,6 +7,7 @@
         --verify-identity --verify-baseline --out cluster_report.json
     python -m repro.cluster --quick --shards 2 --placement range \\
         --grow 50e-6:2 --shrink 250e-6:0 --kill 60e-6:2 --verify-identity
+    python -m repro.cluster --quick --no-kills --slow-faults --hedging
 
 Runs an open-loop query stream against an N-shard cluster while the
 kill schedule power-fails shards mid-epoch (each recovers by replica
@@ -24,6 +25,13 @@ Elastic membership: ``--grow TIME:N`` adds N shards live at TIME,
 off first), ``--rebalance`` enables the load-driven range recut
 trigger.  Resizes run the prepare → transfer → commit protocol with
 walk conservation audited at every barrier.
+
+Gray failures: ``--slow-faults`` degrades shard 1 (override with
+``--slow-shard``) with a sustained seeded slow-fault model — correct
+answers, stretched latencies, no breaker signal; ``--hedging``
+switches on the resilience layer (straggler detection, hedged walk
+leases with first-completion-wins, deadline propagation, per-query
+retry budgets) that is expected to recover most of the p99 damage.
 """
 
 from __future__ import annotations
@@ -108,6 +116,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rebalance", action="store_true",
                         help="enable the load-driven range rebalance "
                              "trigger (requires --placement range)")
+    parser.add_argument("--slow-faults", action="store_true",
+                        help="degrade shard 1's engine with a sustained "
+                             "slow-fault model (gray failure: correct but "
+                             "slow, no fault counter moves)")
+    parser.add_argument("--slow-shard", type=int, action="append",
+                        default=None, metavar="SHARD",
+                        help="shard(s) to degrade with --slow-faults "
+                             "(repeatable; default: 1)")
+    parser.add_argument("--slow-factor", type=float, default=6.0,
+                        help="slow-fault latency multiplier (default: 6.0)")
+    parser.add_argument("--hedging", action="store_true",
+                        help="enable the gray-resilience layer: straggler "
+                             "detection, hedged walk leases, deadline "
+                             "propagation, per-query retry budgets")
     parser.add_argument("--loss", type=float, default=0.05,
                         help="migration-link loss probability (default: 0.05)")
     parser.add_argument("--corrupt", type=float, default=0.02,
@@ -130,7 +152,12 @@ def main(argv: list[str] | None = None) -> int:
     # Imports deferred so --help works in stripped environments.
     from ..common.errors import InvariantViolation
     from ..experiments.harness import ExperimentContext
-    from .campaign import DEFAULT_KILLS, run_scenario
+    from .campaign import (
+        DEFAULT_KILLS,
+        GRAY_DEFAULTS,
+        run_scenario,
+        sustained_slow_faults,
+    )
 
     ctx = (
         ExperimentContext.quick(seed=args.seed)
@@ -141,6 +168,15 @@ def main(argv: list[str] | None = None) -> int:
     resizes = tuple(sorted(
         (args.grow or []) + (args.shrink or []), key=lambda r: r[0]
     ))
+    slow_shards = (
+        tuple(args.slow_shard or (1,)) if args.slow_faults else ()
+    )
+    slow = (
+        sustained_slow_faults(factor=args.slow_factor)
+        if args.slow_faults
+        else None
+    )
+    gray = dict(GRAY_DEFAULTS) if args.hedging else None
 
     def scenario(*, jobs: int, kills=kills):
         return run_scenario(
@@ -158,6 +194,9 @@ def main(argv: list[str] | None = None) -> int:
             placement=args.placement,
             resizes=resizes,
             rebalance=args.rebalance,
+            slow_shards=slow_shards,
+            slow=slow,
+            gray=gray,
         )
 
     try:
@@ -196,6 +235,19 @@ def main(argv: list[str] | None = None) -> int:
         f"p99={lat['p99'] * 1e3:.3f}ms  audits={cluster['audit']['audits']} "
         f"violations={cluster['audit']['violations']}"
     )
+    if "gray" in cluster:
+        gray_s = cluster["gray"]
+        hedge = gray_s.get("hedging", {})
+        straggle = gray_s.get("stragglers", {})
+        print(
+            f"gray: suspect_epochs={straggle.get('suspect_epochs')} "
+            f"hedges={hedge.get('issued', 0)} "
+            f"(wins primary={hedge.get('wins_primary', 0)} "
+            f"hedge={hedge.get('wins_hedge', 0)}, "
+            f"wasted_work_rate={hedge.get('wasted_work_rate', 0.0):.3f}) "
+            f"sacrificed={gray_s['walks_sacrificed']} "
+            f"budget_exhausted={gray_s['retry_budget_exhausted']}"
+        )
     if "handoff" in cluster:
         ho, mem = cluster["handoff"], cluster["membership"]
         committed = sum(1 for r in cluster["resizes"] if r.get("committed"))

@@ -66,6 +66,7 @@ class _Walk:
     __slots__ = (
         "wid", "query_id", "vertex", "remaining", "state", "shard",
         "eligible_at", "leased_hops", "migrations", "handoffs",
+        "hedge_shard",
     )
 
     def __init__(self, wid, query_id, vertex, remaining, shard, eligible_at):
@@ -79,6 +80,10 @@ class _Walk:
         self.leased_hops = 0
         self.migrations = 0
         self.handoffs = 0
+        #: Second executing shard while a hedged lease is in flight
+        #: (None outside the lease — the duplicate-suppression audit
+        #: checks exactly that at every barrier).
+        self.hedge_shard = None
 
 
 @dataclass
@@ -90,6 +95,10 @@ class _QueryState:
     admitted: bool = False
     injected: bool = False
     responded: bool = False
+    #: Remaining per-query retry budget (link retransmits + hedges
+    #: charged against it); None = unlimited (budget knob off).
+    retry_budget: int | None = None
+    budget_exhausted: bool = False
 
 
 @dataclass
@@ -136,6 +145,12 @@ class ClusterService:
         self.health = HealthBoard(
             self.svc_cfg, n,
             load_window_epochs=self.ccfg.rebalance_window_epochs,
+            straggler_window_epochs=(
+                self.ccfg.straggler_window_epochs
+                if self.ccfg.straggler_detection else 0
+            ),
+            straggler_min_epochs=self.ccfg.straggler_min_epochs,
+            straggler_median_multiple=self.ccfg.straggler_median_multiple,
         )
         self.auditor = ClusterAuditor(self, self.ccfg.audit_interval_epochs)
         self.resizer = ResizeController(self, self.ccfg)
@@ -169,6 +184,26 @@ class ClusterService:
         self.prev_duration = [0.0] * n
         self.failovers: list[dict] = []
         self.kills_unfired: list = []
+        # -- gray-failure run state ---------------------------------------
+        self.hedges_issued = 0
+        self.hedge_wins_primary = 0
+        self.hedge_wins_hedge = 0
+        self.hedge_wasted_segments = 0
+        self.hedges_deferred = 0
+        self.segments_committed = 0
+        self.retry_budget_exhausted = 0
+        self.ramp_epochs = 0
+        if self.ccfg.brownout_enabled:
+            from ..service.brownout import BrownoutController
+
+            self.brownout = BrownoutController(
+                enter_pressure=self.ccfg.brownout_enter_pressure,
+                exit_pressure=self.ccfg.brownout_exit_pressure,
+                capacity_factor=self.ccfg.brownout_capacity_factor,
+                rate_factor=self.ccfg.brownout_rate_factor,
+            )
+        else:
+            self.brownout = None
         self._retired_reports: dict[int, dict] = {}
         self._expected_walks = 0
         self._shard_mcfg = None
@@ -369,8 +404,39 @@ class ClusterService:
             for sid in sorted(results):
                 r = results[sid]
                 self.prev_duration[sid] = r.t_end - r.t_start
-                t_next = max(t_next, r.t_end)
+                if not ccfg.hedging_enabled:
+                    # Hedged mode barriers on the winning commit times
+                    # instead (below): a hedge loser still draining on
+                    # a straggler must not hold the cluster clock back.
+                    t_next = max(t_next, r.t_end)
                 self.epochs_stepped[sid] += 1
+                if ccfg.straggler_detection:
+                    # Busy time between completions, not wall span or
+                    # per-walk sojourn: requeues spread injections
+                    # across the epoch (so t_end - t_start measures
+                    # the injection schedule), and sojourn times grow
+                    # with batch size (so a fast shard handed a big
+                    # batch would look slow).  Summing completion gaps
+                    # while work was boarded isolates the shard's
+                    # drain rate.  Boarding is exactly max(t_start,
+                    # batch t_min) -- batches are scheduled while the
+                    # engine clock reads t_start.
+                    board = {}
+                    for t_min, ids, _, _ in cmds[sid].batches:
+                        t_b = max(r.t_start, float(t_min))
+                        for wid in ids:
+                            board[int(wid)] = t_b
+                    busy, n_done, prev = 0.0, 0, r.t_start
+                    for t_done, ids, _ in r.completions:
+                        start = max(
+                            prev,
+                            min(board[int(wid)] for wid in ids),
+                        )
+                        if t_done > start:
+                            busy += t_done - start
+                        prev = max(prev, float(t_done))
+                        n_done += len(ids)
+                    self.health.note_epoch_latency(sid, busy, n_done)
                 self.engine_totals[sid] = r.engine_total
                 self.engine_completed[sid] = r.engine_completed
                 self.health.update(sid, r.health)
@@ -389,7 +455,28 @@ class ClusterService:
                                 shard=str(sid),
                             ).observe(float(rto), T)
             # 9. Barrier: collect completions, migrate, credit, sweep.
-            self._collect(results, t_next)
+            if ccfg.hedging_enabled:
+                t_next = self._collect_hedged(results, t_next)
+            else:
+                self._collect(results, t_next)
+            if ccfg.straggler_detection:
+                suspects = self.health.refresh_suspects(
+                    epoch=self.epoch, now=t_next
+                )
+                if mx is not None:
+                    mx.gauge("cluster_suspect_shards").set(
+                        float(sum(suspects)), t_next
+                    )
+                if self.brownout is not None:
+                    was = self.brownout.active
+                    self.brownout.observe(
+                        self.health.straggler_pressure(),
+                        epoch=self.epoch, now=t_next,
+                    )
+                    if mx is not None and self.brownout.active != was:
+                        mx.gauge("cluster_brownout_active").set(
+                            1.0 if self.brownout.active else 0.0, t_next
+                        )
             self.now = t_next
             self._sweep_deadlines(t_next)
             self.epoch += 1
@@ -403,6 +490,8 @@ class ClusterService:
         if mx is not None:
             mx.counter("cluster_arrivals").inc(1.0, t)
         st = _QueryState(req=req, t_arrival=t, deadline_abs=t + req.deadline)
+        if self.ccfg.query_retry_budget > 0:
+            st.retry_budget = self.ccfg.query_retry_budget
         self.states[req.query_id] = st
         admitted, evicted, refusal = self.queue.offer(req, t)
         if evicted is not None:
@@ -425,6 +514,29 @@ class ClusterService:
         live = self.resizer.routing_placement().shard_ids
         healthy = sum(1 for sid in live if not open_now[sid])
         capacity = healthy * self.ccfg.max_inflight_walks_per_shard
+        rate_factor = 1.0
+        if self.ccfg.resize_admission_ramp:
+            # Mid-transfer, interpolate between the committed and target
+            # placements' healthy capacity by handoff progress, instead
+            # of stepping to the target's full budget at prepare.
+            progress = self.resizer.transfer_progress()
+            if progress < 1.0:
+                old_ids = self.resizer.old.shard_ids
+                old_healthy = sum(
+                    1 for sid in old_ids
+                    if sid < len(open_now) and not open_now[sid]
+                )
+                old_cap = old_healthy * self.ccfg.max_inflight_walks_per_shard
+                ramped = old_cap + (capacity - old_cap) * progress
+                if capacity > 0:
+                    rate_factor *= ramped / capacity
+                capacity = ramped
+                self.ramp_epochs += 1
+        if self.brownout is not None and self.brownout.active:
+            capacity *= self.brownout.capacity_factor
+            rate_factor *= self.brownout.rate_factor
+        if self.ccfg.resize_admission_ramp or self.brownout is not None:
+            self.queue.rate_factor = rate_factor
         inflight = self.walks_created - self.walks_done
         while len(self.queue):
             head = self.queue.peek()
@@ -487,11 +599,40 @@ class ClusterService:
                 return candidate
         return None
 
+    def _hedge_target(self, w: _Walk, host: int, open_now: list[bool],
+                      suspects: list[bool]) -> int | None:
+        """Ring successor to issue a hedge on.
+
+        Eligible successors are the shards after ``host`` in ring
+        order that are neither breaker-open nor themselves suspect;
+        the walk id rotates deterministically through them so a
+        suspect shard's duplicated load spreads across the healthy
+        ring instead of turning its immediate successor into the next
+        straggler."""
+        placement = self.resizer.routing_placement()
+        if host not in placement.shard_ids:
+            placement = self.placement
+        if host not in placement.shard_ids:
+            return None
+        eligible = [
+            candidate
+            for candidate in placement.ring_successors(host)
+            if candidate != host
+            and not (candidate < len(open_now) and open_now[candidate])
+            and not (candidate < len(suspects) and suspects[candidate])
+        ]
+        if not eligible:
+            return None
+        return eligible[w.wid % len(eligible)]
+
     def _lease(self, T: float, open_now: list[bool]) -> dict[int, ShardStepCommand]:
         ccfg = self.ccfg
         budget = [ccfg.max_inflight_walks_per_shard] * self.n_phys
         # (host, t_min) -> [walk ...]; filled in deterministic wid order.
         groups: dict[tuple[int, float], list[_Walk]] = {}
+        dead_prop = ccfg.deadline_propagation
+        hedge_on = ccfg.hedging_enabled
+        suspects = self.health.suspect if hedge_on else None
         eligible = sorted(
             (
                 w for w in self.walks.values()
@@ -500,16 +641,37 @@ class ClusterService:
             key=lambda w: (w.eligible_at, w.wid),
         )
         for w in eligible:
+            if dead_prop and self.states[w.query_id].responded:
+                # The deadline already passed (or the query was shed):
+                # stepping this walk can no longer change any answer, so
+                # sacrifice it instead of burning shard time on it.
+                w.state = "done"
+                self.walks_done += 1
+                self.walks_sacrificed += 1
+                self._credit(w, T, sacrificed=True)
+                continue
             host = self._route(w.shard, open_now)
             if host is None or budget[host] <= 0:
                 if host is None:
                     self.deferrals += 1
                 continue
+            hedge = None
+            if hedge_on and host < len(suspects) and suspects[host]:
+                plan, hedge = self._plan_hedge(w, host, open_now,
+                                               suspects, budget)
+                if plan == "defer":
+                    # The successor's lease budget is full this epoch;
+                    # an unhedged lease would let the straggler drag
+                    # the commit barrier, so wait one epoch instead.
+                    self.hedges_deferred += 1
+                    continue
             budget[host] -= 1
             w.state = "leased"
             w.leased_hops = min(ccfg.segment_hops, w.remaining)
             w.shard = host
             groups.setdefault((host, w.eligible_at), []).append(w)
+            if hedge is not None:
+                self._issue_hedge(w, hedge, groups, budget)
         cmds: dict[int, ShardStepCommand] = {}
         for (host, t_min) in sorted(groups):
             batch = groups[(host, t_min)]
@@ -521,6 +683,69 @@ class ClusterService:
             self.segments_injected[host] += len(batch)
         return cmds
 
+    def _plan_hedge(
+        self, w: _Walk, host: int, open_now: list[bool],
+        suspects: list[bool], budget: list[int],
+    ) -> tuple[str, int | None]:
+        """Decide how to lease to a suspect shard.
+
+        Returns ``("hedge", successor)`` when a duplicate can be
+        issued, ``("defer", None)`` when the successor's lease budget
+        is exhausted for this epoch (transient — retry next barrier),
+        and ``("bare", None)`` when hedging is permanently pointless
+        for this walk (no viable successor, the hedge cannot beat the
+        query deadline, or the query's retry budget ran out) — then
+        the lease proceeds unhedged so the walk still makes progress.
+        """
+        ccfg = self.ccfg
+        st = self.states[w.query_id]
+        if ccfg.deadline_propagation and (
+            w.eligible_at + ccfg.hedge_delay > st.deadline_abs
+        ):
+            # The hedge could not finish in time anyway; don't pay for it.
+            self.hedges_deferred += 1
+            return "bare", None
+        if st.retry_budget is not None and st.retry_budget <= 0:
+            self._note_budget_exhausted(st)
+            self.hedges_deferred += 1
+            return "bare", None
+        hedge = self._hedge_target(w, host, open_now, suspects)
+        if hedge is None:
+            self.hedges_deferred += 1
+            return "bare", None
+        if budget[hedge] <= 0:
+            return "defer", None
+        return "hedge", hedge
+
+    def _issue_hedge(self, w: _Walk, hedge: int,
+                     groups: dict[tuple[int, float], list[_Walk]],
+                     budget: list[int]) -> None:
+        """Speculatively re-issue a suspect shard's lease to its ring
+        successor.  The duplicate boards ``hedge_delay`` after the
+        primary; the barrier commits whichever completion lands first
+        and discards the other (exactly-one-commit, audited)."""
+        st = self.states[w.query_id]
+        budget[hedge] -= 1
+        if st.retry_budget is not None:
+            st.retry_budget -= 1
+            if st.retry_budget <= 0:
+                self._note_budget_exhausted(st)
+        w.hedge_shard = hedge
+        self.hedges_issued += 1
+        groups.setdefault((hedge, w.eligible_at + self.ccfg.hedge_delay),
+                          []).append(w)
+        mx = self.telemetry
+        if mx is not None:
+            mx.counter("cluster_hedges_issued").inc(1.0, w.eligible_at)
+
+    def _note_budget_exhausted(self, st: _QueryState) -> None:
+        if not st.budget_exhausted:
+            st.budget_exhausted = True
+            self.retry_budget_exhausted += 1
+            mx = self.telemetry
+            if mx is not None:
+                mx.counter("cluster_retry_budget_exhausted").inc(1.0, self.now)
+
     # -------------------------------------------------------------- barrier
 
     def _collect(self, results: dict, t_next: float) -> None:
@@ -531,6 +756,7 @@ class ClusterService:
         # destinations, so collected walks flow to their future owners
         # instead of bouncing through the outgoing map.
         placement = self.resizer.routing_placement()
+        dead_prop = self.ccfg.deadline_propagation
         for sid in sorted(results):
             for t_done, ids, verts in results[sid].completions:
                 owners = placement.shard_of(verts)
@@ -547,10 +773,19 @@ class ClusterService:
                     w.remaining -= w.leased_hops
                     w.leased_hops = 0
                     w.vertex = int(v)
+                    self.segments_committed += 1
                     if w.remaining <= 0:
                         w.state = "done"
                         self.walks_done += 1
                         self._credit(w, t_next)
+                    elif dead_prop and self.states[w.query_id].responded:
+                        # Deadline propagation: the query is already
+                        # answered, so don't requeue (or worse, migrate)
+                        # a walk whose result nobody will read.
+                        w.state = "done"
+                        self.walks_done += 1
+                        self.walks_sacrificed += 1
+                        self._credit(w, t_next, sacrificed=True)
                     elif int(owner) == sid:
                         w.state = "queued"
                         w.eligible_at = t_next
@@ -558,10 +793,126 @@ class ClusterService:
                         w.state = "migrating"
                         w.migrations += 1
                         migrating.setdefault((sid, int(owner)), []).append(w)
+        self._transmit_migrations(migrating, t_next)
+        self._note_barrier_telemetry(t_next)
+
+    def _collect_hedged(self, results: dict, t_next: float) -> float:
+        """Hedging-mode barrier: gather every lease's completions,
+        commit exactly one per walk (earliest ``(t_done, shard)``),
+        discard the loser as hedge-wasted work, and answer queries at
+        the winning completion's time instead of the barrier's.
+
+        Both copies of a hedged lease always land in the same barrier —
+        engines drain fully each epoch (audited) — so first-completion-
+        wins is a deterministic min over fully-known candidates, not a
+        race.  Returns the barrier time the cluster clock advances to:
+        the latest *winning* commit, not the latest engine drain, so a
+        hedge loser still grinding on a straggler never stalls the
+        admission/lease cadence (its discarded work keeps accruing in
+        that shard's local timeline and is billed as hedge waste).
+        """
+        placement = self.resizer.routing_placement()
+        dead_prop = self.ccfg.deadline_propagation
+        # Pass 1: candidates per walk, in deterministic (shard, event)
+        # order.  Each entry is (t_done, executing shard, end vertex).
+        pending: dict[int, list[tuple[float, int, int]]] = {}
+        for sid in sorted(results):
+            for t_done, ids, verts in results[sid].completions:
+                self.segments_collected[sid] += len(ids)
+                for wid, v in zip(ids.tolist(), verts.tolist()):
+                    w = self.walks[wid]
+                    if w.state != "leased" or (
+                        sid != w.shard and sid != w.hedge_shard
+                    ):
+                        raise SimulationError(
+                            f"walk {wid} completed on shard {sid} but is "
+                            f"{w.state} on shard {w.shard} "
+                            f"(hedge {w.hedge_shard})"
+                        )
+                    pending.setdefault(wid, []).append(
+                        (float(t_done), sid, int(v))
+                    )
+        # Winner per walk, and the commit barrier they imply.
+        winners: dict[int, tuple[float, int, int]] = {}
+        for wid, cands in pending.items():
+            w = self.walks[wid]
+            expected = 2 if w.hedge_shard is not None else 1
+            if len(cands) != expected:
+                raise SimulationError(
+                    f"walk {wid}: {len(cands)} completions for "
+                    f"{expected} outstanding leases"
+                )
+            winners[wid] = min(cands)
+            t_next = max(t_next, winners[wid][0])
+        # Pass 2: state transitions in wid order.
+        migrating: dict[tuple[int, int], list[_Walk]] = {}
+        for wid in sorted(pending):
+            w = self.walks[wid]
+            cands = pending[wid]
+            t_win, sid_win, v_win = winners[wid]
+            if w.hedge_shard is not None:
+                self.hedge_wasted_segments += len(cands) - 1
+                if sid_win == w.shard:
+                    self.hedge_wins_primary += 1
+                else:
+                    self.hedge_wins_hedge += 1
+                w.hedge_shard = None
+            w.remaining -= w.leased_hops
+            w.leased_hops = 0
+            w.vertex = v_win
+            w.shard = sid_win
+            self.segments_committed += 1
+            owner = int(placement.shard_of(np.int64(v_win)))
+            if w.remaining <= 0:
+                w.state = "done"
+                self.walks_done += 1
+                self._credit(w, t_win)
+            elif dead_prop and self.states[w.query_id].responded:
+                w.state = "done"
+                self.walks_done += 1
+                self.walks_sacrificed += 1
+                self._credit(w, t_win, sacrificed=True)
+            elif owner == sid_win:
+                w.state = "queued"
+                w.eligible_at = t_win
+            else:
+                w.state = "migrating"
+                w.migrations += 1
+                migrating.setdefault((sid_win, owner), []).append(w)
+        self._transmit_migrations(migrating, t_next)
+        self._note_barrier_telemetry(t_next)
+        return t_next
+
+    def _transmit_migrations(
+        self, migrating: dict[tuple[int, int], list[_Walk]], t_next: float
+    ) -> None:
         mx = self.telemetry
+        budgeted = (
+            self.ccfg.deadline_propagation and self.ccfg.query_retry_budget > 0
+        )
         for (src, dst) in sorted(migrating):
             batch = migrating[(src, dst)]
-            delivery = self.link.transmit(t_next, len(batch))
+            cap = None
+            if budgeted:
+                # The batch retries as one message, so its retransmit
+                # allowance is the tightest member query's remainder.
+                rems = [
+                    self.states[w.query_id].retry_budget
+                    for w in batch
+                    if self.states[w.query_id].retry_budget is not None
+                ]
+                if rems:
+                    cap = max(0, min(rems))
+            delivery = self.link.transmit(t_next, len(batch), max_retries=cap)
+            if budgeted and self.link.last_retransmits:
+                used = self.link.last_retransmits
+                for w in batch:
+                    st = self.states[w.query_id]
+                    if st.retry_budget is None:
+                        continue
+                    st.retry_budget = max(0, st.retry_budget - used)
+                    if st.retry_budget <= 0:
+                        self._note_budget_exhausted(st)
             self.migrations_out[src] += len(batch)
             self.migrations_in[dst] += len(batch)
             if mx is not None:
@@ -571,6 +922,9 @@ class ClusterService:
             for w in batch:
                 w.shard = dst
                 w.eligible_at = delivery
+
+    def _note_barrier_telemetry(self, t_next: float) -> None:
+        mx = self.telemetry
         if mx is not None:
             # Link counters are cumulative on the link; credit the
             # barrier's delta so the series shows retransmit storms.
@@ -586,11 +940,12 @@ class ClusterService:
                 float(self.walks_created - self.walks_done), t_next
             )
 
-    def _credit(self, w: _Walk, t: float) -> None:
+    def _credit(self, w: _Walk, t: float, *, sacrificed: bool = False) -> None:
         st = self.states[w.query_id]
         st.walks_done += 1
         if st.responded:
-            self.zombie_walks += 1
+            if not sacrificed:
+                self.zombie_walks += 1
         elif st.walks_done >= st.req.num_walks and t <= st.deadline_abs:
             self._respond(st, "ok", t)
 
@@ -779,6 +1134,35 @@ class ClusterService:
             cluster["resizes"] = rz["resizes"]
             cluster["resizes_unfired"] = rz["unfired"]
             cluster["handoff"] = rz["handoff"]
+        gray = self.ccfg.gray_enabled()
+        if gray:
+            section = {
+                "walks_sacrificed": self.walks_sacrificed,
+                "retry_budget_exhausted": self.retry_budget_exhausted,
+            }
+            if self.ccfg.straggler_detection:
+                section["stragglers"] = {
+                    "suspect_epochs": list(self.health.suspect_epochs),
+                    "transitions": self.health.suspect_transitions,
+                }
+            if self.ccfg.hedging_enabled:
+                section["hedging"] = {
+                    "issued": self.hedges_issued,
+                    "wins_primary": self.hedge_wins_primary,
+                    "wins_hedge": self.hedge_wins_hedge,
+                    "wasted_segments": self.hedge_wasted_segments,
+                    "deferred": self.hedges_deferred,
+                    "segments_committed": self.segments_committed,
+                    "wasted_work_rate": (
+                        self.hedge_wasted_segments / self.segments_committed
+                        if self.segments_committed else 0.0
+                    ),
+                }
+            if self.brownout is not None:
+                section["brownout"] = self.brownout.stats()
+            if self.ccfg.resize_admission_ramp:
+                section["admission_ramp"] = {"epochs": self.ramp_epochs}
+            cluster["gray"] = section
         if self.telemetry is not None:
             # Inside the "cluster" section on purpose: the baseline gate
             # compares killed vs uninterrupted runs with this section
@@ -786,7 +1170,9 @@ class ClusterService:
             cluster["telemetry"] = self.telemetry.section(self.now)
         return {
             "schema": CLUSTER_SCHEMA,
-            "schema_version": 2 if elastic else CLUSTER_SCHEMA_VERSION,
+            "schema_version": (
+                3 if gray else 2 if elastic else CLUSTER_SCHEMA_VERSION
+            ),
             "seed": self.seed,
             "n_shards": self.ccfg.n_shards,
             "jobs": jobs,

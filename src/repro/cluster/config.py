@@ -116,6 +116,58 @@ class ClusterConfig:
     telemetry_enabled: bool = False
     telemetry_sample_interval: float = 20e-6
     telemetry_max_samples: int = 2048
+    # -- gray-failure resilience --------------------------------------------
+    #: Per-link delay-inflation windows ``(t_start, t_end, factor)`` in
+    #: cluster time: every migration/handoff attempt sent inside an
+    #: active window pays ``factor``x the nominal link span.  The link
+    #: stays lossless-looking — no fault counter moves, no breaker sees
+    #: it — which is exactly the gray-failure pathology.
+    link_slow_windows: tuple[tuple[float, float, float], ...] = ()
+    #: Straggler detection: keep a trailing window of each shard's
+    #: per-epoch normalized step latency and mark a shard *suspect* when
+    #: its window median exceeds ``straggler_median_multiple`` times the
+    #: median of the other live shards' medians.  Suspect is a state
+    #: between healthy and breaker-open: the shard keeps serving, but
+    #: hedging (below) stops trusting it to be fast.
+    straggler_detection: bool = False
+    straggler_window_epochs: int = 8
+    straggler_min_epochs: int = 3
+    straggler_median_multiple: float = 3.0
+    #: Hedged walk leases: a lease executing on a *suspect* shard is
+    #: speculatively re-issued to its ring successor, injected
+    #: ``hedge_delay`` after the primary copy; the first completion wins
+    #: (deterministic ``(t_done, shard)`` tie-break) and the loser is
+    #: counted as hedge-wasted work.  Requires ``straggler_detection``.
+    #: Hedged mode also answers queries at segment completion time
+    #: instead of the epoch barrier — the point of hedging is that the
+    #: fast copy's finish time is not dragged to the slow shard's.
+    hedging_enabled: bool = False
+    hedge_delay: float = 20e-6
+    #: End-to-end deadline propagation: walks of already-responded
+    #: (timed-out / shed) queries are sacrificed at the next barrier
+    #: instead of running to completion as zombies, dead queries are
+    #: never hedged, and migrations of dead walks skip the link.
+    deadline_propagation: bool = False
+    #: Per-query retry budget: link retransmits on a query's migrations
+    #: and hedges issued for its walks are charged against this; an
+    #: exhausted query escalates straight to the reliable fallback path
+    #: (0 = unlimited, the legacy behavior).
+    query_retry_budget: int = 0
+    # -- brownout admission --------------------------------------------------
+    #: Degraded admission driven by straggler pressure (suspect share of
+    #: live shards): while active, admission capacity and the token-
+    #: bucket refill rate are scaled down so load is shed *before*
+    #: queues blow deadlines.  Requires ``straggler_detection``.
+    brownout_enabled: bool = False
+    brownout_enter_pressure: float = 0.25
+    brownout_exit_pressure: float = 0.0
+    brownout_capacity_factor: float = 0.5
+    brownout_rate_factor: float = 0.5
+    # -- resize-aware admission ---------------------------------------------
+    #: Ramp admission capacity (and the token-bucket rate) linearly with
+    #: transfer progress during a resize window instead of stepping to
+    #: the target placement's capacity at prepare.
+    resize_admission_ramp: bool = False
 
     def validate(self) -> "ClusterConfig":
         if self.n_shards < 1:
@@ -214,9 +266,84 @@ class ClusterConfig:
             raise ConfigError(f"max_epochs must be >= 1, got {self.max_epochs}")
         if self.telemetry_enabled:
             self.metrics_cfg().validate()
+        for entry in self.link_slow_windows:
+            if len(entry) != 3:
+                raise ConfigError(
+                    "link_slow_windows entries are (t_start, t_end, factor) "
+                    f"triples, got {entry!r}"
+                )
+            t0, t1, factor = entry
+            if t0 < 0 or t1 <= t0:
+                raise ConfigError(
+                    f"link slow window must satisfy 0 <= t_start < t_end, "
+                    f"got ({t0}, {t1})"
+                )
+            if factor < 1.0:
+                raise ConfigError(
+                    f"link slow factor must be >= 1, got {factor}"
+                )
+        for name in ("straggler_window_epochs", "straggler_min_epochs"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.straggler_min_epochs > self.straggler_window_epochs:
+            raise ConfigError(
+                "straggler_min_epochs cannot exceed straggler_window_epochs"
+            )
+        if self.straggler_median_multiple < 1.0:
+            raise ConfigError(
+                "straggler_median_multiple must be >= 1, got "
+                f"{self.straggler_median_multiple}"
+            )
+        if self.hedging_enabled and not self.straggler_detection:
+            raise ConfigError(
+                "hedging_enabled requires straggler_detection (hedges are "
+                "only issued against suspect shards)"
+            )
+        if self.hedge_delay < 0:
+            raise ConfigError(f"negative hedge_delay {self.hedge_delay}")
+        if self.query_retry_budget < 0:
+            raise ConfigError(
+                f"negative query_retry_budget {self.query_retry_budget}"
+            )
+        if self.brownout_enabled and not self.straggler_detection:
+            raise ConfigError(
+                "brownout_enabled requires straggler_detection (brownout is "
+                "driven by straggler pressure)"
+            )
+        if not 0.0 < self.brownout_enter_pressure <= 1.0:
+            raise ConfigError(
+                "brownout_enter_pressure must be in (0, 1], got "
+                f"{self.brownout_enter_pressure}"
+            )
+        if not 0.0 <= self.brownout_exit_pressure < self.brownout_enter_pressure:
+            raise ConfigError(
+                "brownout_exit_pressure must be in [0, enter_pressure), got "
+                f"{self.brownout_exit_pressure}"
+            )
+        for name in ("brownout_capacity_factor", "brownout_rate_factor"):
+            f = getattr(self, name)
+            if not 0.0 < f <= 1.0:
+                raise ConfigError(f"{name} must be in (0, 1], got {f}")
         self.rpc_policy(seed=0).validate()
         self.service_cfg().validate()
         return self
+
+    def gray_enabled(self) -> bool:
+        """True when any gray-failure-resilience layer is active.
+
+        Gates the report's ``cluster["gray"]`` section and the schema
+        version bump; with everything at defaults reports stay
+        byte-identical to pre-gray runs.
+        """
+        return bool(
+            self.link_slow_windows
+            or self.straggler_detection
+            or self.hedging_enabled
+            or self.deadline_propagation
+            or self.query_retry_budget
+            or self.brownout_enabled
+            or self.resize_admission_ramp
+        )
 
     def metrics_cfg(self):
         """Telemetry knobs repackaged as a

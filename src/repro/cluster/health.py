@@ -49,7 +49,10 @@ class HealthBoard:
     audit indexing stay stable across membership changes.
     """
 
-    def __init__(self, svc_cfg, n_shards: int, *, load_window_epochs: int = 8):
+    def __init__(self, svc_cfg, n_shards: int, *, load_window_epochs: int = 8,
+                 straggler_window_epochs: int = 0,
+                 straggler_min_epochs: int = 3,
+                 straggler_median_multiple: float = 3.0):
         self._svc_cfg = svc_cfg
         self._window = max(1, int(load_window_epochs))
         self.proxies = [ShardHealthProxy() for _ in range(n_shards)]
@@ -60,6 +63,19 @@ class HealthBoard:
         self.loads = [deque(maxlen=self._window) for _ in range(n_shards)]
         self.retired: set[int] = set()
         self.promotions: list[dict] = []
+        # Straggler detection (0 window = off, zero extra state touched
+        # on the legacy path).  ``suspect`` is a third health state
+        # between closed and breaker-open: the shard still serves, but
+        # it has been slow relative to its peers for a trailing window.
+        self._straggler_window = max(0, int(straggler_window_epochs))
+        self._straggler_min = max(1, int(straggler_min_epochs))
+        self._straggler_multiple = float(straggler_median_multiple)
+        self.latencies = [
+            deque(maxlen=self._straggler_window or 1) for _ in range(n_shards)
+        ]
+        self.suspect = [False] * n_shards
+        self.suspect_epochs = [0] * n_shards
+        self.suspect_transitions: list[dict] = []
 
     @property
     def n_shards(self) -> int:
@@ -76,6 +92,9 @@ class HealthBoard:
         self.consecutive_open.append(0)
         self.reroutes.append(0)
         self.loads.append(deque(maxlen=self._window))
+        self.latencies.append(deque(maxlen=self._straggler_window or 1))
+        self.suspect.append(False)
+        self.suspect_epochs.append(0)
         return len(self.breakers) - 1
 
     def retire(self, shard_id: int) -> None:
@@ -86,6 +105,8 @@ class HealthBoard:
         self.breakers[shard_id].retire()
         self.consecutive_open[shard_id] = 0
         self.loads[shard_id].clear()
+        self.latencies[shard_id].clear()
+        self.suspect[shard_id] = False
 
     # --------------------------------------------------------------- health
 
@@ -143,15 +164,88 @@ class HealthBoard:
         (slot order when called with a placement's id table)."""
         return [self.window_load(sid) for sid in shard_ids]
 
+    # ----------------------------------------------------------- stragglers
+
+    @staticmethod
+    def _median(values: list[float]) -> float:
+        vals = sorted(values)
+        n = len(vals)
+        mid = n // 2
+        return vals[mid] if n % 2 else 0.5 * (vals[mid - 1] + vals[mid])
+
+    def note_epoch_latency(self, shard_id: int, duration: float,
+                           leased: int) -> None:
+        """Record one epoch's normalized step latency for a shard
+        (summed per-walk service time divided by the walks served, so
+        a shard that was simply handed more work is not mistaken for a
+        slow one).  Only epochs where the shard actually completed
+        work are sampled."""
+        if self._straggler_window <= 0 or shard_id in self.retired:
+            return
+        if leased <= 0:
+            return
+        self.latencies[shard_id].append(float(duration) / float(leased))
+
+    def refresh_suspects(self, *, epoch: int, now: float) -> list[bool]:
+        """Recompute the suspect flag per shard from the trailing
+        latency windows: a shard is suspect when its window median is at
+        least ``straggler_median_multiple`` times the median of the
+        *other* live shards' window medians.  Deterministic — pure
+        function of the recorded durations, no wall clock, no sampling.
+        """
+        if self._straggler_window <= 0:
+            return list(self.suspect)
+        medians: dict[int, float] = {}
+        for sid, window in enumerate(self.latencies):
+            if sid in self.retired:
+                continue
+            if len(window) >= self._straggler_min:
+                medians[sid] = self._median(list(window))
+        for sid in range(len(self.suspect)):
+            if sid in self.retired:
+                continue
+            own = medians.get(sid)
+            peers = [m for other, m in medians.items() if other != sid]
+            was = self.suspect[sid]
+            if own is None or not peers:
+                is_suspect = False
+            else:
+                is_suspect = own >= self._straggler_multiple * self._median(peers)
+            if is_suspect != was:
+                self.suspect_transitions.append({
+                    "shard": sid,
+                    "suspect": is_suspect,
+                    "epoch": int(epoch),
+                    "t": float(now),
+                })
+            self.suspect[sid] = is_suspect
+            if is_suspect:
+                self.suspect_epochs[sid] += 1
+        return list(self.suspect)
+
+    def straggler_pressure(self) -> float:
+        """Fraction of live shards currently suspect (the brownout
+        controller's input signal)."""
+        live = [sid for sid in range(len(self.suspect))
+                if sid not in self.retired]
+        if not live:
+            return 0.0
+        return sum(1 for sid in live if self.suspect[sid]) / len(live)
+
     # ---------------------------------------------------------------- report
 
     def stats(self) -> dict:
         # Keys kept identical to the pre-elastic board: retired/load
         # details live in the report's elastic-only ``membership``
-        # section so no-resize reports stay byte-identical.
-        return {
+        # section, straggler keys appear only with detection on, so
+        # legacy reports stay byte-identical.
+        out = {
             "breaker_trips": [b.trips for b in self.breakers],
             "open_epochs": list(self.open_epochs),
             "reroutes": list(self.reroutes),
             "breaker_promotions": len(self.promotions),
         }
+        if self._straggler_window > 0:
+            out["suspect_epochs"] = list(self.suspect_epochs)
+            out["suspect_transitions"] = len(self.suspect_transitions)
+        return out

@@ -40,6 +40,18 @@ class NetworkLink:
         self.retransmits = 0
         self.escalations = 0
         self.total_delay = 0.0
+        # Gray-failure layer: slow windows stretch attempt spans without
+        # tripping any fault counter; budget caps bound retransmits per
+        # call; ``last_retransmits`` lets callers charge per-query retry
+        # budgets for the batch they just sent.
+        self.slow_windows: tuple[tuple[float, float, float], ...] = tuple(
+            sorted(tuple(w) for w in getattr(cfg, "link_slow_windows", ()))
+        )
+        self.slow_transmits = 0
+        self.slow_delay_added = 0.0
+        self.budget_escalations = 0
+        self.last_retransmits = 0
+        self.last_escalated = False
         # Optional per-(src, dst) traffic accounting.  Pairs touching a
         # retired shard are folded into a single tombstone so a removed
         # shard's counters cannot linger as live reroute/report state.
@@ -69,15 +81,37 @@ class NetworkLink:
                 key = (-1, -1)
                 table[key] = table.get(key, 0) + folded
 
+    def _span_at(self, t: float, span: float) -> float:
+        """One attempt's wire time at send time ``t`` (slow windows
+        compound multiplicatively; the common no-window case costs one
+        truthiness check)."""
+        if not self.slow_windows:
+            return span
+        factor = 1.0
+        for t0, t1, f in self.slow_windows:
+            if t0 > t:
+                break
+            if t < t1:
+                factor *= f
+        if factor > 1.0:
+            self.slow_transmits += 1
+            self.slow_delay_added += span * (factor - 1.0)
+            return span * factor
+        return span
+
     def transmit(self, t_send: float, n_walks: int,
-                 *, src: int | None = None, dst: int | None = None) -> float:
+                 *, src: int | None = None, dst: int | None = None,
+                 max_retries: int | None = None) -> float:
         """Deliver one migration batch; returns the delivery time.
 
         Loss eats the message in flight; corruption is detected at the
         receiver (checksum) and rejected — both cost a full timeout +
         backoff before the retransmit.  After ``rpc_max_attempts``
         failed tries the sender escalates to the reliable fallback
-        path, which always succeeds.
+        path, which always succeeds.  ``max_retries`` (per-query retry
+        budgets) tightens that bound for one call: once the batch has
+        retransmitted that many times it escalates immediately instead
+        of burning more attempts past its queries' deadlines.
         """
         cfg = self.cfg
         nbytes = n_walks * cfg.walk_bytes
@@ -88,12 +122,15 @@ class NetworkLink:
         self._note_pair(src, dst, n_walks)
         t = t_send
         attempt = 0
+        retries = 0
+        escalated = False
         while True:
             lost = float(self._rng.random()) < cfg.link_loss_prob
             corrupt = (not lost) and float(self._rng.random()) < cfg.link_corrupt_prob
             attempt += 1
+            wire = self._span_at(t, span)
             if not lost and not corrupt:
-                delivery = t + span
+                delivery = t + wire
                 break
             if lost:
                 self.losses += 1
@@ -101,11 +138,23 @@ class NetworkLink:
                 self.corruptions += 1
             if self.policy.exhausted(attempt):
                 self.escalations += 1
-                delivery = t + span + cfg.reliable_fallback_latency
+                escalated = True
+                delivery = t + wire + cfg.reliable_fallback_latency
+                break
+            if max_retries is not None and retries >= max_retries:
+                # Budget spent: stop gambling on retransmits and take
+                # the slow-but-certain path now.
+                self.escalations += 1
+                self.budget_escalations += 1
+                escalated = True
+                delivery = t + wire + cfg.reliable_fallback_latency
                 break
             self.retransmits += 1
+            retries += 1
             # Timeout covers the failed attempt's span, then back off.
-            t += span + self.policy.delay(attempt)
+            t += wire + self.policy.delay(attempt)
+        self.last_retransmits = retries
+        self.last_escalated = escalated
         self.total_delay += delivery - t_send
         return delivery
 
@@ -122,9 +171,15 @@ class NetworkLink:
                 self.total_delay / self.messages if self.messages else 0.0
             ),
         }
-        # Pair counters exist only when callers attribute traffic
-        # (handoffs do, plain migrations do not), so no-resize reports
-        # keep the exact pre-elastic key set.
+        # Slow-window keys exist only when windows are configured, and
+        # pair counters only when callers attribute traffic (handoffs
+        # do, plain migrations do not): runs with neither keep the
+        # exact legacy key set.
+        if self.slow_windows:
+            out["slow_transmits"] = self.slow_transmits
+            out["slow_delay_added"] = self.slow_delay_added
+        if self.budget_escalations:
+            out["budget_escalations"] = self.budget_escalations
         if self.pair_walks:
             out["pairs"] = {
                 f"{s}->{d}": self.pair_walks[(s, d)]

@@ -147,6 +147,10 @@ class ResizeController:
         self.handoff_batches = 0
         self.deferred_batches = 0
         self._transfer_epochs = 0
+        # Wrong-owner walk counts backing :meth:`transfer_progress`
+        # (resize-aware admission ramp).  ``-1`` = not yet measured.
+        self._wrong_initial = -1
+        self._wrong_now = 0
         self._rollback_remove: list[int] = []
         self._cooldown_until_epoch = 0
         self._phase_recorded = 0.0
@@ -166,6 +170,16 @@ class ResizeController:
 
     def active(self) -> bool:
         return self.phase != IDLE
+
+    def transfer_progress(self) -> float:
+        """Fraction of the active transfer's initial wrong-owner walks
+        already redirected, in [0, 1].  1.0 when idle or rolling back
+        (rollback routes by the committed placement, whose capacity
+        needs no ramp).  Drives the resize-aware admission ramp."""
+        if self.phase != TRANSFER or self._wrong_initial <= 0:
+            return 1.0
+        done = 1.0 - self._wrong_now / self._wrong_initial
+        return min(1.0, max(0.0, done))
 
     def next_event_after(self, T: float) -> float | None:
         """Next scheduled prepare time beyond ``T`` (idle-clock hook)."""
@@ -293,6 +307,9 @@ class ResizeController:
         cl = self.cl
         rec = self.record
         movable, in_flight_wrong = self._handoff_candidates(T)
+        self._wrong_now = len(movable) + in_flight_wrong
+        if self._wrong_initial < 0:
+            self._wrong_initial = self._wrong_now
         batches: dict[tuple[int, int], list] = {}
         for w, dst in movable:
             batches.setdefault((w.shard, dst), []).append(w)
@@ -402,6 +419,8 @@ class ResizeController:
         self.old = None
         self.phase = IDLE
         self._transfer_epochs = 0
+        self._wrong_initial = -1
+        self._wrong_now = 0
         self._cooldown_until_epoch = (
             self.cl.epoch + self.ccfg.rebalance_cooldown_epochs
         )

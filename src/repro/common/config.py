@@ -32,6 +32,8 @@ __all__ = [
     "AcceleratorLevels",
     "FTLConfig",
     "FaultConfig",
+    "SlowFaultConfig",
+    "SLOW_FAULT_KINDS",
     "DurabilityConfig",
     "GraphWalkerConfig",
     "FlashWalkerConfig",
@@ -484,6 +486,84 @@ class GraphWalkerConfig:
 # ---------------------------------------------------------------------------
 
 
+#: Window kinds the slow-fault model understands.  ``chip-read`` and
+#: ``chip-program`` inflate NAND array-op latencies on one flat chip id;
+#: ``channel-bus`` degrades one channel's shared ONFI bus bandwidth.
+SLOW_FAULT_KINDS = ("chip-read", "chip-program", "channel-bus")
+
+
+@dataclass(frozen=True)
+class SlowFaultConfig:
+    """Gray-failure (latency-inflation) fault windows (strictly opt-in).
+
+    Unlike :class:`FaultConfig`'s fail-stop faults, slow faults never
+    error: operations inside an active window simply take ``factor``
+    times their nominal latency — a chip in a read-retry storm, a
+    GC-saturated die, a degraded bus.  Windows are fixed on the absolute
+    simulated-time grid at construction (explicitly, or generated once
+    from the seed), so no per-event RNG is drawn and same-seed runs stay
+    byte-identical.  With ``enabled=False`` (the default) the model is
+    never constructed and ``config_fingerprint`` is unchanged from a
+    build without this subsystem.
+    """
+
+    enabled: bool = False
+
+    #: Explicit windows: ``(kind, unit_id, t_start, t_end, factor)``
+    #: where ``kind`` is one of :data:`SLOW_FAULT_KINDS`, ``unit_id``
+    #: the flat chip id (chip kinds) or channel id (bus kind), and
+    #: ``factor >= 1`` the latency multiplier while active.
+    windows: tuple[tuple[str, int, float, float, float], ...] = ()
+
+    # -- seeded window generation -------------------------------------------
+    #: Number of additional windows drawn at construction from the run
+    #: seed (kind, unit, start, duration, severity all seeded).
+    n_random: int = 0
+    #: Kinds the seeded generator may draw.
+    random_kinds: tuple[str, ...] = ("chip-read", "channel-bus")
+    #: Seeded window start times are uniform in ``[0, horizon)``.
+    horizon: float = 400 * US
+    #: Seeded window durations are uniform in ``[duration_min, duration_max]``.
+    duration_min: float = 50 * US
+    duration_max: float = 150 * US
+    #: Seeded latency multipliers are uniform in ``[factor_min, factor_max]``.
+    factor_min: float = 2.0
+    factor_max: float = 8.0
+
+    def validate(self) -> "SlowFaultConfig":
+        for w in self.windows:
+            if len(w) != 5:
+                raise ConfigError(
+                    f"slow window entries are (kind, unit, t_start, t_end, factor): {w!r}"
+                )
+            kind, unit, t_start, t_end, factor = w
+            if kind not in SLOW_FAULT_KINDS:
+                raise ConfigError(f"unknown slow-fault kind {kind!r}")
+            if int(unit) != unit or unit < 0:
+                raise ConfigError(f"slow window unit must be an int >= 0: {unit!r}")
+            _non_negative("slow window t_start", t_start)
+            if t_end <= t_start:
+                raise ConfigError(f"slow window must have t_end > t_start: {w!r}")
+            if factor < 1.0:
+                raise ConfigError(f"slow window factor must be >= 1, got {factor!r}")
+        if self.n_random < 0:
+            raise ConfigError(f"n_random must be >= 0, got {self.n_random!r}")
+        for kind in self.random_kinds:
+            if kind not in SLOW_FAULT_KINDS:
+                raise ConfigError(f"unknown slow-fault kind {kind!r}")
+        if self.n_random and not self.random_kinds:
+            raise ConfigError("n_random > 0 requires at least one random kind")
+        _positive("horizon", self.horizon)
+        _positive("duration_min", self.duration_min)
+        if self.duration_max < self.duration_min:
+            raise ConfigError("duration_max must be >= duration_min")
+        if self.factor_min < 1.0:
+            raise ConfigError(f"factor_min must be >= 1, got {self.factor_min!r}")
+        if self.factor_max < self.factor_min:
+            raise ConfigError("factor_max must be >= factor_min")
+        return self
+
+
 @dataclass(frozen=True)
 class FaultConfig:
     """Deterministic fault-injection parameters (strictly opt-in).
@@ -552,7 +632,13 @@ class FaultConfig:
     #: Simulated seconds between checkpoints; 0 disables checkpointing.
     checkpoint_interval: float = 0.0
 
+    # -- gray failures -------------------------------------------------------
+    #: Latency-inflation (slow-fault) windows; independent of ``enabled``
+    #: above, so a run can be slow-but-healthy with no fail-stop faults.
+    slow: SlowFaultConfig = field(default_factory=SlowFaultConfig)
+
     def validate(self) -> "FaultConfig":
+        self.slow.validate()
         for name in ("page_error_rate", "crc_error_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:

@@ -36,6 +36,7 @@ from ..durability.integrity import RNG_STREAM, IntegrityTracker
 from ..durability.journal import WalkJournal
 from ..faults.checkpoint import CheckpointManager
 from ..faults.model import FaultModel
+from ..faults.slow import SlowFaultModel
 from ..flash.channel import ONFI_COMMAND_BYTES
 from ..flash.ssd import SSD
 from ..graph.csr import CSRGraph
@@ -304,6 +305,22 @@ class FlashWalker:
             self.fault_model.tracer = self.tracer
             self.fault_model.telemetry = self.telemetry
         self.ssd.attach_fault_model(self.fault_model)
+        # Gray-failure (slow-fault) layer, same opt-in pattern.  Windows
+        # are precomputed from the seed at construction — the model owns
+        # no registry stream, so checkpoints have only counters to carry
+        # and enabling it perturbs no other subsystem's RNG.
+        scfg = fcfg.slow
+        self.slow_model = (
+            SlowFaultModel(
+                scfg,
+                self._seed,
+                n_chips=self.cfg.ssd.total_chips,
+                n_channels=self.cfg.ssd.channels,
+            )
+            if scfg.enabled
+            else None
+        )
+        self.ssd.attach_slow_model(self.slow_model)
         self._rebuilding_blocks: set[int] = set()
         self._board_inflight = 0
         self._draining = False
@@ -535,6 +552,9 @@ class FlashWalker:
             )
         if self.fault_model is not None:
             for name, value in self.fault_model.stats().items():
+                result.counters[name] = float(value)
+        if self.slow_model is not None:
+            for name, value in self.slow_model.stats().items():
                 result.counters[name] = float(value)
         if self._finals is not None:
             finals = WalkSet.concat(self._finals)

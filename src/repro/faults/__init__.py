@@ -9,5 +9,6 @@ snapshots a running campaign so it can resume to an identical
 
 from .checkpoint import Checkpoint, CheckpointManager
 from .model import FaultModel
+from .slow import SlowFaultModel
 
-__all__ = ["Checkpoint", "CheckpointManager", "FaultModel"]
+__all__ = ["Checkpoint", "CheckpointManager", "FaultModel", "SlowFaultModel"]

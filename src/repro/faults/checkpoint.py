@@ -363,6 +363,11 @@ def capture_checkpoint(fw, t: float) -> Checkpoint:
                 "chip_failures": fm.chip_failures,
             }
         ),
+        # slow-fault model: windows are a pure function of (seed, config)
+        # so only the counters need carrying across a restore.
+        "slow_faults": (
+            None if fw.slow_model is None else fw.slow_model.snapshot()
+        ),
     }
     if fw.scheduler is not None:
         sc = fw.scheduler
@@ -442,6 +447,8 @@ def restore_checkpoint(fw, ckpt: Checkpoint) -> None:
         fm.crc_retries = fs["crc_retries"]
         fm.crc_resets = fs["crc_resets"]
         fm.chip_failures = fs["chip_failures"]
+    if fw.slow_model is not None and d.get("slow_faults") is not None:
+        fw.slow_model.restore(d["slow_faults"])
     # clock + walk accounting (quiescent: nothing in transit)
     fw.sim.now = ckpt.time
     fw.total_walks = d["total_walks"]

@@ -40,6 +40,22 @@ class FlashChannel:
         self.fault_model = None
         #: Optional :class:`~repro.obs.Tracer`; None = no recording.
         self.tracer = None
+        #: Optional :class:`~repro.faults.SlowFaultModel`; None = nominal
+        #: bus.  Inside an active ``channel-bus`` slow window every
+        #: transfer is stretched by the window's factor (a degraded link
+        #: retraining, not an error — no CRC draw, no retransmission).
+        self.slow_model = None
+
+    def _bus_xfer(self, now: float, nbytes: int | float) -> float:
+        """One raw bus transfer, stretched if a slow window is active."""
+        end = self.bus.transfer(now, nbytes)
+        sm = self.slow_model
+        if sm is not None:
+            nominal = float(nbytes) / self.bus.bytes_per_sec
+            extra = sm.bus_extra(self.channel_id, now, nominal)
+            if extra > 0.0:
+                end = self.bus.stall(end, extra)
+        return end
 
     def chip(self, index: int) -> FlashChip:
         if not 0 <= index < len(self.chips):
@@ -58,7 +74,7 @@ class FlashChannel:
         only corrupts *data* transfers; a corrupted command would be
         re-issued at negligible extra cost.
         """
-        end = self.bus.transfer(now, ONFI_COMMAND_BYTES)
+        end = self._bus_xfer(now, ONFI_COMMAND_BYTES)
         tr = self.tracer
         if tr is not None:
             self._trace_bus_busy(tr, end, ONFI_COMMAND_BYTES)
@@ -77,7 +93,7 @@ class FlashChannel:
         one final clean transfer; ``recover=False`` raises
         :class:`FaultExhaustedError`.
         """
-        end = self.bus.transfer(now, nbytes)
+        end = self._bus_xfer(now, nbytes)
         tr = self.tracer
         fm = self.fault_model
         if fm is None:
@@ -89,7 +105,7 @@ class FlashChannel:
         if attempts != 0:
             n = attempts if attempts > 0 else fm.cfg.max_crc_retries
             for k in range(1, n + 1):
-                end = self.bus.transfer(end + fm.crc_delay(k), nbytes)
+                end = self._bus_xfer(end + fm.crc_delay(k), nbytes)
                 if tr is not None:
                     self._trace_bus_busy(tr, end, nbytes)
             if tr is not None:
@@ -108,7 +124,7 @@ class FlashChannel:
                         channel=self.channel_id,
                     )
                 fm.note_crc_reset()
-                end = self.bus.transfer(end + fm.cfg.crc_reset_latency, nbytes)
+                end = self._bus_xfer(end + fm.cfg.crc_reset_latency, nbytes)
                 if tr is not None:
                     tr.instant("fault", _PID_BUS, self.channel_id, "link_reset", end)
                     self._trace_bus_busy(tr, end, nbytes)
@@ -125,7 +141,7 @@ class FlashChannel:
         every subsequent fault arrival in runs that never enable DFTL's
         counterpart knobs, breaking default-path byte-identity.
         """
-        end = self.bus.transfer(now, nbytes)
+        end = self._bus_xfer(now, nbytes)
         tr = self.tracer
         if tr is not None:
             self._trace_bus_busy(tr, end, nbytes)

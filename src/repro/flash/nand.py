@@ -107,6 +107,11 @@ class FlashChip:
         #: Optional :class:`~repro.durability.IntegrityTracker`; None =
         #: no end-to-end checksum check on reads (the default path).
         self.integrity = None
+        #: Optional :class:`~repro.faults.SlowFaultModel`; None = nominal
+        #: latencies and the exact pre-gray-failure code path.  When set,
+        #: array ops inside an active slow window are stretched by the
+        #: window's factor (no RNG draws — windows are fixed at attach).
+        self.slow_model = None
 
     # -- addressing -----------------------------------------------------------
 
@@ -167,7 +172,11 @@ class FlashChip:
         ``recover=False`` raises :class:`FaultExhaustedError` carrying
         the time the final rung failed.
         """
-        end = self._array_op(now, die, plane, self.cfg.read_latency)
+        sense = self.cfg.read_latency
+        sm = self.slow_model
+        if sm is not None:
+            sense += sm.read_extra(self.chip_id, now, sense)
+        end = self._array_op(now, die, plane, sense)
         pl = self.plane(die, plane)
         pl.reads += 1
         pl.bytes_read += self.cfg.page_bytes
@@ -179,8 +188,11 @@ class FlashChip:
             attempts = fm.draw_read()
             if attempts != 0:
                 n = attempts if attempts > 0 else fm.cfg.max_read_retries
-                # Re-senses of the same page: extra occupancy, no new data.
-                extra = fm.read_retry_latency(self.cfg.read_latency, n)
+                # Re-senses of the same page: extra occupancy, no new
+                # data.  The ladder re-senses at the (possibly slow-
+                # inflated) sense cost, so a retry storm on a gray chip
+                # compounds — exactly the pathology being modeled.
+                extra = fm.read_retry_latency(sense, n)
                 end = self._array_op(end, die, plane, extra)
                 tr = self.tracer
                 if tr is not None:
@@ -241,7 +253,14 @@ class FlashChip:
         draw from seeded RNG streams, and housekeeping reads consuming
         draws would perturb every fault arrival in default-path runs.
         """
-        end = self._array_op(now, die, plane, self.cfg.read_latency)
+        sense = self.cfg.read_latency
+        sm = self.slow_model
+        if sm is not None:
+            # Slow windows do apply: housekeeping on a gray chip is just
+            # as degraded as host reads (and draws no RNG, so the ladder
+            # caveat above does not apply).
+            sense += sm.read_extra(self.chip_id, now, sense)
+        end = self._array_op(now, die, plane, sense)
         pl = self.plane(die, plane)
         pl.reads += 1
         pl.bytes_read += self.cfg.page_bytes
@@ -263,7 +282,11 @@ class FlashChip:
         a distortion of the paper's near-zero write impact, Fig. 8.)
         """
         pl = self.plane(die, plane)
-        _, end = pl.occupy(now, self.cfg.program_latency)
+        prog = self.cfg.program_latency
+        sm = self.slow_model
+        if sm is not None:
+            prog += sm.program_extra(self.chip_id, now, prog)
+        _, end = pl.occupy(now, prog)
         pl.programs += 1
         pl.bytes_programmed += self.cfg.page_bytes
         self.programs += 1
@@ -272,7 +295,7 @@ class FlashChip:
         if tr is not None:
             tr.span("flash", _PID_FLASH, self.chip_id, "page_program", now, end,
                     args={"die": die, "plane": plane})
-            tr.busy("planes", end - self.cfg.program_latency, end)
+            tr.busy("planes", end - prog, end)
         return end
 
     def erase_block(self, now: float, die: int, plane: int) -> float:

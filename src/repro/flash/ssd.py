@@ -33,6 +33,7 @@ class SSD:
         self.dram = DRAM(dram_cfg or DRAMConfig())
         self.host = HostInterface(self.cfg)
         self.fault_model = None
+        self.slow_model = None
         self.tracer = None
         self.integrity = None
         fcfg = getattr(self.cfg, "ftl", None)
@@ -55,6 +56,19 @@ class SSD:
                 chip.on_bad_block = (
                     self._on_bad_block if fault_model is not None else None
                 )
+
+    def attach_slow_model(self, slow_model) -> None:
+        """Wire a :class:`~repro.faults.SlowFaultModel` through the device.
+
+        Chips start stretching array ops and channel buses start
+        stretching transfers inside active slow windows.  Pass ``None``
+        to detach (nominal latencies, one attribute check of overhead).
+        """
+        self.slow_model = slow_model
+        for ch in self.channels:
+            ch.slow_model = slow_model
+            for chip in ch.chips:
+                chip.slow_model = slow_model
 
     def attach_integrity(self, tracker) -> None:
         """Wire an :class:`~repro.durability.IntegrityTracker` through the

@@ -295,6 +295,25 @@ def default_service_rules(
             threshold=1.0,
             signal="level",
         ),
+        # Gray-failure resilience (metrics exist only with per-query
+        # retry budgets / brownout on; rules on absent metrics never
+        # fire, so these are safe unconditionally).
+        AlertRule(
+            name="service-retry-budget-exhausted",
+            metric="service_retry_budget_exhausted",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="service-brownout-active",
+            metric="service_brownout_active",
+            kind="threshold",
+            op=">=",
+            threshold=1.0,
+            signal="level",
+        ),
     ]
 
 
@@ -374,5 +393,32 @@ def default_cluster_rules(
             threshold=2.0,
             signal="level",
             for_samples=4,
+        ),
+        # -- gray-failure resilience --------------------------------------
+        # A suspect shard is the gray-failure tell: nothing tripped a
+        # breaker, but the straggler detector sees it lagging its peers.
+        AlertRule(
+            name="cluster-straggler-suspected",
+            metric="cluster_suspect_shards",
+            kind="threshold",
+            op=">=",
+            threshold=1.0,
+            signal="level",
+        ),
+        AlertRule(
+            name="cluster-retry-budget-exhausted",
+            metric="cluster_retry_budget_exhausted",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            signal="increase",
+        ),
+        AlertRule(
+            name="cluster-brownout-active",
+            metric="cluster_brownout_active",
+            kind="threshold",
+            op=">=",
+            threshold=1.0,
+            signal="level",
         ),
     ]

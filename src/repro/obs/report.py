@@ -86,28 +86,35 @@ def _canonical_config(obj):
     """Drop opt-in subsystems introduced after v1 when they are disabled.
 
     Opt-in config sections added to the dataclasses after fingerprints
-    were first committed (currently ``ssd.ftl``) are hashed only when
-    ``enabled`` is true, so a default config keeps the exact fingerprint
-    it had before the subsystem existed — turning the knob off must
-    reproduce the pre-subsystem run *and* its identity.
+    were first committed (currently ``ssd.ftl`` and ``faults.slow``) are
+    hashed only when ``enabled`` is true, so a default config keeps the
+    exact fingerprint it had before the subsystem existed — turning the
+    knob off must reproduce the pre-subsystem run *and* its identity.
     """
     if not isinstance(obj, dict):
         return obj
 
-    def _strip(d: dict) -> dict:
-        ftl = d.get("ftl")
-        if isinstance(ftl, dict) and not ftl.get("enabled", False):
+    def _strip_key(d: dict, key: str) -> dict:
+        sub = d.get(key)
+        if isinstance(sub, dict) and not sub.get("enabled", False):
             d = dict(d)
-            del d["ftl"]
+            del d[key]
         return d
 
-    obj = _strip(obj)  # a bare SSDConfig
+    obj = _strip_key(obj, "ftl")  # a bare SSDConfig
+    obj = _strip_key(obj, "slow")  # a bare FaultConfig
     ssd = obj.get("ssd")
     if isinstance(ssd, dict):
-        stripped = _strip(ssd)
+        stripped = _strip_key(ssd, "ftl")
         if stripped is not ssd:
             obj = dict(obj)
             obj["ssd"] = stripped
+    faults = obj.get("faults")
+    if isinstance(faults, dict):
+        stripped = _strip_key(faults, "slow")
+        if stripped is not faults:
+            obj = dict(obj)
+            obj["faults"] = stripped
     return obj
 
 

@@ -21,6 +21,7 @@ or from the shell: ``python -m repro.service --chaos``.
 
 from .audit import ServiceAuditor
 from .breaker import CircuitBreaker
+from .brownout import BrownoutController
 from .config import ServiceConfig
 from .queue import AdmissionQueue
 from .request import QueryRequest, QueryResult, open_loop_requests
@@ -28,6 +29,7 @@ from .service import ServiceOutcome, WalkQueryService
 
 __all__ = [
     "AdmissionQueue",
+    "BrownoutController",
     "CircuitBreaker",
     "QueryRequest",
     "QueryResult",

@@ -1,0 +1,93 @@
+"""Brownout admission: planned degradation under gray-failure pressure.
+
+A brownout is the middle ground between serving normally and tripping a
+breaker: when a pressure signal (straggler share of live shards at the
+cluster layer, trailing deadline-miss fraction at the single-device
+service) crosses ``enter_pressure``, the controller scales admission
+capacity and the token-bucket refill rate down by fixed factors, so
+load is shed cheaply at the front door *before* queries queue up behind
+slow hardware and blow their deadlines.  Pressure falling to
+``exit_pressure`` (hysteresis) restores full admission.
+
+The controller is deliberately tiny and deterministic — pure function
+of the observed pressure sequence, no wall clock, no randomness — so
+brownout runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BrownoutController"]
+
+
+class BrownoutController:
+    """Hysteresis switch from a pressure signal to admission factors."""
+
+    def __init__(
+        self,
+        *,
+        enter_pressure: float,
+        exit_pressure: float,
+        capacity_factor: float,
+        rate_factor: float,
+    ):
+        self.enter_pressure = float(enter_pressure)
+        self.exit_pressure = float(exit_pressure)
+        self.capacity_factor = float(capacity_factor)
+        self.rate_factor = float(rate_factor)
+        self.active = False
+        self.entries = 0
+        self.epochs_active = 0
+        self.last_pressure = 0.0
+        self.transitions: list[dict] = []
+
+    def observe(self, pressure: float, *, epoch: int, now: float) -> bool:
+        """Feed one pressure sample; returns the (possibly new) state."""
+        self.last_pressure = float(pressure)
+        if not self.active and pressure >= self.enter_pressure:
+            self.active = True
+            self.entries += 1
+            self.transitions.append(
+                {"active": True, "pressure": float(pressure),
+                 "epoch": int(epoch), "t": float(now)}
+            )
+        elif self.active and pressure <= self.exit_pressure:
+            self.active = False
+            self.transitions.append(
+                {"active": False, "pressure": float(pressure),
+                 "epoch": int(epoch), "t": float(now)}
+            )
+        if self.active:
+            self.epochs_active += 1
+        return self.active
+
+    def admit_capacity_factor(self) -> float:
+        return self.capacity_factor if self.active else 1.0
+
+    def admit_rate_factor(self) -> float:
+        return self.rate_factor if self.active else 1.0
+
+    def snapshot(self) -> dict:
+        """Checkpointable state (service crash/recovery path)."""
+        return {
+            "active": self.active,
+            "entries": self.entries,
+            "epochs_active": self.epochs_active,
+            "last_pressure": self.last_pressure,
+            "transitions": [dict(tr) for tr in self.transitions],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.active = bool(state["active"])
+        self.entries = int(state["entries"])
+        self.epochs_active = int(state["epochs_active"])
+        self.last_pressure = float(state["last_pressure"])
+        self.transitions = [dict(tr) for tr in state["transitions"]]
+
+    def stats(self) -> dict:
+        return {
+            "active": self.active,
+            "entries": self.entries,
+            "epochs_active": self.epochs_active,
+            "transitions": len(self.transitions),
+            "last_pressure": self.last_pressure,
+        }

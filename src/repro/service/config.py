@@ -58,6 +58,25 @@ class ServiceConfig:
     reopen_backoff_cap: float = 10e-3
     reopen_backoff_jitter: float = 0.0
     audit_interval_events: int = 256
+    # -- gray-failure resilience (all opt-in; the defaults leave
+    #    behavior and reports byte-identical to pre-gray builds) -------
+    #: Breaker-reopen retries a deferred query may consume before it is
+    #: shed with reason ``retry-budget-exhausted`` (0 = unlimited, the
+    #: legacy behavior).  Retries that could only land after the
+    #: query's deadline are never charged — they cannot change the
+    #: answer, so the deadline event owns them.
+    query_retry_budget: int = 0
+    #: Brownout admission: when the trailing deadline-miss fraction
+    #: over the last ``brownout_window`` responses crosses
+    #: ``brownout_enter_pressure``, scale the dispatcher's inflight
+    #: budget and the token-bucket refill rate down by the factors
+    #: until pressure falls back to ``brownout_exit_pressure``.
+    brownout_enabled: bool = False
+    brownout_enter_pressure: float = 0.25
+    brownout_exit_pressure: float = 0.0
+    brownout_capacity_factor: float = 0.5
+    brownout_rate_factor: float = 0.5
+    brownout_window: int = 16
 
     def validate(self) -> "ServiceConfig":
         if self.queue_capacity < 1:
@@ -97,6 +116,32 @@ class ServiceConfig:
             raise ConfigError(
                 f"negative audit_interval_events {self.audit_interval_events}"
             )
+        if self.query_retry_budget < 0:
+            raise ConfigError(
+                f"negative query_retry_budget {self.query_retry_budget}"
+            )
+        if self.brownout_enabled:
+            if not 0.0 < self.brownout_enter_pressure <= 1.0:
+                raise ConfigError(
+                    "brownout_enter_pressure must be in (0, 1], got "
+                    f"{self.brownout_enter_pressure}"
+                )
+            if not (
+                0.0 <= self.brownout_exit_pressure
+                < self.brownout_enter_pressure
+            ):
+                raise ConfigError(
+                    "brownout_exit_pressure must be in [0, enter), got "
+                    f"{self.brownout_exit_pressure}"
+                )
+            for name in ("brownout_capacity_factor", "brownout_rate_factor"):
+                v = getattr(self, name)
+                if not 0.0 < v <= 1.0:
+                    raise ConfigError(f"{name} must be in (0, 1], got {v}")
+            if self.brownout_window < 1:
+                raise ConfigError(
+                    f"brownout_window must be >= 1, got {self.brownout_window}"
+                )
         return self
 
     def reopen_policy(self, seed: int) -> RetryPolicy:

@@ -42,6 +42,10 @@ class AdmissionQueue:
         # Token bucket state: lazily refilled at each offer.
         self._tokens = float(burst)
         self._last_refill = 0.0
+        #: Degraded-admission multiplier on the refill rate (brownout /
+        #: resize ramp).  1.0 — the always-on default — refills at
+        #: exactly the legacy rate, bit for bit.
+        self.rate_factor = 1.0
         # Counters (surface in the report's service section).
         self.admitted = 0
         self.rejected = 0
@@ -65,7 +69,8 @@ class AdmissionQueue:
         if self.policy == "token-bucket":
             self._tokens = min(
                 float(self.burst),
-                self._tokens + (now - self._last_refill) * self.rate,
+                self._tokens
+                + (now - self._last_refill) * self.rate * self.rate_factor,
             )
             self._last_refill = now
             if self._tokens < 1.0:

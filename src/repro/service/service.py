@@ -64,6 +64,8 @@ class _QueryState:
     injected: bool = False
     responded: bool = False
     deadline_event: object | None = None
+    #: Breaker-reopen retries left (None when budgets are off).
+    retry_budget: int | None = None
 
 
 @dataclass
@@ -107,6 +109,22 @@ class WalkQueryService:
         self.zombie_walks = 0
         self.deadline_misses = 0
         self.deferrals = 0
+        self.retry_budget_exhausted = 0
+        if self.cfg.brownout_enabled:
+            from collections import deque
+
+            from .brownout import BrownoutController
+
+            self.brownout = BrownoutController(
+                enter_pressure=self.cfg.brownout_enter_pressure,
+                exit_pressure=self.cfg.brownout_exit_pressure,
+                capacity_factor=self.cfg.brownout_capacity_factor,
+                rate_factor=self.cfg.brownout_rate_factor,
+            )
+            self._recent_misses = deque(maxlen=self.cfg.brownout_window)
+        else:
+            self.brownout = None
+            self._recent_misses = None
         self._t0 = 0.0
         self._dispatch_scheduled = False
         self._retry_scheduled = False
@@ -197,7 +215,7 @@ class WalkQueryService:
         back into the snapshot.  Request and response objects are never
         mutated after creation, so they are stored by reference.
         """
-        return {
+        snap = {
             "queries": [
                 {
                     "req": st.req,
@@ -206,6 +224,11 @@ class WalkQueryService:
                     "walks_done": st.walks_done,
                     "injected": st.injected,
                     "responded": st.responded,
+                    **(
+                        {"retry_budget": st.retry_budget}
+                        if st.retry_budget is not None
+                        else {}
+                    ),
                 }
                 for st in self.states.values()
             ],
@@ -240,6 +263,18 @@ class WalkQueryService:
             },
             "t0": self._t0,
         }
+        # Gray-resilience state rides along only when the knob is on,
+        # so disabled configs keep pre-gray checkpoints byte-identical.
+        if self.cfg.query_retry_budget > 0:
+            snap["counters"]["retry_budget_exhausted"] = (
+                self.retry_budget_exhausted
+            )
+        if self.brownout is not None:
+            snap["brownout"] = {
+                "controller": self.brownout.snapshot(),
+                "recent_misses": list(self._recent_misses),
+            }
+        return snap
 
     def _restore_state(self, d: dict) -> None:
         """Inverse of :meth:`_snapshot_state`."""
@@ -252,6 +287,7 @@ class WalkQueryService:
                 walks_done=q["walks_done"],
                 injected=q["injected"],
                 responded=q["responded"],
+                retry_budget=q.get("retry_budget"),
             )
             self.states[st.req.query_id] = st
         self.responses = list(d["responses"])
@@ -265,6 +301,13 @@ class WalkQueryService:
         self.deadline_misses = c["deadline_misses"]
         self.deferrals = c["deferrals"]
         self._reopen_attempts = c.get("reopen_attempts", 0)
+        self.retry_budget_exhausted = c.get("retry_budget_exhausted", 0)
+        if self.brownout is not None and "brownout" in d:
+            bo = d["brownout"]
+            self.brownout.restore(bo["controller"])
+            self._recent_misses.clear()
+            self._recent_misses.extend(bo["recent_misses"])
+            self.queue.rate_factor = self.brownout.admit_rate_factor()
         q = d["queue"]
         self.queue._q.clear()
         self.queue._q.extend(self.states[qid].req for qid in q["ids"])
@@ -359,6 +402,8 @@ class WalkQueryService:
         if mx is not None:
             mx.counter("service_arrivals").inc(1.0, t)
         st = _QueryState(req=req, t_arrival=t, deadline_abs=t + req.deadline)
+        if self.cfg.query_retry_budget > 0:
+            st.retry_budget = self.cfg.query_retry_budget
         self.states[req.query_id] = st
         if (
             self.cfg.breaker_enabled
@@ -413,12 +458,40 @@ class WalkQueryService:
                 continue
             if self.cfg.breaker_enabled and self.cfg.breaker_policy == "defer":
                 if self.breaker.is_open(t):
+                    if st.retry_budget is not None and (
+                        self.breaker.open_until < st.deadline_abs
+                    ):
+                        # A reopen retry that can still land before the
+                        # deadline charges the head query's budget; one
+                        # past the deadline cannot change the answer,
+                        # so it is never charged (the deadline event
+                        # owns that query).
+                        if st.retry_budget <= 0:
+                            self.retry_budget_exhausted += 1
+                            mx = self._mx
+                            if mx is not None:
+                                mx.counter(
+                                    "service_retry_budget_exhausted"
+                                ).inc(1.0, t)
+                            self.queue.pop()
+                            self._respond(
+                                st, "shed", t,
+                                shed_reason="retry-budget-exhausted",
+                                admitted=True,
+                            )
+                            continue
+                        st.retry_budget -= 1
                     self.deferrals += 1
                     self._schedule_retry(self.breaker.open_until)
                     break
                 self._reopen_attempts = 0
             backlog = fw.total_walks - fw.completed_walks
-            if backlog > 0 and backlog + head.num_walks > self.cfg.max_inflight_walks:
+            inflight_cap = self.cfg.max_inflight_walks
+            if self.brownout is not None and self.brownout.active:
+                inflight_cap = max(
+                    1, int(inflight_cap * self.brownout.capacity_factor)
+                )
+            if backlog > 0 and backlog + head.num_walks > inflight_cap:
                 # Backpressure: completions re-trigger dispatch.
                 break
             self.queue.pop()
@@ -552,6 +625,21 @@ class WalkQueryService:
             else:
                 mx.histogram("service_latency_seconds",
                              _LATENCY_BUCKETS).observe(latency, t)
+        if self.brownout is not None:
+            # Deadline misses are the service's gray-failure pressure
+            # signal; sheds are excluded (they are the brownout's own
+            # output, and feeding them back would latch it on).
+            self._recent_misses.append(1 if status == "timed_out" else 0)
+            pressure = sum(self._recent_misses) / len(self._recent_misses)
+            was = self.brownout.active
+            self.brownout.observe(
+                pressure, epoch=len(self.responses), now=t
+            )
+            self.queue.rate_factor = self.brownout.admit_rate_factor()
+            if mx is not None and self.brownout.active != was:
+                mx.gauge("service_brownout_active").set(
+                    1.0 if self.brownout.active else 0.0, t
+                )
 
     # --------------------------------------------------------------- report
 
@@ -574,14 +662,19 @@ class WalkQueryService:
         else:
             lat = {"n": 0, "mean": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         arrivals = max(self.arrivals, 1)
-        return {
-            "requests": {
-                "arrivals": self.arrivals,
-                "ok": self.ok_count,
-                "timed_out": self.timed_out_count,
-                "shed": self.shed_count,
-                "deadline_misses": self.deadline_misses,
-            },
+        requests = {
+            "arrivals": self.arrivals,
+            "ok": self.ok_count,
+            "timed_out": self.timed_out_count,
+            "shed": self.shed_count,
+            "deadline_misses": self.deadline_misses,
+        }
+        # Gray-resilience keys only appear with their knob on, so
+        # legacy reports stay byte-identical.
+        if self.cfg.query_retry_budget > 0:
+            requests["retry_budget_exhausted"] = self.retry_budget_exhausted
+        section = {
+            "requests": requests,
             "walks": {
                 "injected": self.walks_injected,
                 "zombie": self.zombie_walks,
@@ -593,3 +686,6 @@ class WalkQueryService:
             "breaker": {**self.breaker.stats(), "deferrals": self.deferrals},
             "audit": self.auditor.stats(),
         }
+        if self.brownout is not None:
+            section["brownout"] = self.brownout.stats()
+        return section

@@ -123,6 +123,23 @@ class BandwidthLink:
         self.transfers += 1
         return end
 
+    def stall(self, now: float, duration: float) -> float:
+        """Hold the link busy for ``duration`` extra seconds from ``now``.
+
+        Models degradation that stretches occupancy without moving bytes
+        (a gray-failure slow window, a re-equalization pause): the stall
+        serializes behind any in-flight transfer and pushes the link's
+        next-free time out, charging ``busy_time`` so utilization
+        timelines see the degradation.
+        """
+        if duration < 0:
+            raise SimulationError(f"{self.name}: negative stall {duration}")
+        start = self._busy_until if self._busy_until > now else now
+        end = start + duration
+        self._busy_until = end
+        self.busy_time += duration
+        return end
+
     def next_free(self, now: float) -> float:
         return self._busy_until if self._busy_until > now else now
 
